@@ -1,0 +1,237 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact; see DESIGN.md §3 for the
+// index) plus ablation benches for the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks wrap the experiment runners with output
+// discarded; their per-op time is the cost of regenerating that figure.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/interaction"
+	"repro/internal/mapper"
+	"repro/internal/qlog"
+	"repro/internal/widgets"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Diffs(b *testing.B)               { benchExperiment(b, "table1") }
+func BenchmarkCostFit(b *testing.B)                   { benchExperiment(b, "ex44") }
+func BenchmarkFig5aListing4(b *testing.B)             { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bSmallLog(b *testing.B)             { benchExperiment(b, "fig5b") }
+func BenchmarkFig5cLargerLog(b *testing.B)            { benchExperiment(b, "fig5c") }
+func BenchmarkFig5dTopClause(b *testing.B)            { benchExperiment(b, "fig5d") }
+func BenchmarkFig5eSubquery(b *testing.B)             { benchExperiment(b, "fig5e") }
+func BenchmarkFig6aSDSSRecall(b *testing.B)           { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bClientC1(b *testing.B)             { benchExperiment(b, "fig6b") }
+func BenchmarkFig6cOLAPAdhoc(b *testing.B)            { benchExperiment(b, "fig6c") }
+func BenchmarkFig6dOLAPWidgets(b *testing.B)          { benchExperiment(b, "fig6d") }
+func BenchmarkFig7aMultiClientTotal(b *testing.B)     { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bMultiClientPerClient(b *testing.B) { benchExperiment(b, "fig7b") }
+func BenchmarkFig7cCrossClient(b *testing.B)          { benchExperiment(b, "fig7c") }
+func BenchmarkFig8cUserStudy(b *testing.B)            { benchExperiment(b, "fig8c") }
+func BenchmarkFig9RecallMatrix(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10RecallHistogram(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11Optimizations(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12Scalability(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkFig13OrderingEffects(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig15Precision(b *testing.B)            { benchExperiment(b, "fig15") }
+func BenchmarkExtClusteredRecall(b *testing.B)        { benchExperiment(b, "ext-cluster") }
+func BenchmarkExtSpeculate(b *testing.B)              { benchExperiment(b, "ext-speculate") }
+func BenchmarkExtAnomalies(b *testing.B)              { benchExperiment(b, "ext-anomalies") }
+
+// --- Pipeline stage benchmarks (the quantities behind Figures 11/12).
+
+// BenchmarkPipeline10k is the paper's headline performance claim in
+// benchmark form: end-to-end interface generation for a 10,000-query
+// log with window=2 and LCA pruning must stay well under 10 seconds.
+func BenchmarkPipeline10k(b *testing.B) {
+	l := workload.SDSSFullLog(10000, 77)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(l, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMine(b *testing.B, n, window int, lca bool) {
+	l := workload.SDSSFullLog(n, 77)
+	queries, err := l.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interaction.Mine(queries, interaction.Options{WindowSize: window, LCAPrune: lca})
+	}
+}
+
+func BenchmarkMineWindow2LCA(b *testing.B)   { benchMine(b, 2000, 2, true) }
+func BenchmarkMineWindow2NoLCA(b *testing.B) { benchMine(b, 2000, 2, false) }
+func BenchmarkMineWindow10LCA(b *testing.B)  { benchMine(b, 2000, 10, true) }
+func BenchmarkMineAllPairs200(b *testing.B)  { benchMine(b, 200, 0, true) }
+
+// --- Ablation benchmarks (DESIGN.md §4).
+
+// BenchmarkAblationNoMerge compares the initial interface (Algorithm 1
+// only) against the merged one; the reported metric is widget count and
+// cost via sub-benchmarks.
+func BenchmarkAblationNoMerge(b *testing.B) {
+	l := workload.SDSSClient(workload.Lookup, 5, 100)
+	queries, err := l.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ := interaction.Mine(queries, interaction.Options{WindowSize: 0, LCAPrune: false})
+	lib := widgets.DefaultLibrary()
+	b.Run("initialize-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws := mapper.MapWithoutMerge(g, lib)
+			b.ReportMetric(float64(len(ws)), "widgets")
+			b.ReportMetric(mapper.TotalCost(ws), "cost")
+		}
+	})
+	b.Run("with-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws := mapper.Map(g, lib)
+			b.ReportMetric(float64(len(ws)), "widgets")
+			b.ReportMetric(mapper.TotalCost(ws), "cost")
+		}
+	})
+}
+
+// BenchmarkAblationWindow compares mining configurations on the same
+// log: the sliding window is the dominant lever on graph size.
+func BenchmarkAblationWindow(b *testing.B) {
+	l := workload.SDSSClient(workload.Lookup, 5, 200)
+	queries, err := l.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts interaction.Options
+	}{
+		{"window2+lca", interaction.Options{WindowSize: 2, LCAPrune: true}},
+		{"window25+lca", interaction.Options{WindowSize: 25, LCAPrune: true}},
+		{"allpairs+lca", interaction.Options{WindowSize: 0, LCAPrune: true}},
+		{"allpairs", interaction.Options{WindowSize: 0, LCAPrune: false}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, st := interaction.Mine(queries, cfg.opts)
+				b.ReportMetric(float64(st.DiffRecords), "diffs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCostConstants compares interface generation with the
+// paper's published cost constants against locally re-fitted ones; the
+// widget choices (and thus cost) should be stable.
+func BenchmarkAblationCostConstants(b *testing.B) {
+	l := workload.SDSSClient(workload.Lookup, 5, 100)
+	fitted := refittedLibrary(b)
+	for _, cfg := range []struct {
+		name string
+		lib  widgets.Library
+	}{
+		{"paper-constants", widgets.DefaultLibrary()},
+		{"refit-from-traces", fitted},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				iface, err := core.Generate(l, core.Options{
+					Miner:   interaction.DefaultOptions(),
+					Library: cfg.lib,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(iface.Widgets)), "widgets")
+			}
+		})
+	}
+}
+
+// refittedLibrary rebuilds the widget library with cost functions fit
+// from synthetic timing traces instead of the published constants.
+func refittedLibrary(b *testing.B) widgets.Library {
+	b.Helper()
+	sizes := []int{2, 3, 5, 8, 13, 21, 34}
+	refit := func(t *widgets.Type) *widgets.Type {
+		traces := widgets.SynthesizeTraces(t.Cost.A0, t.Cost.A1, t.Cost.A2, sizes, 5)
+		c, err := widgets.FitCost(traces)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp := *t
+		cp.Cost = c
+		return &cp
+	}
+	var out widgets.Library
+	for _, t := range widgets.DefaultLibrary() {
+		out = append(out, refit(t))
+	}
+	return out
+}
+
+// BenchmarkCanExpress measures the closure-membership check that recall
+// experiments run millions of times.
+func BenchmarkCanExpress(b *testing.B) {
+	l := workload.SDSSClient(workload.Lookup, 5, 100)
+	iface, err := core.Generate(l, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	holdQ, err := workload.SDSSClient(workload.Lookup, 99, 100).Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iface.CanExpress(holdQ[i%len(holdQ)])
+	}
+}
+
+// BenchmarkParse measures the SQL parsing substrate on a mixed log.
+func BenchmarkParse(b *testing.B) {
+	sqls := qlog.Interleave(
+		workload.SDSSClient(workload.Radial, 1, 100),
+		workload.OLAPLog(100, 2),
+	).SQLs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := qlog.FromSQL(sqls...)
+		if _, err := l.Parse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

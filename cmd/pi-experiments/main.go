@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ids := os.Args[1:]
+	if len(ids) == 0 {
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			panic(err)
+		}
+		return
+	}
+	for _, id := range ids {
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			panic("unknown: " + id)
+		}
+		if err := experiments.RunOne(os.Stdout, e); err != nil {
+			panic(err)
+		}
+	}
+}

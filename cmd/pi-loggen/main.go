@@ -1,0 +1,65 @@
+// Command pi-loggen generates the synthetic query logs used throughout
+// the evaluation (SDSS-style client sessions, the OLAP random walk, and
+// the ad-hoc student log) in the text format cmd/pi reads.
+//
+// Usage:
+//
+//	pi-loggen -kind sdss|olap|adhoc|mixed [-n 200] [-seed 1] [-clients 1] [-arch lookup|radial|filter|slowburn]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/qlog"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "sdss", "log kind: sdss, olap, adhoc, mixed")
+	n := flag.Int("n", 200, "queries per client")
+	seed := flag.Int64("seed", 1, "random seed")
+	clients := flag.Int("clients", 1, "number of clients (sdss and mixed)")
+	arch := flag.String("arch", "lookup", "sdss archetype: lookup, radial, filter, slowburn")
+	flag.Parse()
+
+	var log *qlog.Log
+	switch *kind {
+	case "sdss":
+		if *clients > 1 {
+			log = qlog.Interleave(workload.SDSSClients(*clients, *n, *seed)...)
+		} else {
+			log = workload.SDSSClient(parseArch(*arch), *seed, *n)
+		}
+	case "olap":
+		log = workload.OLAPLog(*n, *seed)
+	case "adhoc":
+		log = workload.AdhocLog(*n, *seed)
+	case "mixed":
+		log = qlog.Interleave(workload.HeterogeneousClients(*clients, *n, *seed)...)
+	default:
+		fmt.Fprintf(os.Stderr, "pi-loggen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+	if err := log.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pi-loggen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseArch(s string) workload.Archetype {
+	switch s {
+	case "lookup":
+		return workload.Lookup
+	case "radial":
+		return workload.Radial
+	case "filter":
+		return workload.Filter
+	case "slowburn":
+		return workload.SlowBurn
+	}
+	fmt.Fprintf(os.Stderr, "pi-loggen: unknown archetype %q\n", s)
+	os.Exit(1)
+	return 0
+}

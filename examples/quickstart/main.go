@@ -1,0 +1,70 @@
+// Quickstart: mine an interface from a six-query log, inspect the
+// widgets, interact with one programmatically, and execute the
+// resulting query against the bundled in-memory database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/pi"
+)
+
+func main() {
+	// An analysis session: the analyst keeps changing one threshold and
+	// one country name in the same query.
+	queries := pi.LogFromSQL(
+		"SELECT cty, SUM(sales) FROM t WHERE x > 1 AND cty = 'USA' GROUP BY cty",
+		"SELECT cty, SUM(sales) FROM t WHERE x > 3 AND cty = 'USA' GROUP BY cty",
+		"SELECT cty, SUM(sales) FROM t WHERE x > 3 AND cty = 'EUR' GROUP BY cty",
+		"SELECT cty, SUM(sales) FROM t WHERE x > 7 AND cty = 'EUR' GROUP BY cty",
+		"SELECT cty, SUM(sales) FROM t WHERE x > 7 AND cty = 'JPN' GROUP BY cty",
+		"SELECT cty, SUM(sales) FROM t WHERE x > 2 AND cty = 'JPN' GROUP BY cty",
+	)
+
+	iface, err := pi.Generate(queries, pi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== mined widgets ==")
+	for _, w := range iface.Widgets {
+		fmt.Printf("  %-13s at %-8s with %d option(s)", w.Type.Name, w.Path, w.Domain.Len())
+		if w.Domain.IsNumericRange() {
+			lo, hi := w.Domain.Range()
+			fmt.Printf(", extrapolated to [%g, %g]", lo, hi)
+		}
+		fmt.Println()
+	}
+
+	// Interact: set the slider to a value that never appeared in the
+	// log (5 is inside the extrapolated range [1, 7]).
+	var slider = iface.Widgets[0]
+	for _, w := range iface.Widgets {
+		if w.Type.Name == "slider" {
+			slider = w
+		}
+	}
+	q := core.Apply(iface.Initial, slider, ast.Leaf(ast.TypeNumExpr, "5"))
+	fmt.Println("\n== after sliding the threshold to 5 ==")
+	fmt.Println(" ", pi.RenderSQL(q))
+
+	// exec() + render(): run it on the bundled sample data.
+	db := engine.TinyDB()
+	res, err := pi.Exec(db, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== result ==")
+	fmt.Print(res.Render())
+
+	// And compile the whole interface to a web page.
+	page, err := pi.CompileHTML(iface, "Quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled HTML page: %d bytes (write it to a file and open it)\n", len(page))
+}

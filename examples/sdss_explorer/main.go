@@ -1,0 +1,67 @@
+// SDSS explorer: mine an interface from an astronomer's session log
+// (Listing 1 / Figure 6b of the paper), show that it generalizes to
+// queries the astronomer has not yet written, and execute interactions
+// against a synthetic SDSS database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+	"repro/pi"
+)
+
+func main() {
+	// A single client's session: 200 object lookups. Train on the
+	// first 60, hold out the rest.
+	session := workload.SDSSClient(workload.Lookup, 11, 200)
+	train, holdout := session.Split(60)
+
+	iface, err := pi.Generate(train, pi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interface mined from %d queries:\n", train.Len())
+	for _, w := range iface.Widgets {
+		fmt.Printf("  %-13s at %-6s (%d options)", w.Type.Name, w.Path, w.Domain.Len())
+		if w.Domain.IsNumericRange() {
+			lo, hi := w.Domain.Range()
+			fmt.Printf(" range [0x%x, 0x%x]", int(lo), int(hi))
+		}
+		fmt.Println()
+	}
+
+	// Generalization: how much of the astronomer's future session can
+	// this interface already express?
+	holdQ, err := holdout.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhold-out recall over the next %d queries: %.0f%%\n",
+		len(holdQ), iface.Recall(holdQ)*100)
+
+	// Interact: point the slider at an object id that never appeared in
+	// the training log and run the lookup.
+	db := engine.SDSSDB(500)
+	for _, w := range iface.Widgets {
+		if w.Type.Name != "slider" {
+			continue
+		}
+		id := ast.Leaf(ast.TypeNumExpr, "0x2f00")
+		id.SetAttr("fmt", "hex")
+		q := core.Apply(iface.Initial, w, id)
+		if q == nil {
+			log.Fatal("0x2f00 outside the slider's extrapolated range")
+		}
+		fmt.Printf("\nslider -> %s\n", pi.RenderSQL(q))
+		res, err := pi.Exec(db, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exec() returned %d rows, %d columns\n", len(res.Rows), len(res.Cols))
+	}
+}

@@ -1,0 +1,115 @@
+package ast
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Hash is a 64-bit structural hash of a subtree. Equal subtrees have
+// equal hashes; the diff and closure layers use hashes as cheap
+// pre-filters and as set keys (falling back to Equal on collision where
+// correctness matters).
+type Hash uint64
+
+// HashOf computes the structural hash of a subtree. A nil subtree
+// (an absent/removed side of a diff) hashes to a fixed sentinel.
+func HashOf(n *Node) Hash {
+	h := fnv.New64a()
+	writeHash(n, h)
+	return Hash(h.Sum64())
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func writeHash(n *Node, h hasher) {
+	if n == nil {
+		h.Write([]byte{0xff, 0x00})
+		return
+	}
+	h.Write([]byte{0x01})
+	h.Write([]byte(n.Type))
+	h.Write([]byte{0x02})
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h.Write([]byte(k))
+			h.Write([]byte{0x03})
+			h.Write([]byte(n.Attrs[k]))
+			h.Write([]byte{0x04})
+		}
+	}
+	for _, c := range n.Children {
+		writeHash(c, h)
+	}
+	h.Write([]byte{0x05})
+}
+
+// Set is a set of subtrees keyed by structural hash with collision
+// verification, used for widget domains and closure membership.
+type Set struct {
+	buckets map[Hash][]*Node
+	size    int
+}
+
+// NewSet returns an empty subtree set.
+func NewSet() *Set {
+	return &Set{buckets: make(map[Hash][]*Node)}
+}
+
+// Add inserts the subtree if not already present and reports whether it
+// was inserted. The set stores the node pointer as-is; callers should
+// pass trees they will not mutate.
+func (s *Set) Add(n *Node) bool {
+	h := HashOf(n)
+	for _, e := range s.buckets[h] {
+		if Equal(e, n) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], n)
+	s.size++
+	return true
+}
+
+// Contains reports set membership by structural equality.
+func (s *Set) Contains(n *Node) bool {
+	for _, e := range s.buckets[HashOf(n)] {
+		if Equal(e, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct subtrees in the set.
+func (s *Set) Len() int { return s.size }
+
+// Values returns the distinct subtrees in insertion-independent but
+// deterministic order (sorted by rendered string) for stable output.
+func (s *Set) Values() []*Node {
+	out := make([]*Node, 0, s.size)
+	for _, b := range s.buckets {
+		out = append(out, b...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return nodeLess(out[i], out[j])
+	})
+	return out
+}
+
+func nodeLess(a, b *Node) bool {
+	as, bs := "", ""
+	if a != nil {
+		as = a.String()
+	}
+	if b != nil {
+		bs = b.String()
+	}
+	return as < bs
+}

@@ -1,0 +1,130 @@
+package ast
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTree builds a random small tree with list-shaped children.
+func randomTree(r *rand.Rand, depth int) *Node {
+	if depth == 0 || r.Intn(3) == 0 {
+		return Leaf(TypeNumExpr, string(rune('0'+r.Intn(10))))
+	}
+	n := New(TypeProject)
+	for i := 0; i < 1+r.Intn(3); i++ {
+		n.Children = append(n.Children, randomTree(r, depth-1))
+	}
+	return n
+}
+
+// randomPath picks a random existing path in the tree (possibly root).
+func randomPath(r *rand.Rand, n *Node) Path {
+	p := Path{}
+	for len(n.Children) > 0 && r.Intn(3) != 0 {
+		i := r.Intn(len(n.Children))
+		p = append(p, i)
+		n = n.Children[i]
+	}
+	return p
+}
+
+// TestInsertDeleteInverse: deleting right after inserting at the same
+// path restores the original tree.
+func TestInsertDeleteInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		tree := randomTree(r, 3)
+		parent := randomPath(r, tree)
+		node := tree.At(parent)
+		idx := r.Intn(node.NumChildren() + 1)
+		p := parent.Child(idx)
+		sub := Leaf(TypeStrExpr, "inserted")
+		inserted := tree.InsertAt(p, sub)
+		if inserted == nil {
+			t.Fatalf("InsertAt(%v) failed on %s", p, tree)
+		}
+		if got := inserted.At(p); !Equal(got, sub) {
+			t.Fatalf("inserted subtree not found at %v", p)
+		}
+		restored := inserted.DeleteAt(p)
+		if !Equal(restored, tree) {
+			t.Fatalf("delete after insert did not restore:\norig: %s\ngot: %s", tree, restored)
+		}
+		// Original untouched throughout.
+		if tree.At(p) != nil && Equal(tree.At(p), sub) {
+			t.Fatal("original tree mutated")
+		}
+	}
+}
+
+// TestReplaceAtPreservesSize: replacing a subtree changes the size by
+// exactly the size delta of the subtrees.
+func TestReplaceAtPreservesSize(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 300; trial++ {
+		tree := randomTree(r, 3)
+		p := randomPath(r, tree)
+		old := tree.At(p)
+		repl := randomTree(r, 2)
+		out := tree.ReplaceAt(p, repl)
+		if out == nil {
+			t.Fatalf("ReplaceAt(%v) failed", p)
+		}
+		want := tree.Size() - old.Size() + repl.Size()
+		if got := out.Size(); got != want {
+			t.Fatalf("size after replace = %d, want %d", got, want)
+		}
+		if !Equal(out.At(p), repl) {
+			t.Fatal("replacement not present")
+		}
+	}
+}
+
+// TestHashAgreesWithEqual on random tree pairs.
+func TestHashAgreesWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var trees []*Node
+	for i := 0; i < 60; i++ {
+		trees = append(trees, randomTree(r, 3))
+	}
+	for _, a := range trees {
+		for _, b := range trees {
+			if Equal(a, b) && HashOf(a) != HashOf(b) {
+				t.Fatalf("equal trees with different hashes:\n%s\n%s", a, b)
+			}
+		}
+	}
+}
+
+// TestDeleteAtBounds: invalid paths return nil, valid leaf deletions
+// shrink the child list.
+func TestDeleteAtBounds(t *testing.T) {
+	tree := New(TypeProject, Leaf(TypeNumExpr, "1"), Leaf(TypeNumExpr, "2"))
+	if tree.DeleteAt(Path{}) != nil {
+		t.Fatal("deleting the root is not defined")
+	}
+	if tree.DeleteAt(Path{5}) != nil {
+		t.Fatal("out-of-range delete must fail")
+	}
+	out := tree.DeleteAt(Path{0})
+	if out.NumChildren() != 1 || out.Child(0).Value() != "2" {
+		t.Fatalf("delete produced %s", out)
+	}
+	if tree.NumChildren() != 2 {
+		t.Fatal("original mutated")
+	}
+}
+
+// TestInsertAtBounds: index may be one past the end but no further.
+func TestInsertAtBounds(t *testing.T) {
+	tree := New(TypeProject, Leaf(TypeNumExpr, "1"))
+	if out := tree.InsertAt(Path{1}, Leaf(TypeNumExpr, "2")); out == nil || out.NumChildren() != 2 {
+		t.Fatalf("append-insert failed: %v", out)
+	}
+	if tree.InsertAt(Path{3}, Leaf(TypeNumExpr, "2")) != nil {
+		t.Fatal("insert past end+1 must fail")
+	}
+	if tree.InsertAt(Path{}, Leaf(TypeNumExpr, "2")) != nil {
+		t.Fatal("insert at root path is not defined")
+	}
+}

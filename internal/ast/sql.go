@@ -1,0 +1,240 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SQL renders the subtree back to SQL text. Rendering a tree produced by
+// internal/sqlparser and re-parsing it yields a structurally equal tree
+// (property-tested), which is what lets the generated interface hand
+// executable SQL to exec().
+func SQL(n *Node) string {
+	var b strings.Builder
+	writeSQL(&b, n)
+	return b.String()
+}
+
+func writeSQL(b *strings.Builder, n *Node) {
+	if n == nil {
+		return
+	}
+	switch n.Type {
+	case TypeSelect:
+		writeSelect(b, n)
+	case TypeProject:
+		writeList(b, n.Children)
+	case TypeProjClause:
+		writeSQL(b, n.Child(0))
+		if a := n.Attr("alias"); a != "" {
+			b.WriteString(" AS ")
+			b.WriteString(a)
+		}
+	case TypeFrom:
+		writeList(b, n.Children)
+	case TypeFromClause:
+		writeSQL(b, n.Child(0))
+		if a := n.Attr("alias"); a != "" {
+			b.WriteString(" AS ")
+			b.WriteString(a)
+		}
+	case TypeWhere, TypeHaving, TypeElseClause:
+		writeSQL(b, n.Child(0))
+	case TypeParen:
+		b.WriteByte('(')
+		writeSQL(b, n.Child(0))
+		b.WriteByte(')')
+	case TypeGroupBy, TypeOrderBy:
+		writeList(b, n.Children)
+	case TypeOrderClause:
+		writeSQL(b, n.Child(0))
+		if d := n.Attr("dir"); d == "desc" {
+			b.WriteString(" DESC")
+		}
+	case TypeLimit:
+		writeSQL(b, n.Child(0))
+	case TypeSubQuery:
+		b.WriteByte('(')
+		writeSQL(b, n.Child(0))
+		b.WriteByte(')')
+	case TypeJoin:
+		writeSQL(b, n.Child(0))
+		if n.Attr("kind") == "left" {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		writeSQL(b, n.Child(1))
+		b.WriteString(" ON ")
+		writeSQL(b, n.Child(2))
+	case TypeTabExpr:
+		b.WriteString(n.Value())
+	case TypeTabFunc:
+		writeFunc(b, n)
+	case TypeBiExpr:
+		writeSQL(b, n.Child(0))
+		op := n.Attr("op")
+		if isWordOp(op) {
+			b.WriteByte(' ')
+			b.WriteString(strings.ToUpper(op))
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(" " + op + " ")
+		}
+		writeSQL(b, n.Child(1))
+	case TypeUniExpr:
+		op := n.Attr("op")
+		if isWordOp(op) {
+			b.WriteString(strings.ToUpper(op))
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(op)
+		}
+		writeSQL(b, n.Child(0))
+	case TypeFuncExpr:
+		writeFunc(b, n)
+	case TypeFuncName:
+		b.WriteString(strings.ToUpper(n.Value()))
+	case TypeCastExpr:
+		b.WriteString("CAST(")
+		writeSQL(b, n.Child(0))
+		if as := n.Attr("as"); as != "" {
+			b.WriteString(" AS ")
+			b.WriteString(as)
+		}
+		b.WriteByte(')')
+	case TypeCaseExpr:
+		writeCase(b, n)
+	case TypeWhenClause:
+		b.WriteString("WHEN ")
+		writeSQL(b, n.Child(0))
+		b.WriteString(" THEN ")
+		writeSQL(b, n.Child(1))
+	case TypeInExpr:
+		writeSQL(b, n.Child(0))
+		if n.Attr("not") == "true" {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		writeList(b, n.Children[1:])
+		b.WriteByte(')')
+	case TypeBetween:
+		writeSQL(b, n.Child(0))
+		if n.Attr("not") == "true" {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		writeSQL(b, n.Child(1))
+		b.WriteString(" AND ")
+		writeSQL(b, n.Child(2))
+	case TypeColExpr:
+		if t := n.Attr("table"); t != "" {
+			b.WriteString(t)
+			b.WriteByte('.')
+		}
+		b.WriteString(n.Value())
+	case TypeStrExpr:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(n.Value(), "'", "''"))
+		b.WriteByte('\'')
+	case TypeNumExpr:
+		b.WriteString(n.Value())
+	case TypeStarExpr:
+		if t := n.Attr("table"); t != "" {
+			b.WriteString(t)
+			b.WriteByte('.')
+		}
+		b.WriteByte('*')
+	case TypeNullExpr:
+		b.WriteString("NULL")
+	case TypeBoolExpr:
+		b.WriteString(strings.ToUpper(n.Value()))
+	default:
+		fmt.Fprintf(b, "/*?%s*/", n.Type)
+	}
+}
+
+func writeSelect(b *strings.Builder, n *Node) {
+	b.WriteString("SELECT ")
+	if n.Attr("distinct") == "true" {
+		b.WriteString("DISTINCT ")
+	}
+	if lim := n.Child(SlotLimit); !IsEmptyClause(lim) && lim.Attr("kind") == "top" {
+		b.WriteString("TOP ")
+		writeSQL(b, lim)
+		b.WriteByte(' ')
+	}
+	writeSQL(b, n.Child(SlotProject))
+	if f := n.Child(SlotFrom); !IsEmptyClause(f) {
+		b.WriteString(" FROM ")
+		writeSQL(b, f)
+	}
+	if w := n.Child(SlotWhere); !IsEmptyClause(w) {
+		b.WriteString(" WHERE ")
+		writeSQL(b, w)
+	}
+	if g := n.Child(SlotGroupBy); !IsEmptyClause(g) {
+		b.WriteString(" GROUP BY ")
+		writeSQL(b, g)
+	}
+	if h := n.Child(SlotHaving); !IsEmptyClause(h) {
+		b.WriteString(" HAVING ")
+		writeSQL(b, h)
+	}
+	if o := n.Child(SlotOrderBy); !IsEmptyClause(o) {
+		b.WriteString(" ORDER BY ")
+		writeSQL(b, o)
+	}
+	if lim := n.Child(SlotLimit); !IsEmptyClause(lim) && lim.Attr("kind") != "top" {
+		b.WriteString(" LIMIT ")
+		writeSQL(b, lim)
+	}
+}
+
+func writeFunc(b *strings.Builder, n *Node) {
+	name := n.Child(0)
+	b.WriteString(strings.ToUpper(name.Value()))
+	b.WriteByte('(')
+	if n.Attr("distinct") == "true" {
+		b.WriteString("DISTINCT ")
+	}
+	writeList(b, n.Children[1:])
+	b.WriteByte(')')
+}
+
+func writeCase(b *strings.Builder, n *Node) {
+	b.WriteString("CASE")
+	for _, c := range n.Children {
+		switch c.Type {
+		case TypeWhenClause:
+			b.WriteByte(' ')
+			writeSQL(b, c)
+		case TypeElseClause:
+			b.WriteString(" ELSE ")
+			writeSQL(b, c)
+		default: // the optional operand
+			b.WriteByte(' ')
+			writeSQL(b, c)
+		}
+	}
+	b.WriteString(" END")
+}
+
+func writeList(b *strings.Builder, items []*Node) {
+	for i, c := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeSQL(b, c)
+	}
+}
+
+// isWordOp reports whether a binary/unary operator renders as a keyword
+// (AND, OR, NOT, LIKE, IS, IS NOT) rather than a symbol.
+func isWordOp(op string) bool {
+	switch strings.ToLower(op) {
+	case "and", "or", "not", "like", "is", "is not", "not like":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interaction"
+	"repro/internal/qlog"
+)
+
+// randomStructuredLog emits a log in which each consecutive query
+// changes one of: a numeric literal, a string literal, a column, or a
+// table — the structured-analysis regime the system targets.
+func randomStructuredLog(r *rand.Rand, n int) *qlog.Log {
+	tables := []string{"t", "u", "v"}
+	cols := []string{"a", "b", "c"}
+	names := []string{"p", "q", "s"}
+	tab, col, name, num := 0, 0, 0, 1
+	l := &qlog.Log{}
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			num = 1 + r.Intn(50)
+		case 1:
+			name = r.Intn(len(names))
+		case 2:
+			col = r.Intn(len(cols))
+		default:
+			tab = r.Intn(len(tables))
+		}
+		l.Append(fmt.Sprintf("SELECT %s FROM %s WHERE x = %d AND tag = '%s'",
+			cols[col], tables[tab], num, names[name]), "")
+	}
+	return l
+}
+
+// TestPropertyTrainingAlwaysExpressible: with all-pairs mining the
+// interface must express 100%% of its own training log (g = 1, §4.5),
+// for any structured log.
+func TestPropertyTrainingAlwaysExpressible(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		l := randomStructuredLog(r, 4+r.Intn(20))
+		iface, err := Generate(l, Options{
+			Miner: interaction.Options{WindowSize: 0, LCAPrune: r.Intn(2) == 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, err := l.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expr := iface.Expressiveness(queries); expr != 1 {
+			for _, q := range queries {
+				if !iface.CanExpress(q) {
+					t.Logf("inexpressible: %s", ast.SQL(q))
+				}
+			}
+			for _, w := range iface.Widgets {
+				t.Logf("widget %s@%s n=%d", w.Type.Name, w.Path, w.Domain.Len())
+			}
+			t.Fatalf("trial %d: expressiveness = %v over %d queries", trial, expr, len(queries))
+		}
+	}
+}
+
+// TestPropertyClosureMembersExpressible: every query the closure
+// enumerator produces must pass CanExpress — the two implementations of
+// "the set of queries reachable by widget settings" must agree.
+func TestPropertyClosureMembersExpressible(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 15; trial++ {
+		l := randomStructuredLog(r, 4+r.Intn(10))
+		iface, err := Generate(l, Options{
+			Miner: interaction.Options{WindowSize: 0, LCAPrune: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		iface.EnumerateClosure(300, func(q *ast.Node) bool {
+			checked++
+			if !iface.CanExpress(q) {
+				t.Errorf("trial %d: closure member not expressible: %s", trial, ast.SQL(q))
+				return false
+			}
+			return true
+		})
+		if checked == 0 {
+			t.Fatalf("trial %d: closure empty", trial)
+		}
+	}
+}
+
+// TestPropertySampleClosureMembersExpressible: the random sampler only
+// produces closure members too.
+func TestPropertySampleClosureMembersExpressible(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		l := randomStructuredLog(r, 6+r.Intn(10))
+		iface, err := Generate(l, Options{
+			Miner: interaction.Options{WindowSize: 0, LCAPrune: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iface.SampleClosure(50, int64(trial), func(q *ast.Node) bool {
+			if !iface.CanExpress(q) {
+				t.Errorf("trial %d: sampled query not expressible: %s", trial, ast.SQL(q))
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestPropertyMergeSoundness: merging must never lose expressiveness
+// relative to the unmerged (initialize-only) interface on the training
+// log, while never costing more.
+func TestPropertyMergeSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		l := randomStructuredLog(r, 4+r.Intn(16))
+		iface, err := Generate(l, Options{
+			Miner: interaction.Options{WindowSize: 0, LCAPrune: false},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, err := l.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expr := iface.Expressiveness(queries); expr != 1 {
+			t.Fatalf("trial %d: merged interface lost training coverage: %v", trial, expr)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package editor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qlog"
+	"repro/internal/widgets"
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	iface, err := core.Generate(qlog.FromSQL(
+		"SELECT a FROM t WHERE x = 1 AND name = 'p'",
+		"SELECT a FROM t WHERE x = 2 AND name = 'q'",
+		"SELECT a FROM t WHERE x = 9 AND name = 'r'",
+		"SELECT a FROM t WHERE x = 4 AND name = 'p'",
+		"SELECT a FROM t WHERE x = 7 AND name = 'q'",
+	), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Widgets) < 2 {
+		t.Fatalf("expected >=2 widgets, got %d", len(iface.Widgets))
+	}
+	return NewSession(iface, nil)
+}
+
+func TestAutoLayout(t *testing.T) {
+	s := session(t)
+	cells := s.Cells()
+	if len(cells) != len(s.Interface().Widgets) {
+		t.Fatalf("cells = %d, widgets = %d", len(cells), len(s.Interface().Widgets))
+	}
+	for i, c := range cells {
+		if c.Row != i || c.Col != 0 || c.ColSpan != 1 || c.Hidden {
+			t.Fatalf("auto layout cell %d = %+v", i, c)
+		}
+	}
+}
+
+func TestSetLabelAppearsInPage(t *testing.T) {
+	s := session(t)
+	if err := s.SetLabel(0, "Threshold (x)"); err != nil {
+		t.Fatal(err)
+	}
+	page, err := s.Compile("Edited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, "Threshold (x)") {
+		t.Fatal("custom label missing from compiled page")
+	}
+	if err := s.SetLabel(99, "x"); err == nil {
+		t.Fatal("labeling a missing widget must error")
+	}
+}
+
+func TestSetTypeEnforcesRules(t *testing.T) {
+	s := session(t)
+	// Find the slider (numeric domain) and the string widget.
+	var sliderIdx, strIdx = -1, -1
+	for i, w := range s.Interface().Widgets {
+		if w.Domain.IsNumericRange() {
+			sliderIdx = i
+		} else {
+			strIdx = i
+		}
+	}
+	if sliderIdx < 0 || strIdx < 0 {
+		t.Fatalf("expected numeric and string widgets")
+	}
+	// Numeric domain may become a textbox (numbers cast to strings).
+	tb, err := s.TypeByName("textbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetType(sliderIdx, tb); err != nil {
+		t.Fatalf("slider -> textbox should be legal: %v", err)
+	}
+	if s.Interface().Widgets[sliderIdx].Type != widgets.Textbox {
+		t.Fatal("type not applied")
+	}
+	// A string domain must not become a slider.
+	if err := s.SetType(strIdx, widgets.Slider); err == nil {
+		t.Fatal("string domain -> slider must violate the widget rule")
+	}
+	if _, err := s.TypeByName("holo-deck"); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func TestMoveResizeHide(t *testing.T) {
+	s := session(t)
+	if err := s.Move(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resize(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Hide(1, true); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Cells()
+	last := cells[len(cells)-1]
+	if last.Widget != 0 || last.Row != 2 || last.Col != 1 || last.ColSpan != 2 {
+		t.Fatalf("moved cell = %+v", last)
+	}
+	// Hidden widget disappears from the page.
+	page, err := s.Compile("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiddenWidget := s.Interface().Widgets[1]
+	if strings.Contains(page, hiddenWidget.Type.Name) &&
+		strings.Count(page, "class=\"widget\"") != len(cells)-1 {
+		t.Fatalf("hidden widget still rendered (%d cells)", strings.Count(page, "class=\"widget\""))
+	}
+	// Errors.
+	if err := s.Move(0, -1, 0); err == nil {
+		t.Fatal("negative position must error")
+	}
+	if err := s.Resize(0, 0); err == nil {
+		t.Fatal("zero span must error")
+	}
+	if err := s.Hide(42, true); err == nil {
+		t.Fatal("hiding a missing widget must error")
+	}
+}
+
+func TestCompileOrderFollowsLayout(t *testing.T) {
+	s := session(t)
+	// Put widget 1 above widget 0.
+	if err := s.Move(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move(0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	page, err := s.Compile("Ordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// data-widget attributes appear in layout order.
+	first := strings.Index(page, "data-widget=\"0\"")
+	second := strings.Index(page, "data-widget=\"1\"")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("layout order not respected: idx0=%d idx1=%d", first, second)
+	}
+}
+
+func TestLayoutAppropriateness(t *testing.T) {
+	s := session(t)
+	base := s.LayoutAppropriateness()
+	if base <= 0 {
+		t.Fatalf("LA score = %v, want positive for a non-empty layout", base)
+	}
+	// Pushing every widget far away must worsen (increase) the score.
+	for i := range s.Interface().Widgets {
+		if err := s.Move(i, 50+i, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if far := s.LayoutAppropriateness(); far <= base {
+		t.Fatalf("distant layout should score worse: %v vs %v", far, base)
+	}
+}
+
+func TestOptimizeLayoutImprovesOrWorstCaseMatches(t *testing.T) {
+	s := session(t)
+	// Start from a deliberately bad layout.
+	for i := range s.Interface().Widgets {
+		if err := s.Move(i, 30-i, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := s.LayoutAppropriateness()
+	s.OptimizeLayout()
+	opt := s.LayoutAppropriateness()
+	if opt > bad {
+		t.Fatalf("OptimizeLayout worsened LA: %v -> %v", bad, opt)
+	}
+	// The optimized layout is a valid one-per-row grid covering all
+	// widgets exactly once.
+	seen := map[int]bool{}
+	for _, c := range s.Cells() {
+		if seen[c.Widget] {
+			t.Fatalf("widget %d placed twice", c.Widget)
+		}
+		seen[c.Widget] = true
+	}
+	if len(seen) != len(s.Interface().Widgets) {
+		t.Fatalf("placed %d of %d widgets", len(seen), len(s.Interface().Widgets))
+	}
+}
+
+func TestOptimizeLayoutPreservesHidden(t *testing.T) {
+	s := session(t)
+	if err := s.Hide(1, true); err != nil {
+		t.Fatal(err)
+	}
+	s.OptimizeLayout()
+	found := false
+	for _, c := range s.Cells() {
+		if c.Widget == 1 && c.Hidden {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hidden flag lost during layout optimization")
+	}
+}

@@ -1,0 +1,147 @@
+package editor
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the "standard layout algorithm" §5.3 alludes to
+// via Sears' Layout Appropriateness metric [44]: given how often each
+// widget is used and how often pairs of widgets are used in sequence,
+// LA scores a layout by the total expected pointer travel; a better
+// layout puts frequently-used and frequently-co-used widgets close
+// together. Usage statistics come from the interaction graph: a
+// widget's frequency is the number of diff records it expresses, and a
+// pair's transition weight is the number of query pairs both widgets
+// participate in.
+
+// usageStats derives widget frequencies and pairwise transition weights
+// from the interface's mapped diff records.
+func (s *Session) usageStats() (freq []float64, trans [][]float64) {
+	n := len(s.iface.Widgets)
+	freq = make([]float64, n)
+	trans = make([][]float64, n)
+	for i := range trans {
+		trans[i] = make([]float64, n)
+	}
+	type pairKey [2]int
+	pairsOf := make([]map[pairKey]bool, n)
+	for i, w := range s.iface.Widgets {
+		freq[i] = float64(len(w.D))
+		pairsOf[i] = map[pairKey]bool{}
+		for _, d := range w.D {
+			pairsOf[i][pairKey{d.Q1, d.Q2}] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			shared := 0
+			for p := range pairsOf[i] {
+				if pairsOf[j][p] {
+					shared++
+				}
+			}
+			trans[i][j] = float64(shared)
+			trans[j][i] = float64(shared)
+		}
+	}
+	return freq, trans
+}
+
+// cellCenter returns grid coordinates of a cell's center for distance
+// computations (rows are taller than columns are wide in the rendered
+// page, weight rows double).
+func cellCenter(c Cell) (x, y float64) {
+	return float64(c.Col) + float64(c.ColSpan)/2, float64(c.Row) * 2
+}
+
+// LayoutAppropriateness scores the session's current layout: the
+// frequency-weighted sum of distances from the origin (first widget the
+// eye reaches) plus transition-weighted pairwise distances. Lower is
+// better.
+func (s *Session) LayoutAppropriateness() float64 {
+	freq, trans := s.usageStats()
+	pos := map[int]Cell{}
+	for _, c := range s.cells {
+		pos[c.Widget] = c
+	}
+	score := 0.0
+	for i, f := range freq {
+		c, ok := pos[i]
+		if !ok || c.Hidden {
+			continue
+		}
+		x, y := cellCenter(c)
+		score += f * math.Hypot(x, y)
+	}
+	for i := range trans {
+		for j := i + 1; j < len(trans); j++ {
+			if trans[i][j] == 0 {
+				continue
+			}
+			ci, oki := pos[i]
+			cj, okj := pos[j]
+			if !oki || !okj || ci.Hidden || cj.Hidden {
+				continue
+			}
+			xi, yi := cellCenter(ci)
+			xj, yj := cellCenter(cj)
+			score += trans[i][j] * math.Hypot(xi-xj, yi-yj)
+		}
+	}
+	return score
+}
+
+// OptimizeLayout reorders widgets to reduce the LA score with a greedy
+// placement: the most-used widget goes first, then repeatedly the
+// widget with the strongest transition weight to those already placed
+// (most-used on ties). One widget per row, as the compiled page
+// renders.
+func (s *Session) OptimizeLayout() {
+	n := len(s.iface.Widgets)
+	if n == 0 {
+		return
+	}
+	freq, trans := s.usageStats()
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+
+	best := 0
+	for i := 1; i < n; i++ {
+		if freq[i] > freq[best] {
+			best = i
+		}
+	}
+	order = append(order, best)
+	placed[best] = true
+	for len(order) < n {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			affinity := 0.0
+			for _, p := range order {
+				affinity += trans[i][p]
+			}
+			score := affinity*10 + freq[i]
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		order = append(order, bestIdx)
+		placed[bestIdx] = true
+	}
+
+	hidden := map[int]bool{}
+	for _, c := range s.cells {
+		if c.Hidden {
+			hidden[c.Widget] = true
+		}
+	}
+	s.cells = s.cells[:0]
+	for row, wi := range order {
+		s.cells = append(s.cells, Cell{Widget: wi, Row: row, Col: 0, ColSpan: 1, Hidden: hidden[wi]})
+	}
+	sort.Slice(s.cells, func(i, j int) bool { return s.cells[i].Row < s.cells[j].Row })
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OnTimeDB builds a deterministic synthetic sample of the OnTime flight
+// delays dataset [36] that the paper's OLAP and ad-hoc logs query. The
+// row count is configurable so benchmarks can scale it.
+func OnTimeDB(rows int) *DB {
+	r := rand.New(rand.NewSource(42))
+	carriers := []string{"AA", "UA", "DL", "WN", "B6", "AS"}
+	states := []string{"CA", "NY", "TX", "IL", "GA", "WA", "FL", "CO"}
+	t := NewTable("ontime",
+		"uniquecarrier", "carrier", "origin", "dest", "originstate", "deststate",
+		"month", "day", "dayofweek", "delay", "arrdelay", "depdelay",
+		"distance", "flights", "canceled", "diverted")
+	for i := 0; i < rows; i++ {
+		carrier := carriers[r.Intn(len(carriers))]
+		delay := float64(r.Intn(240) - 30)
+		t.MustAddRow(
+			Str(carrier), Str(carrier),
+			Str(states[r.Intn(len(states))]+"P"), Str(states[r.Intn(len(states))]+"P"),
+			Str(states[r.Intn(len(states))]), Str(states[r.Intn(len(states))]),
+			Num(float64(1+r.Intn(12))), Num(float64(1+r.Intn(28))), Num(float64(1+r.Intn(7))),
+			Num(delay), Num(delay+float64(r.Intn(20)-10)), Num(delay+float64(r.Intn(20)-10)),
+			Num(float64(100+r.Intn(2900))), Num(1), Num(float64(r.Intn(2))), Num(float64(r.Intn(50)/49)),
+		)
+	}
+	db := NewDB()
+	db.AddTable(t)
+	return db
+}
+
+// SDSSDB builds a deterministic synthetic subset of the Sloan Digital
+// Sky Survey schema: the spectro tables the per-client logs query plus
+// the Galaxy table used with fGetNearbyObjEq. rowsPerTable controls
+// scale.
+func SDSSDB(rowsPerTable int) *DB {
+	r := rand.New(rand.NewSource(7))
+	db := NewDB()
+
+	// Column sets mirror the synthetic SDSS workload's per-table id
+	// attributes (internal/workload lookupAttrsFor, variant 0) so every
+	// query a mined lookup interface can produce also executes.
+	spec := NewTable("SpecLineIndex", "specObjId", "plateId", "ew", "ewErr", "z", "zErr", "name")
+	xcr := NewTable("XCRedshift", "specObjId", "objId", "fieldId", "tempNo", "peakNo", "z", "zErr")
+	specObj := NewTable("SpecObj", "specObjId", "objId", "mjd", "fiberId", "z", "zErr", "ra", "dec")
+	for i := 0; i < rowsPerTable; i++ {
+		id := Num(float64(r.Intn(1 << 16)))
+		alt := Num(float64(r.Intn(1 << 16)))
+		z := Num(r.Float64() * 3)
+		zerr := Num(r.Float64() * 0.01)
+		spec.MustAddRow(id, alt, Num(r.Float64()*10), Num(r.Float64()), z, zerr,
+			Str(fmt.Sprintf("line0_%d", i%32)))
+		xcr.MustAddRow(id, alt, Num(float64(r.Intn(1<<16))), Num(float64(r.Intn(40))),
+			Num(float64(r.Intn(10))), z, zerr)
+		specObj.MustAddRow(id, alt, Num(float64(r.Intn(1<<16))), Num(float64(r.Intn(640))),
+			z, zerr, Num(r.Float64()*360), Num(r.Float64()*180-90))
+	}
+	db.AddTable(spec)
+	db.AddTable(xcr)
+	db.AddTable(specObj)
+
+	gal := NewTable("Galaxy", "objID", "ra", "dec", "u", "g", "r", "i", "z", "redshift")
+	for i := 0; i < rowsPerTable; i++ {
+		gal.MustAddRow(
+			Num(float64(r.Intn(1<<20))),
+			Num(r.Float64()*360), Num(r.Float64()*180-90),
+			Num(14+r.Float64()*8), Num(14+r.Float64()*8), Num(14+r.Float64()*8),
+			Num(14+r.Float64()*8), Num(14+r.Float64()*8), Num(r.Float64()*2),
+		)
+	}
+	db.AddTable(gal)
+
+	photo := NewTable("PhotoObj", "objID", "ra", "dec", "type", "u", "g", "r", "i", "z")
+	for i := 0; i < rowsPerTable; i++ {
+		photo.MustAddRow(
+			Num(float64(r.Intn(1<<20))),
+			Num(r.Float64()*360), Num(r.Float64()*180-90), Num(float64(3+r.Intn(4))),
+			Num(14+r.Float64()*8), Num(14+r.Float64()*8), Num(14+r.Float64()*8),
+			Num(14+r.Float64()*8), Num(14+r.Float64()*8),
+		)
+	}
+	db.AddTable(photo)
+
+	// fGetNearbyObjEq(ra, dec, radius_arcmin): the SDSS spatial UDF. The
+	// synthetic version returns a deterministic cone of objects whose
+	// count scales with the radius — enough to exercise the table-
+	// function code path that Listing 6's queries rely on.
+	db.AddFunc("dbo.fGetNearbyObjEq", func(args []Value) (*Table, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("engine: fGetNearbyObjEq expects 3 args, got %d", len(args))
+		}
+		ra, ok1 := args[0].AsNumber()
+		dec, ok2 := args[1].AsNumber()
+		rad, ok3 := args[2].AsNumber()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("engine: fGetNearbyObjEq needs numeric args")
+		}
+		out := NewTable("nearby", "objID", "distance")
+		n := int(rad*10) + 1
+		if n > rowsPerTable {
+			n = rowsPerTable
+		}
+		rr := rand.New(rand.NewSource(int64(ra*1e3) ^ int64(dec*1e3)))
+		for i := 0; i < n; i++ {
+			// Reuse Galaxy object ids so joins on objID produce matches.
+			row := gal.Rows[rr.Intn(len(gal.Rows))]
+			out.MustAddRow(row[0], Num(rr.Float64()*rad))
+		}
+		return out, nil
+	})
+	return db
+}
+
+// TinyDB builds the toy tables (t, u, T, ontime) that the paper's
+// worked examples (Figure 3, Listings 4–7) reference, so the example
+// binaries can execute any query of any generated interface.
+func TinyDB() *DB {
+	db := NewDB()
+	// The table catalog is case-insensitive, so the paper's "t"
+	// (Listing 4) and "T" (Figure 3, Listing 7) resolve to one table
+	// carrying the union of the columns both sets of examples use.
+	t := NewTable("t", "a", "b", "c", "d", "e", "x", "y", "action", "customer",
+		"spec_ts", "cust", "country", "price", "cty", "sales", "costs")
+	r := rand.New(rand.NewSource(3))
+	names := []string{"Alice", "Bob", "Carol"}
+	countries := []string{"China", "USA", "France"}
+	regions := []string{"USA", "EUR", "JPN"}
+	for i := 0; i < 64; i++ {
+		t.MustAddRow(
+			Num(float64(r.Intn(50))), Num(float64(r.Intn(50))), Num(float64(r.Intn(50))),
+			Num(float64(r.Intn(50))), Num(float64(r.Intn(50))),
+			Num(float64(r.Intn(10))), Str(string(rune('p'+r.Intn(3)))),
+			Str(fmt.Sprintf("act%d", r.Intn(4))), Num(float64(r.Intn(100))),
+			Num(float64(r.Intn(12)-4)), Str(names[r.Intn(3)]), Str(countries[r.Intn(3)]),
+			Num(float64(r.Intn(1000))),
+			Str(regions[r.Intn(3)]), Num(float64(r.Intn(10000))), Num(float64(r.Intn(8000))),
+		)
+	}
+	db.AddTable(t)
+	u := NewTable("u", "a", "b", "c", "d")
+	for i := 0; i < 32; i++ {
+		u.MustAddRow(Num(float64(r.Intn(20))), Num(float64(r.Intn(20))),
+			Num(float64(r.Intn(20))), Num(float64(r.Intn(20))))
+	}
+	db.AddTable(u)
+	return db
+}

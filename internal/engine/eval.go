@@ -1,0 +1,537 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// binding names one column of the row shape flowing through the
+// executor: the relation alias (possibly "") and the column name.
+type binding struct {
+	alias string
+	col   string
+}
+
+// evalCtx carries everything expression evaluation needs: the column
+// bindings, the current row, the current group (non-nil only while
+// evaluating aggregate projections/HAVING), and the database for
+// subqueries.
+type evalCtx struct {
+	db       *DB
+	bindings []binding
+	row      []Value
+	group    [][]Value
+}
+
+func (c *evalCtx) withRow(row []Value) *evalCtx {
+	cp := *c
+	cp.row = row
+	return &cp
+}
+
+// lookup resolves a column reference against the bindings.
+func (c *evalCtx) lookup(table, col string) (Value, error) {
+	for i, b := range c.bindings {
+		if !strings.EqualFold(b.col, col) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(b.alias, table) {
+			continue
+		}
+		return c.row[i], nil
+	}
+	// The paper's Listing 4 uses a bare "now" pseudo-column; bind it to
+	// a fixed epoch so the template queries execute.
+	if table == "" && strings.EqualFold(col, "now") {
+		return Num(0), nil
+	}
+	if table != "" {
+		return Value{}, fmt.Errorf("engine: unknown column %s.%s", table, col)
+	}
+	return Value{}, fmt.Errorf("engine: unknown column %s", col)
+}
+
+// aggregateNames are the aggregate functions the executor understands.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// hasAggregate reports whether the expression contains an aggregate
+// function call.
+func hasAggregate(n *ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Type == ast.TypeFuncExpr {
+		if name := n.Child(0).Value(); aggregateNames[name] {
+			return true
+		}
+	}
+	if n.Type == ast.TypeSubQuery {
+		return false // aggregates inside a subquery belong to it
+	}
+	for _, ch := range n.Children {
+		if hasAggregate(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// eval evaluates an expression node to a value.
+func (c *evalCtx) eval(n *ast.Node) (Value, error) {
+	switch n.Type {
+	case ast.TypeNumExpr:
+		f, ok := numericLiteral(n)
+		if !ok {
+			return Value{}, fmt.Errorf("engine: bad numeric literal %q", n.Value())
+		}
+		return Num(f), nil
+	case ast.TypeStrExpr:
+		return Str(n.Value()), nil
+	case ast.TypeBoolExpr:
+		return Boolean(strings.EqualFold(n.Value(), "true")), nil
+	case ast.TypeNullExpr:
+		return Null(), nil
+	case ast.TypeColExpr:
+		return c.lookup(n.Attr("table"), n.Value())
+	case ast.TypeParen:
+		return c.eval(n.Child(0))
+	case ast.TypeUniExpr:
+		return c.evalUnary(n)
+	case ast.TypeBiExpr:
+		return c.evalBinary(n)
+	case ast.TypeFuncExpr:
+		return c.evalFunc(n)
+	case ast.TypeCastExpr:
+		return c.evalCast(n)
+	case ast.TypeCaseExpr:
+		return c.evalCase(n)
+	case ast.TypeInExpr:
+		return c.evalIn(n)
+	case ast.TypeBetween:
+		return c.evalBetween(n)
+	case ast.TypeSubQuery:
+		return c.evalScalarSubquery(n)
+	}
+	return Value{}, fmt.Errorf("engine: cannot evaluate %s node", n.Type)
+}
+
+func (c *evalCtx) evalUnary(n *ast.Node) (Value, error) {
+	v, err := c.eval(n.Child(0))
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Attr("op") {
+	case "not":
+		if v.IsNull() {
+			return Null(), nil
+		}
+		return Boolean(!v.Truthy()), nil
+	case "-":
+		f, ok := v.AsNumber()
+		if !ok {
+			return Value{}, fmt.Errorf("engine: unary minus on non-number %s", v)
+		}
+		return Num(-f), nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown unary op %q", n.Attr("op"))
+}
+
+func (c *evalCtx) evalBinary(n *ast.Node) (Value, error) {
+	op := n.Attr("op")
+	// Short-circuit logical operators.
+	switch op {
+	case "and":
+		l, err := c.eval(n.Child(0))
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.Truthy() {
+			return Boolean(false), nil
+		}
+		r, err := c.eval(n.Child(1))
+		if err != nil {
+			return Value{}, err
+		}
+		return Boolean(r.Truthy()), nil
+	case "or":
+		l, err := c.eval(n.Child(0))
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Truthy() {
+			return Boolean(true), nil
+		}
+		r, err := c.eval(n.Child(1))
+		if err != nil {
+			return Value{}, err
+		}
+		return Boolean(r.Truthy()), nil
+	}
+	l, err := c.eval(n.Child(0))
+	if err != nil {
+		return Value{}, err
+	}
+	// IS [NOT] NULL before generic rhs evaluation (rhs is NullExpr).
+	switch op {
+	case "is":
+		return Boolean(l.IsNull()), nil
+	case "is not":
+		return Boolean(!l.IsNull()), nil
+	}
+	r, err := c.eval(n.Child(1))
+	if err != nil {
+		return Value{}, err
+	}
+	switch op {
+	case "=":
+		return Boolean(Equal(l, r)), nil
+	case "<>", "!=":
+		if l.IsNull() || r.IsNull() {
+			return Boolean(false), nil
+		}
+		return Boolean(!Equal(l, r)), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Boolean(false), nil
+		}
+		cmp := Compare(l, r)
+		switch op {
+		case "<":
+			return Boolean(cmp < 0), nil
+		case "<=":
+			return Boolean(cmp <= 0), nil
+		case ">":
+			return Boolean(cmp > 0), nil
+		default:
+			return Boolean(cmp >= 0), nil
+		}
+	case "like", "not like":
+		res := Like(l.String(), r.String())
+		if op == "not like" {
+			res = !res
+		}
+		return Boolean(res), nil
+	case "+", "-", "*", "/", "%":
+		lf, ok1 := l.AsNumber()
+		rf, ok2 := r.AsNumber()
+		if !ok1 || !ok2 {
+			return Value{}, fmt.Errorf("engine: arithmetic on non-numbers %s %s %s", l, op, r)
+		}
+		switch op {
+		case "+":
+			return Num(lf + rf), nil
+		case "-":
+			return Num(lf - rf), nil
+		case "*":
+			return Num(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return Null(), nil
+			}
+			return Num(lf / rf), nil
+		default:
+			if rf == 0 {
+				return Null(), nil
+			}
+			return Num(math.Mod(lf, rf)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("engine: unknown binary op %q", op)
+}
+
+func (c *evalCtx) evalFunc(n *ast.Node) (Value, error) {
+	name := n.Child(0).Value()
+	if aggregateNames[name] {
+		return c.evalAggregate(n)
+	}
+	args := make([]Value, 0, len(n.Children)-1)
+	for _, a := range n.Children[1:] {
+		v, err := c.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args = append(args, v)
+	}
+	arity := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("engine: %s expects %d args, got %d", name, k, len(args))
+		}
+		return nil
+	}
+	num1 := func(f func(float64) float64) (Value, error) {
+		if err := arity(1); err != nil {
+			return Value{}, err
+		}
+		x, ok := args[0].AsNumber()
+		if !ok {
+			return Null(), nil
+		}
+		return Num(f(x)), nil
+	}
+	switch name {
+	case "floor":
+		return num1(math.Floor)
+	case "ceil", "ceiling":
+		return num1(math.Ceil)
+	case "abs":
+		return num1(math.Abs)
+	case "round":
+		return num1(math.Round)
+	case "sqrt":
+		return num1(math.Sqrt)
+	case "upper":
+		if err := arity(1); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToUpper(args[0].String())), nil
+	case "lower":
+		if err := arity(1); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToLower(args[0].String())), nil
+	case "length", "len":
+		if err := arity(1); err != nil {
+			return Value{}, err
+		}
+		return Num(float64(len(args[0].String()))), nil
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null(), nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown function %q", name)
+}
+
+// evalAggregate computes an aggregate over the current group.
+func (c *evalCtx) evalAggregate(n *ast.Node) (Value, error) {
+	if c.group == nil {
+		return Value{}, fmt.Errorf("engine: aggregate %s outside grouping context", n.Child(0).Value())
+	}
+	name := n.Child(0).Value()
+	distinct := n.Attr("distinct") == "true"
+	// COUNT(*) counts rows.
+	if name == "count" && (n.NumChildren() == 1 || n.Child(1).Type == ast.TypeStarExpr) {
+		return Num(float64(len(c.group))), nil
+	}
+	if n.NumChildren() < 2 {
+		return Value{}, fmt.Errorf("engine: aggregate %s needs an argument", name)
+	}
+	arg := n.Child(1)
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range c.group {
+		v, err := c.withRow(row).evalNonAgg(arg)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch name {
+	case "count":
+		return Num(float64(len(vals))), nil
+	case "sum", "avg":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		s := 0.0
+		for _, v := range vals {
+			f, ok := v.AsNumber()
+			if !ok {
+				return Value{}, fmt.Errorf("engine: %s over non-numeric value %s", name, v)
+			}
+			s += f
+		}
+		if name == "avg" {
+			return Num(s / float64(len(vals))), nil
+		}
+		return Num(s), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp := Compare(v, best)
+			if (name == "min" && cmp < 0) || (name == "max" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown aggregate %q", name)
+}
+
+// evalNonAgg evaluates an expression in a per-row context (aggregates
+// are not allowed; used for aggregate arguments).
+func (c *evalCtx) evalNonAgg(n *ast.Node) (Value, error) {
+	cp := *c
+	cp.group = nil
+	return cp.eval(n)
+}
+
+func (c *evalCtx) evalCast(n *ast.Node) (Value, error) {
+	v, err := c.eval(n.Child(0))
+	if err != nil {
+		return Value{}, err
+	}
+	switch strings.ToLower(n.Attr("as")) {
+	case "": // the ad-hoc log's single-argument CAST is the identity
+		return v, nil
+	case "int", "integer", "bigint":
+		f, ok := v.AsNumber()
+		if !ok {
+			return Null(), nil
+		}
+		return Num(math.Trunc(f)), nil
+	case "float", "real", "double":
+		f, ok := v.AsNumber()
+		if !ok {
+			return Null(), nil
+		}
+		return Num(f), nil
+	case "varchar", "char", "text", "string":
+		return Str(v.String()), nil
+	}
+	return v, nil
+}
+
+func (c *evalCtx) evalCase(n *ast.Node) (Value, error) {
+	var operand *Value
+	idx := 0
+	if n.NumChildren() > 0 && n.Child(0).Type != ast.TypeWhenClause && n.Child(0).Type != ast.TypeElseClause {
+		v, err := c.eval(n.Child(0))
+		if err != nil {
+			return Value{}, err
+		}
+		operand = &v
+		idx = 1
+	}
+	for ; idx < n.NumChildren(); idx++ {
+		ch := n.Child(idx)
+		switch ch.Type {
+		case ast.TypeWhenClause:
+			cond, err := c.eval(ch.Child(0))
+			if err != nil {
+				return Value{}, err
+			}
+			matched := false
+			if operand != nil {
+				matched = Equal(*operand, cond)
+			} else {
+				matched = cond.Truthy()
+			}
+			if matched {
+				return c.eval(ch.Child(1))
+			}
+		case ast.TypeElseClause:
+			return c.eval(ch.Child(0))
+		}
+	}
+	return Null(), nil
+}
+
+func (c *evalCtx) evalIn(n *ast.Node) (Value, error) {
+	needle, err := c.eval(n.Child(0))
+	if err != nil {
+		return Value{}, err
+	}
+	neg := n.Attr("not") == "true"
+	found := false
+	if n.NumChildren() == 2 && n.Child(1).Type == ast.TypeSubQuery {
+		tbl, err := Exec(c.db, n.Child(1).Child(0))
+		if err != nil {
+			return Value{}, err
+		}
+		for _, row := range tbl.Rows {
+			if len(row) > 0 && Equal(needle, row[0]) {
+				found = true
+				break
+			}
+		}
+	} else {
+		for _, item := range n.Children[1:] {
+			v, err := c.eval(item)
+			if err != nil {
+				return Value{}, err
+			}
+			if Equal(needle, v) {
+				found = true
+				break
+			}
+		}
+	}
+	return Boolean(found != neg), nil
+}
+
+func (c *evalCtx) evalBetween(n *ast.Node) (Value, error) {
+	v, err := c.eval(n.Child(0))
+	if err != nil {
+		return Value{}, err
+	}
+	lo, err := c.eval(n.Child(1))
+	if err != nil {
+		return Value{}, err
+	}
+	hi, err := c.eval(n.Child(2))
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return Boolean(false), nil
+	}
+	in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+	if n.Attr("not") == "true" {
+		in = !in
+	}
+	return Boolean(in), nil
+}
+
+func (c *evalCtx) evalScalarSubquery(n *ast.Node) (Value, error) {
+	tbl, err := Exec(c.db, n.Child(0))
+	if err != nil {
+		return Value{}, err
+	}
+	if len(tbl.Rows) == 0 || len(tbl.Rows[0]) == 0 {
+		return Null(), nil
+	}
+	return tbl.Rows[0][0], nil
+}
+
+// numericLiteral parses a NumExpr (decimal or hex).
+func numericLiteral(n *ast.Node) (float64, bool) {
+	v := n.Value()
+	if n.Attr("fmt") == "hex" || strings.HasPrefix(v, "0x") || strings.HasPrefix(v, "0X") {
+		var f float64
+		_, err := fmt.Sscanf(strings.ToLower(v), "0x%x", new(uint64))
+		if err != nil {
+			return 0, false
+		}
+		var u uint64
+		fmt.Sscanf(strings.ToLower(v), "0x%x", &u)
+		f = float64(u)
+		return f, true
+	}
+	var f float64
+	if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+func joinDB() *DB {
+	db := NewDB()
+	emp := NewTable("emp", "id", "name", "dept")
+	emp.MustAddRow(Num(1), Str("ann"), Num(10))
+	emp.MustAddRow(Num(2), Str("bob"), Num(20))
+	emp.MustAddRow(Num(3), Str("cyd"), Num(99)) // no matching dept
+	db.AddTable(emp)
+	dept := NewTable("dept", "did", "dname")
+	dept.MustAddRow(Num(10), Str("eng"))
+	dept.MustAddRow(Num(20), Str("ops"))
+	dept.MustAddRow(Num(30), Str("hr")) // no matching emp
+	db.AddTable(dept)
+	return db
+}
+
+func TestInnerJoin(t *testing.T) {
+	res := exec(t, joinDB(),
+		"SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept = d.did ORDER BY e.name")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str != "ann" || res.Rows[0][1].Str != "eng" {
+		t.Fatalf("first row = %v", res.Rows[0])
+	}
+}
+
+func TestInnerJoinKeywordVariant(t *testing.T) {
+	a := exec(t, joinDB(),
+		"SELECT e.name FROM emp e JOIN dept d ON e.dept = d.did")
+	b := exec(t, joinDB(),
+		"SELECT e.name FROM emp e INNER JOIN dept d ON e.dept = d.did")
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("JOIN and INNER JOIN disagree: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+}
+
+func TestLeftJoinPadsNulls(t *testing.T) {
+	res := exec(t, joinDB(),
+		"SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.dept = d.did ORDER BY e.name")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// cyd has no department: dname is NULL.
+	last := res.Rows[2]
+	if last[0].Str != "cyd" || !last[1].IsNull() {
+		t.Fatalf("unmatched row = %v", last)
+	}
+	// LEFT OUTER JOIN is the same thing.
+	res2 := exec(t, joinDB(),
+		"SELECT e.name FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.did")
+	if len(res2.Rows) != 3 {
+		t.Fatalf("LEFT OUTER rows = %d", len(res2.Rows))
+	}
+}
+
+func TestJoinChain(t *testing.T) {
+	db := joinDB()
+	loc := NewTable("loc", "ldept", "city")
+	loc.MustAddRow(Num(10), Str("nyc"))
+	loc.MustAddRow(Num(20), Str("sfo"))
+	db.AddTable(loc)
+	res := exec(t, db,
+		"SELECT e.name, l.city FROM emp e JOIN dept d ON e.dept = d.did JOIN loc l ON d.did = l.ldept ORDER BY e.name")
+	if len(res.Rows) != 2 || res.Rows[0][1].Str != "nyc" {
+		t.Fatalf("chained join rows = %v", res.Rows)
+	}
+}
+
+func TestJoinMixedWithComma(t *testing.T) {
+	// A comma item next to a join chain (cross product of the two).
+	res := exec(t, joinDB(),
+		"SELECT COUNT(*) FROM dept, emp e JOIN dept d ON e.dept = d.did")
+	// 3 depts × 2 matched join rows = 6.
+	if res.Rows[0][0].Num != 6 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"SELECT e.name FROM emp e JOIN dept d ON e.dept = d.did",
+		"SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did WHERE e.id > 1",
+		"SELECT a FROM t1 JOIN t2 ON t1.x = t2.y JOIN t3 ON t2.y = t3.z",
+	} {
+		first, err := sqlparser.Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		second, err := sqlparser.Parse(ast.SQL(first))
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", ast.SQL(first), err)
+		}
+		if !ast.Equal(first, second) {
+			t.Fatalf("round trip changed %q:\n%s\n%s", q, first, second)
+		}
+	}
+}
+
+func TestJoinOnErrorPropagates(t *testing.T) {
+	if _, err := Exec(joinDB(), sqlparser.MustParse(
+		"SELECT e.name FROM emp e JOIN dept d ON e.nosuch = d.did")); err == nil {
+		t.Fatal("bad ON column must error")
+	}
+}

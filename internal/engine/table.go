@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is an in-memory relation: named columns over rows of values.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]Value
+}
+
+// NewTable returns an empty table with the given columns.
+func NewTable(name string, cols ...string) *Table {
+	return &Table{Name: name, Cols: cols}
+}
+
+// AddRow appends a row; the value count must match the column count.
+func (t *Table) AddRow(vals ...Value) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("engine: table %s has %d columns, row has %d", t.Name, len(t.Cols), len(vals))
+	}
+	t.Rows = append(t.Rows, vals)
+	return nil
+}
+
+// MustAddRow is AddRow that panics; for dataset builders with constant
+// shapes.
+func (t *Table) MustAddRow(vals ...Value) {
+	if err := t.AddRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// ColIndex returns the index of a column (case-insensitive), or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TableFunc is a table-valued function (e.g. the SDSS fGetNearbyObjEq
+// UDF): it maps argument values to a relation.
+type TableFunc func(args []Value) (*Table, error)
+
+// DB is the catalog: named tables and table-valued functions.
+type DB struct {
+	tables map[string]*Table
+	funcs  map[string]TableFunc
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}, funcs: map[string]TableFunc{}}
+}
+
+// AddTable registers a table (name matching is case-insensitive).
+func (db *DB) AddTable(t *Table) { db.tables[strings.ToLower(t.Name)] = t }
+
+// Table looks up a table by (possibly qualified) name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		// Accept the final path component of qualified names (dbo.X).
+		parts := strings.Split(name, ".")
+		t, ok = db.tables[strings.ToLower(parts[len(parts)-1])]
+	}
+	return t, ok
+}
+
+// AddFunc registers a table-valued function.
+func (db *DB) AddFunc(name string, fn TableFunc) { db.funcs[strings.ToLower(name)] = fn }
+
+// Func looks up a table-valued function by (possibly qualified) name.
+func (db *DB) Func(name string) (TableFunc, bool) {
+	f, ok := db.funcs[strings.ToLower(name)]
+	if !ok {
+		parts := strings.Split(name, ".")
+		f, ok = db.funcs[strings.ToLower(parts[len(parts)-1])]
+	}
+	return f, ok
+}
+
+// TableNames lists registered tables in sorted order.
+func (db *DB) TableNames() []string {
+	var out []string
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render returns the table as an aligned ASCII grid — the render()
+// fallback of §3.3 ("renders a table").
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.String()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(v)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(v)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

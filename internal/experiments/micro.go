@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/qlog"
+	"repro/internal/sqlparser"
+	"repro/internal/treediff"
+	"repro/internal/widgets"
+)
+
+// runTable1 reproduces Table 1: the diffs records between the two
+// Figure 3 queries, with paths, subtrees and types.
+func runTable1(w io.Writer) error {
+	q1 := sqlparser.MustParse("SELECT cty, sales FROM T WHERE cty = 'USA'")
+	q2 := sqlparser.MustParse("SELECT cty, costs FROM T WHERE cty = 'EUR'")
+	res := treediff.Compare(q1, q2)
+	tb := newTable("d", "q1", "q2", "p", "t1", "t2", "type")
+	name := func(d treediff.Diff) (string, string) {
+		l, r := "null", "null"
+		if d.Left != nil {
+			l = d.Left.String()
+			if len(l) > 30 {
+				l = d.Left.Type + "(...)"
+			}
+		}
+		if d.Right != nil {
+			r = d.Right.String()
+			if len(r) > 30 {
+				r = d.Right.Type + "(...)"
+			}
+		}
+		return l, r
+	}
+	i := 1
+	for _, d := range res.Leaves {
+		l, r := name(d)
+		tb.add(fmt.Sprintf("d%d", i), 1, 2, d.Path.String(), l, r, d.Kind().String())
+		i++
+	}
+	for _, d := range res.Ancestors {
+		l, r := name(d)
+		tb.add(fmt.Sprintf("d%d", i), 1, 2, d.Path.String(), l, r, d.Kind().String())
+		i++
+	}
+	tb.write(w)
+	return nil
+}
+
+// runExample44 fits widget cost functions from synthetic timing traces
+// and prints them next to the paper's published constants.
+func runExample44(w io.Writer) error {
+	tb := newTable("widget", "paper constants", "fit from synthetic traces")
+	sizes := []int{2, 3, 5, 8, 13, 21, 34, 55}
+	cases := []struct {
+		name              string
+		paper             widgets.CostFunc
+		base, scan, crowd float64
+	}{
+		{"drop-down", widgets.Dropdown.Cost, 276, 125, 0.07},
+		{"textbox", widgets.Textbox.Cost, 4790, 0, 0},
+		{"slider", widgets.Slider.Cost, 320, 10, 0},
+		{"radio-button", widgets.RadioButton.Cost, 200, 160, 0.1},
+	}
+	for _, c := range cases {
+		traces := widgets.SynthesizeTraces(c.base, c.scan, c.crowd, sizes, 5)
+		fit, err := widgets.FitCost(traces)
+		if err != nil {
+			return err
+		}
+		tb.add(c.name, c.paper.String(), fit.String())
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (the shipped library uses the paper constants; the fit shows the procedure)")
+	return nil
+}
+
+// listing4Log is the Figure 5a input: a complex templated query whose
+// customer name and subquery offset change.
+func listing4Log() *qlog.Log {
+	tmpl := "SELECT spec_ts, sum(price) FROM (SELECT action, sum(customer) FROM t " +
+		"WHERE spec_ts > now AND spec_ts < now + %OFF%) " +
+		"WHERE cust = '%NAME%' AND country = 'China' GROUP BY spec_ts"
+	names := []string{"Alice", "Bob", "Carol"}
+	offs := []string{"3", "9", "5", "7"}
+	l := &qlog.Log{}
+	for i := 0; i < 8; i++ {
+		q := strings.ReplaceAll(tmpl, "%NAME%", names[i%3])
+		q = strings.ReplaceAll(q, "%OFF%", offs[i%4])
+		l.Append(q, "fig5a")
+	}
+	return l
+}
+
+func runFig5a(w io.Writer) error { return microWidgets(w, listing4Log(), true) }
+
+func runFig5b(w io.Writer) error {
+	return microWidgets(w, qlog.FromSQL(
+		"SELECT avg(a)", "SELECT count(b)", "SELECT count(c)"), true)
+}
+
+func runFig5c(w io.Writer) error {
+	return microWidgets(w, qlog.FromSQL(
+		"SELECT avg(a)", "SELECT count(b)", "SELECT count(c)",
+		"SELECT avg(b)", "SELECT count(a)", "SELECT avg(c)",
+		"SELECT avg(d)", "SELECT avg(e)", "SELECT count(d)", "SELECT count(e)"), true)
+}
+
+func runFig5d(w io.Writer) error {
+	return microWidgets(w, qlog.FromSQL(
+		"SELECT g.objID FROM Galaxy as g, dbo.fGetNearbyObjEq(5.848,0.352,2.0616) as d WHERE d.objID = g.objID",
+		"SELECT TOP 1 g.objID FROM Galaxy as g, dbo.fGetNearbyObjEq(5.848,0.352,2.0616) as d WHERE d.objID = g.objID",
+		"SELECT TOP 10 g.objID FROM Galaxy as g, dbo.fGetNearbyObjEq(5.848,0.352,2.0616) as d WHERE d.objID = g.objID"), false)
+}
+
+func runFig5e(w io.Writer) error {
+	return microWidgets(w, qlog.FromSQL(
+		"SELECT * FROM T",
+		"SELECT * FROM (SELECT a FROM T WHERE b > 10)",
+		"SELECT * FROM (SELECT a FROM T WHERE b > 20)",
+		"SELECT * FROM (SELECT b FROM T WHERE b > 20)"), false)
+}
+
+// microWidgets generates an interface for a micro-log and prints its
+// widgets and log expressiveness.
+func microWidgets(w io.Writer, l *qlog.Log, allPairs bool) error {
+	iface, err := generate(l, allPairs)
+	if err != nil {
+		return err
+	}
+	tb := newTable("widget", "path", "|domain|", "domain")
+	describeWidgets(tb, iface)
+	tb.write(w)
+	queries, err := l.Parse()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  cost=%.0f  expressiveness over log=%.0f%%  closure(distinct, cap 1000)=%d\n",
+		iface.Cost(), iface.Expressiveness(queries)*100, iface.ClosureSize(1000))
+	return nil
+}
+

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/interaction"
+	"repro/internal/qlog"
+	"repro/internal/workload"
+)
+
+// recallOpts is the mining configuration for the generalization
+// experiments: the paper's default sliding window of 2 with LCA
+// pruning. On these structured logs consecutive queries change one
+// thing at a time, so windowed mining yields the fine-grained widgets
+// of Figures 6b/6d; all-pairs mining would accumulate whole-clause
+// ancestor domains from distant query pairs and collapse them into one
+// coarse widget (see BenchmarkAblationWindow).
+func recallOpts() core.Options {
+	return core.Options{Miner: interaction.Options{WindowSize: 2, LCAPrune: true}}
+}
+
+var trainingSizes = []int{1, 2, 5, 10, 20, 30, 50, 75, 100}
+
+// runFig6a: nine SDSS client logs, 100 hold-out queries each, training
+// on 1..100 prefix queries.
+func runFig6a(w io.Writer) error {
+	archs := []workload.Archetype{
+		workload.Lookup, workload.Lookup, workload.Lookup,
+		workload.Radial, workload.Radial,
+		workload.Filter, workload.Filter,
+		workload.SlowBurn, // the C5-like client
+		workload.Lookup,
+	}
+	tb := newTable(append([]string{"client"}, sizeHeaders()...)...)
+	for i, a := range archs {
+		l := workload.SDSSClient(a, int64(100+i*13), 200)
+		train, hold := l.Split(100)
+		holdQ, err := hold.Parse()
+		if err != nil {
+			return err
+		}
+		curve, err := recallCurve(train, holdQ, trainingSizes, recallOpts())
+		if err != nil {
+			return err
+		}
+		row := []any{fmt.Sprintf("C%d(%s)", i+1, a)}
+		for _, r := range curve {
+			row = append(row, fmt.Sprintf("%.2f", r))
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper: ~10 queries suffice for most clients; 50 reach 100%; the slow-burn client climbs slowly)")
+	return nil
+}
+
+func sizeHeaders() []string {
+	out := make([]string, len(trainingSizes))
+	for i, n := range trainingSizes {
+		out[i] = fmt.Sprintf("n=%d", n)
+	}
+	return out
+}
+
+// runFig6b: the interface generated for a C1-style lookup client.
+func runFig6b(w io.Writer) error {
+	l := workload.SDSSClient(workload.Lookup, 100, 100)
+	iface, err := core.Generate(l, recallOpts())
+	if err != nil {
+		return err
+	}
+	tb := newTable("widget", "path", "|domain|", "domain")
+	describeWidgets(tb, iface)
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper Fig 6b: widgets to change the table, attribute name, and a slider for the numeric id)")
+	return nil
+}
+
+// runFig6c: recall curves for the synthetic OLAP log and the ad-hoc
+// student log.
+func runFig6c(w io.Writer) error {
+	tb := newTable(append([]string{"log"}, sizeHeaders()...)...)
+	for _, c := range []struct {
+		name string
+		l    *qlog.Log
+	}{
+		{"OLAP", workload.OLAPLog(200, 41)},
+		{"ad-hoc", workload.AdhocLog(200, 43)},
+	} {
+		train, hold := c.l.Split(100)
+		holdQ, err := hold.Parse()
+		if err != nil {
+			return err
+		}
+		curve, err := recallCurve(train, holdQ, trainingSizes, recallOpts())
+		if err != nil {
+			return err
+		}
+		row := []any{c.name}
+		for _, r := range curve {
+			row = append(row, fmt.Sprintf("%.2f", r))
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper: OLAP climbs slower than SDSS but converges; ad-hoc plateaus around 20%)")
+	return nil
+}
+
+// runFig6d: the interface generated from the first 100 OLAP queries.
+func runFig6d(w io.Writer) error {
+	l := workload.OLAPLog(100, 41)
+	iface, err := core.Generate(l, recallOpts())
+	if err != nil {
+		return err
+	}
+	tb := newTable("widget", "path", "|domain|", "domain")
+	describeWidgets(tb, iface)
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper Fig 6d: drop-downs for aggregation/grouping changes, sliders for predicates)")
+	return nil
+}
+
+// multiClientLogs returns M genuinely heterogeneous client logs of 200
+// queries each (distinct archetypes and vocabulary variants, §7.2.3).
+func multiClientLogs(m int, seed int64) []*qlog.Log {
+	return workload.HeterogeneousClients(m, 200, seed)
+}
+
+// multiOpts mines all pairs: in a round-robin interleaved log the
+// paper's window=2 would only ever compare queries from different
+// clients, so the heterogeneity experiments need the unwindowed miner.
+func multiOpts() core.Options {
+	return core.Options{Miner: interaction.Options{WindowSize: 0, LCAPrune: true}}
+}
+
+// runFig7a: interleave M clients, vary the TOTAL number of training
+// queries; recall rises slowly because each client contributes few
+// examples.
+func runFig7a(w io.Writer) error {
+	totals := []int{5, 10, 20, 40, 60, 80, 100}
+	head := []string{"M"}
+	for _, n := range totals {
+		head = append(head, fmt.Sprintf("n=%d", n))
+	}
+	tb := newTable(head...)
+	for _, m := range []int{1, 3, 5, 8} {
+		mixed := qlog.Interleave(multiClientLogs(m, 500)...)
+		train, hold := mixed.Split(mixed.Len() - 50)
+		holdQ, err := hold.Parse()
+		if err != nil {
+			return err
+		}
+		curve, err := recallCurve(train, holdQ, totals, multiOpts())
+		if err != nil {
+			return err
+		}
+		row := []any{m}
+		for _, r := range curve {
+			row = append(row, fmt.Sprintf("%.2f", r))
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper Fig 7a: recall increases slowly for heterogeneous logs at fixed total training)")
+	return nil
+}
+
+// runFig7b: vary the number of training queries PER CLIENT; each client
+// is simple, so recall rises as fast as the single-client case.
+func runFig7b(w io.Writer) error {
+	perClient := []int{1, 2, 5, 10, 20, 40}
+	head := []string{"M"}
+	for _, n := range perClient {
+		head = append(head, fmt.Sprintf("n/client=%d", n))
+	}
+	tb := newTable(head...)
+	for _, m := range []int{1, 3, 5, 8} {
+		clients := multiClientLogs(m, 500)
+		// Holdout: 50 queries interleaved from the tails of all clients
+		// so every client is represented.
+		var tails []*qlog.Log
+		for _, c := range clients {
+			tails = append(tails, c.Slice(150, 200))
+		}
+		holdLog := qlog.Interleave(tails...).Slice(0, 50)
+		holdQ, err := holdLog.Parse()
+		if err != nil {
+			return err
+		}
+		row := []any{m}
+		for _, n := range perClient {
+			var trains []*qlog.Log
+			for _, c := range clients {
+				trains = append(trains, c.Slice(0, n))
+			}
+			train := qlog.Interleave(trains...)
+			iface, err := core.Generate(train, multiOpts())
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", iface.Recall(holdQ)))
+		}
+		tb.add(row...)
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper Fig 7b: recall rises rapidly when each client gets its own training examples)")
+	return nil
+}
+
+// crossClientRecall computes the 22x22 recall matrix shared by Figures
+// 7c, 9 and 10. The computation is deterministic, so it is memoized
+// across the three figures.
+var crossClientCache struct {
+	once   sync.Once
+	matrix [][]float64
+	names  []string
+	err    error
+}
+
+func crossClientRecall() ([][]float64, []string, error) {
+	crossClientCache.once.Do(func() {
+		crossClientCache.matrix, crossClientCache.names, crossClientCache.err = computeCrossClientRecall()
+	})
+	return crossClientCache.matrix, crossClientCache.names, crossClientCache.err
+}
+
+func computeCrossClientRecall() ([][]float64, []string, error) {
+	const m = 22
+	clients := workload.SDSSClients(m, 100, 900)
+	names := make([]string, m)
+	ifaces := make([]*core.Interface, m)
+	queries := make([][]*ast.Node, m)
+	for i, c := range clients {
+		names[i] = fmt.Sprintf("C%02d", i+1)
+		var err error
+		ifaces[i], err = core.Generate(c, recallOpts())
+		if err != nil {
+			return nil, nil, err
+		}
+		queries[i], err = c.Parse()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	matrix := make([][]float64, m)
+	for i := range matrix {
+		matrix[i] = make([]float64, m)
+		for j := range matrix[i] {
+			matrix[i][j] = ifaces[i].Recall(queries[j])
+		}
+	}
+	return matrix, names, nil
+}
+
+// runFig7c: per training client, count hold-out clients with recall > 0.5.
+func runFig7c(w io.Writer) error {
+	matrix, _, err := crossClientRecall()
+	if err != nil {
+		return err
+	}
+	counts := map[int]int{} // benefited-clients -> #training clients
+	for i := range matrix {
+		n := 0
+		for j := range matrix[i] {
+			if i != j && matrix[i][j] > 0.5 {
+				n++
+			}
+		}
+		counts[n]++
+	}
+	tb := newTable("#hold-out clients with recall>0.5", "#training clients")
+	max := 0
+	for k := range counts {
+		if k > max {
+			max = k
+		}
+	}
+	for k := 0; k <= max; k++ {
+		if counts[k] > 0 {
+			tb.add(k, counts[k])
+		}
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  (paper Fig 7c: most interfaces benefit >=1 other client; 7 interfaces express 6 others)")
+	return nil
+}
+
+// runFig9: the full pairwise recall matrix.
+func runFig9(w io.Writer) error {
+	matrix, names, err := crossClientRecall()
+	if err != nil {
+		return err
+	}
+	head := append([]string{"train\\hold"}, names...)
+	tb := newTable(head...)
+	for i, row := range matrix {
+		cells := []any{names[i]}
+		for _, v := range row {
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+		}
+		tb.add(cells...)
+	}
+	tb.write(w)
+	return nil
+}
+
+// runFig10: histogram of off-diagonal recall values (bimodal).
+func runFig10(w io.Writer) error {
+	matrix, _, err := crossClientRecall()
+	if err != nil {
+		return err
+	}
+	bins := make([]int, 11)
+	for i := range matrix {
+		for j := range matrix[i] {
+			if i == j {
+				continue
+			}
+			b := int(matrix[i][j] * 10)
+			if b > 10 {
+				b = 10
+			}
+			bins[b]++
+		}
+	}
+	tb := newTable("recall bin", "count")
+	for b, n := range bins {
+		lo := float64(b) / 10
+		tb.add(fmt.Sprintf("[%.1f, %.1f)", lo, lo+0.1), n)
+	}
+	tb.write(w)
+	lowHigh := bins[0] + bins[10]
+	total := 0
+	for _, n := range bins {
+		total += n
+	}
+	fmt.Fprintf(w, "  bimodality: %d/%d of mass in the extreme bins (paper: recall is 0 or 1)\n", lowHigh, total)
+	return nil
+}

@@ -1,0 +1,117 @@
+package htmlgen
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interaction"
+	"repro/internal/qlog"
+)
+
+func buildIface(t *testing.T, sqls ...string) *core.Interface {
+	t.Helper()
+	iface, err := core.Generate(qlog.FromSQL(sqls...), core.Options{
+		Miner: interaction.Options{WindowSize: 0, LCAPrune: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iface
+}
+
+func TestCompileContainsWidgetsAndState(t *testing.T) {
+	iface := buildIface(t,
+		"SELECT a FROM t WHERE x = 1 AND name = 'p'",
+		"SELECT a FROM t WHERE x = 2 AND name = 'q'",
+		"SELECT a FROM t WHERE x = 9 AND name = 'r'",
+		"SELECT a FROM t WHERE x = 4 AND name = 'p'",
+		"SELECT a FROM t WHERE x = 7 AND name = 'q'",
+	)
+	page, err := Compile(iface, "Test Interface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, "<title>Test Interface</title>") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(page, "type=\"range\"") {
+		t.Fatal("numeric widget should render a range input")
+	}
+	if !strings.Contains(page, "PI_STATE") || !strings.Contains(page, "\"initial\"") {
+		t.Fatal("missing embedded state")
+	}
+	// The embedded state must be valid JSON.
+	m := regexp.MustCompile(`const PI_STATE = (\{.*?\});\n`).FindStringSubmatch(page)
+	if m == nil {
+		t.Fatal("PI_STATE not found")
+	}
+	var state map[string]any
+	if err := json.Unmarshal([]byte(m[1]), &state); err != nil {
+		t.Fatalf("PI_STATE not valid JSON: %v", err)
+	}
+	if _, ok := state["widgets"]; !ok {
+		t.Fatal("state missing widgets")
+	}
+	if sqlStr, _ := state["initSql"].(string); !strings.Contains(sqlStr, "SELECT a FROM t") {
+		t.Fatalf("initSql = %q", sqlStr)
+	}
+}
+
+func TestCompileEscapesHTML(t *testing.T) {
+	iface := buildIface(t,
+		"SELECT a FROM t WHERE name = '<script>alert(1)</script>'",
+		"SELECT a FROM t WHERE name = 'b'",
+		"SELECT a FROM t WHERE name = 'c'",
+	)
+	page, err := Compile(iface, "<script>bad</script>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(page, "<script>alert(1)</script>") ||
+		strings.Contains(page, "<title><script>") {
+		t.Fatal("unescaped user content in page")
+	}
+}
+
+func TestCompileEveryWidgetKind(t *testing.T) {
+	cases := []struct {
+		frag string
+		log  []string
+	}{
+		{"type=\"range\"", []string{ // slider: numeric literal changes
+			"SELECT * FROM SpecLineIndex WHERE specObjId = 0x400",
+			"SELECT * FROM SpecLineIndex WHERE specObjId = 0x199",
+			"SELECT * FROM SpecLineIndex WHERE specObjId = 0x3"}},
+		{"<button", []string{ // toggle: two-option table change
+			"SELECT * FROM SpecLineIndex WHERE specObjId = 0x400",
+			"SELECT * FROM XCRedshift WHERE specObjId = 0x400"}},
+		{"<select", []string{ // drop-down: 3-option string domain
+			"SELECT ew FROM SpecLineIndex WHERE name = 'a'",
+			"SELECT ew FROM SpecLineIndex WHERE name = 'b'",
+			"SELECT ew FROM SpecLineIndex WHERE name = 'c'"}},
+	}
+	for _, c := range cases {
+		iface := buildIface(t, c.log...)
+		page, err := Compile(iface, "SDSS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(page, c.frag) {
+			t.Errorf("page missing %s\nwidgets: %v", c.frag, iface.Widgets)
+		}
+	}
+}
+
+func TestEmptyInterfaceCompiles(t *testing.T) {
+	iface := buildIface(t, "SELECT a FROM t")
+	page, err := Compile(iface, "Empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, "PI_STATE") {
+		t.Fatal("page should still carry state for q0")
+	}
+}

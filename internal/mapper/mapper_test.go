@@ -1,0 +1,138 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/interaction"
+	"repro/internal/sqlparser"
+	"repro/internal/widgets"
+)
+
+func mine(t *testing.T, opts interaction.Options, sqls ...string) *interaction.Graph {
+	t.Helper()
+	qs := make([]*ast.Node, len(sqls))
+	for i, s := range sqls {
+		qs[i] = sqlparser.MustParse(s)
+	}
+	g, _ := interaction.Mine(qs, opts)
+	return g
+}
+
+// TestInitializePartitionsByPath: Algorithm 1 creates one widget per
+// distinct diff path.
+func TestInitializePartitionsByPath(t *testing.T) {
+	g := mine(t, interaction.Options{WindowSize: 0},
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2")
+	ws := initialize(g, widgets.DefaultLibrary())
+	paths := map[string]bool{}
+	for _, w := range ws {
+		if paths[w.Path.String()] {
+			t.Fatalf("duplicate widget path %s", w.Path)
+		}
+		paths[w.Path.String()] = true
+	}
+	// One leaf partition (the literal) + ancestors 2/0, 2, root.
+	if len(ws) != 4 {
+		t.Fatalf("initial widgets = %d, want 4 (leaf + 3 ancestors)", len(ws))
+	}
+}
+
+// TestMergeEliminatesRedundancy: after merging, the example collapses to
+// the single cheapest widget (the slider on the literal).
+func TestMergeEliminatesRedundancy(t *testing.T) {
+	lib := widgets.DefaultLibrary()
+	g := mine(t, interaction.Options{WindowSize: 0},
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+		"SELECT a FROM t WHERE x = 9")
+	init := initialize(g, lib)
+	merged := merge(init, lib)
+	if len(merged) != 1 {
+		for _, w := range merged {
+			t.Logf("widget %s@%s n=%d", w.Type.Name, w.Path, w.Domain.Len())
+		}
+		t.Fatalf("merged widgets = %d, want 1", len(merged))
+	}
+	if merged[0].Type.Name != "slider" {
+		t.Fatalf("surviving widget = %s, want slider", merged[0].Type.Name)
+	}
+	if TotalCost(merged) >= TotalCost(init) {
+		t.Fatalf("merge did not reduce cost: %v -> %v", TotalCost(init), TotalCost(merged))
+	}
+}
+
+// TestMergeNeverIncreasesCost: the fixpoint invariant of §5.2.
+func TestMergeNeverIncreasesCost(t *testing.T) {
+	lib := widgets.DefaultLibrary()
+	logs := [][]string{
+		{"SELECT avg(a)", "SELECT count(b)", "SELECT count(c)"},
+		{"SELECT a FROM t", "SELECT b FROM u", "SELECT c FROM v WHERE x = 1"},
+		{"SELECT * FROM T",
+			"SELECT * FROM (SELECT a FROM T WHERE b > 10)",
+			"SELECT * FROM (SELECT a FROM T WHERE b > 20)"},
+	}
+	for _, sqls := range logs {
+		g := mine(t, interaction.Options{WindowSize: 0}, sqls...)
+		init := initialize(g, lib)
+		merged := merge(init, lib)
+		if TotalCost(merged) > TotalCost(init)+1e-9 {
+			t.Errorf("merge increased cost for %q: %v -> %v",
+				sqls[0], TotalCost(init), TotalCost(merged))
+		}
+	}
+}
+
+// TestFigure4Example reproduces Example 5.1/Figure 4: three queries
+// where q1-q2 differ in one subtree and q2-q3 in another. The merged
+// interface keeps the two fine-grained widgets (wb, wc) and drops the
+// whole-query widget wa, because the pair expresses any combination at
+// lower total cost than three whole-query options... or keeps wa when
+// it is cheaper. Either way every query stays expressible; here the
+// leaf widgets win because both are cheap toggles/sliders.
+func TestFigure4Example(t *testing.T) {
+	lib := widgets.DefaultLibrary()
+	g := mine(t, interaction.Options{WindowSize: 2, LCAPrune: true},
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT b FROM t WHERE x = 1",
+		"SELECT b FROM t WHERE x = 5")
+	ws := Map(g, lib)
+	if len(ws) != 2 {
+		for _, w := range ws {
+			t.Logf("widget %s@%s n=%d", w.Type.Name, w.Path, w.Domain.Len())
+		}
+		t.Fatalf("widgets = %d, want 2 (column toggle + value slider)", len(ws))
+	}
+}
+
+func TestMapDeterminism(t *testing.T) {
+	lib := widgets.DefaultLibrary()
+	sqls := []string{
+		"SELECT a, b FROM t WHERE x = 1 AND y = 'p'",
+		"SELECT a, c FROM t WHERE x = 2 AND y = 'q'",
+		"SELECT a, b FROM t WHERE x = 3 AND y = 'r'",
+		"SELECT a, c FROM t WHERE x = 9 AND y = 'p'",
+	}
+	sig := func() string {
+		g := mine(t, interaction.Options{WindowSize: 0}, sqls...)
+		s := ""
+		for _, w := range Map(g, lib) {
+			s += w.Type.Name + "@" + w.Path.String() + ";"
+		}
+		return s
+	}
+	first := sig()
+	for i := 0; i < 5; i++ {
+		if got := sig(); got != first {
+			t.Fatalf("non-deterministic mapping: %q vs %q", first, got)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mine(t, interaction.Options{WindowSize: 2}, "SELECT a FROM t")
+	if ws := Map(g, widgets.DefaultLibrary()); len(ws) != 0 {
+		t.Fatalf("no diffs should map to no widgets, got %d", len(ws))
+	}
+}

@@ -1,0 +1,179 @@
+// Package qlog models query logs: ordered sequences of SQL statements
+// with optional client and sequence metadata, plus text-file IO and
+// per-client partitioning. It is the system's input boundary (§3: "using
+// logs as the system API").
+package qlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// Entry is one logged query.
+type Entry struct {
+	SQL    string
+	Client string // client/session identifier ("" when unknown)
+	Seq    int    // position within the log
+}
+
+// Log is an ordered sequence of queries, assumed to come from a single
+// logical analysis unless partitioned by client first.
+type Log struct {
+	Entries []Entry
+}
+
+// FromSQL builds a log from a slice of SQL strings (client "" and
+// sequential Seq).
+func FromSQL(queries ...string) *Log {
+	l := &Log{Entries: make([]Entry, len(queries))}
+	for i, q := range queries {
+		l.Entries[i] = Entry{SQL: q, Seq: i}
+	}
+	return l
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.Entries) }
+
+// SQLs returns the raw statements in order.
+func (l *Log) SQLs() []string {
+	out := make([]string, len(l.Entries))
+	for i, e := range l.Entries {
+		out[i] = e.SQL
+	}
+	return out
+}
+
+// Append adds a query to the log.
+func (l *Log) Append(sql, client string) {
+	l.Entries = append(l.Entries, Entry{SQL: sql, Client: client, Seq: len(l.Entries)})
+}
+
+// Slice returns the sub-log [from, to) with sequence numbers rebased.
+func (l *Log) Slice(from, to int) *Log {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(l.Entries) {
+		to = len(l.Entries)
+	}
+	if from > to {
+		from = to
+	}
+	out := &Log{Entries: make([]Entry, to-from)}
+	copy(out.Entries, l.Entries[from:to])
+	for i := range out.Entries {
+		out.Entries[i].Seq = i
+	}
+	return out
+}
+
+// Parse parses every entry into an AST, failing on the first statement
+// that does not parse.
+func (l *Log) Parse() ([]*ast.Node, error) {
+	out := make([]*ast.Node, len(l.Entries))
+	for i, e := range l.Entries {
+		n, err := sqlparser.Parse(e.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("qlog: entry %d (client %q): %w", i, e.Client, err)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// PartitionByClient splits the log into per-client logs, preserving
+// order within each client. Clients are returned in sorted name order.
+func (l *Log) PartitionByClient() []*Log {
+	byClient := map[string]*Log{}
+	var names []string
+	for _, e := range l.Entries {
+		cl, ok := byClient[e.Client]
+		if !ok {
+			cl = &Log{}
+			byClient[e.Client] = cl
+			names = append(names, e.Client)
+		}
+		cl.Append(e.SQL, e.Client)
+	}
+	sort.Strings(names)
+	out := make([]*Log, len(names))
+	for i, n := range names {
+		out[i] = byClient[n]
+	}
+	return out
+}
+
+// Interleave merges several logs round-robin, simulating the
+// heterogeneous multi-client logs of §7.2.3.
+func Interleave(logs ...*Log) *Log {
+	out := &Log{}
+	for i := 0; ; i++ {
+		progressed := false
+		for _, l := range logs {
+			if i < len(l.Entries) {
+				e := l.Entries[i]
+				out.Append(e.SQL, e.Client)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// Split returns the first n entries as training and the rest as holdout.
+func (l *Log) Split(n int) (train, holdout *Log) {
+	return l.Slice(0, n), l.Slice(n, len(l.Entries))
+}
+
+// Write emits the log in the text format Read accepts: one
+// "client<TAB>sql" line per entry (client omitted when empty).
+func (l *Log) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l.Entries {
+		sql := strings.ReplaceAll(e.SQL, "\n", " ")
+		var err error
+		if e.Client != "" {
+			_, err = fmt.Fprintf(bw, "%s\t%s\n", e.Client, sql)
+		} else {
+			_, err = fmt.Fprintln(bw, sql)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format written by Write. Lines starting with
+// "--" or "#" and blank lines are skipped. A line containing a tab is
+// treated as "client<TAB>sql".
+func Read(r io.Reader) (*Log, error) {
+	l := &Log{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		client := ""
+		sql := line
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			client, sql = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		l.Append(sql, client)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -1,0 +1,113 @@
+package qlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFromSQLAndSlice(t *testing.T) {
+	l := FromSQL("SELECT a FROM t", "SELECT b FROM t", "SELECT c FROM t")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	s := l.Slice(1, 3)
+	if s.Len() != 2 || s.Entries[0].SQL != "SELECT b FROM t" || s.Entries[0].Seq != 0 {
+		t.Fatalf("Slice wrong: %+v", s.Entries)
+	}
+	if out := l.Slice(-5, 99); out.Len() != 3 {
+		t.Fatalf("clamped slice = %d", out.Len())
+	}
+	if out := l.Slice(2, 1); out.Len() != 0 {
+		t.Fatalf("inverted slice = %d", out.Len())
+	}
+}
+
+func TestParseReportsEntry(t *testing.T) {
+	l := FromSQL("SELECT a FROM t", "NOT SQL AT ALL ~~~")
+	if _, err := l.Parse(); err == nil || !strings.Contains(err.Error(), "entry 1") {
+		t.Fatalf("error should name the failing entry: %v", err)
+	}
+	good := FromSQL("SELECT a FROM t", "SELECT b FROM u")
+	qs, err := good.Parse()
+	if err != nil || len(qs) != 2 {
+		t.Fatalf("parse: %v, %d", err, len(qs))
+	}
+}
+
+func TestPartitionByClient(t *testing.T) {
+	l := &Log{}
+	l.Append("SELECT a FROM t", "c2")
+	l.Append("SELECT b FROM t", "c1")
+	l.Append("SELECT c FROM t", "c2")
+	parts := l.PartitionByClient()
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[0].Entries[0].Client != "c1" || parts[1].Len() != 2 {
+		t.Fatalf("partition wrong: %+v", parts)
+	}
+	// Order within a client is preserved.
+	if parts[1].Entries[0].SQL != "SELECT a FROM t" {
+		t.Fatal("client order not preserved")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := &Log{}
+	a.Append("SELECT a1 FROM t", "a")
+	a.Append("SELECT a2 FROM t", "a")
+	b := &Log{}
+	b.Append("SELECT b1 FROM t", "b")
+	out := Interleave(a, b)
+	got := make([]string, out.Len())
+	for i, e := range out.Entries {
+		got[i] = e.Client
+	}
+	want := "a,b,a"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("interleave order = %v, want %s", got, want)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	l := FromSQL("SELECT a FROM t", "SELECT b FROM t", "SELECT c FROM t", "SELECT d FROM t")
+	train, hold := l.Split(3)
+	if train.Len() != 3 || hold.Len() != 1 {
+		t.Fatalf("split = %d/%d", train.Len(), hold.Len())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	l := &Log{}
+	l.Append("SELECT a FROM t WHERE x = 1", "c1")
+	l.Append("SELECT b\nFROM t", "") // embedded newline flattened
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip len = %d", back.Len())
+	}
+	if back.Entries[0].Client != "c1" || back.Entries[0].SQL != "SELECT a FROM t WHERE x = 1" {
+		t.Fatalf("entry 0 = %+v", back.Entries[0])
+	}
+	if back.Entries[1].Client != "" || back.Entries[1].SQL != "SELECT b FROM t" {
+		t.Fatalf("entry 1 = %+v", back.Entries[1])
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "-- header\n\n# note\nSELECT a FROM t\n"
+	l, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}

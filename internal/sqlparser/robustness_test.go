@@ -1,0 +1,171 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// TestParserNeverPanics feeds the parser random byte soup, random token
+// soup, and truncations of valid queries. Errors are fine; panics are
+// not.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+
+	// Random bytes.
+	for i := 0; i < 500; i++ {
+		n := r.Intn(60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Intn(256))
+		}
+		mustNotPanic(t, string(b))
+	}
+
+	// Random SQL-ish token soup.
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+		"LIMIT", "TOP", "JOIN", "ON", "AND", "OR", "NOT", "IN",
+		"BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "AS",
+		"(", ")", ",", "*", "=", "<", ">", "<=", ">=", "<>", "+", "-",
+		"/", "%", "'str'", "42", "0x1f", "tbl", "col", "x.y", ";",
+	}
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(25)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(tokens[r.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		mustNotPanic(t, sb.String())
+	}
+
+	// Truncations of a valid query at every byte offset.
+	valid := "SELECT TOP 3 a, SUM(b) FROM t JOIN u ON t.x = u.y WHERE c IN (1, 2) AND d BETWEEN 0x1 AND 9 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC"
+	for i := 0; i <= len(valid); i++ {
+		mustNotPanic(t, valid[:i])
+	}
+}
+
+func mustNotPanic(t *testing.T, sql string) {
+	t.Helper()
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Fatalf("parser panicked on %q: %v", sql, rec)
+		}
+	}()
+	n, err := Parse(sql)
+	if err == nil && n != nil {
+		// Whatever parsed must render and re-parse (full round trip).
+		rendered := ast.SQL(n)
+		if _, err2 := Parse(rendered); err2 != nil {
+			t.Fatalf("accepted %q but cannot reparse its rendering %q: %v", sql, rendered, err2)
+		}
+	}
+}
+
+// TestGeneratedQueriesRoundTrip builds random queries from a canonical
+// grammar and checks parse(SQL(parse(q))) == parse(q) at scale.
+func TestGeneratedQueriesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for i := 0; i < 2000; i++ {
+		q := randomQuery(r)
+		first, err := Parse(q)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", q, err)
+		}
+		second, err := Parse(ast.SQL(first))
+		if err != nil {
+			t.Fatalf("rendering of %q does not parse: %q: %v", q, ast.SQL(first), err)
+		}
+		if !ast.Equal(first, second) {
+			t.Fatalf("round trip changed:\nq: %s\nrendered: %s", q, ast.SQL(first))
+		}
+	}
+}
+
+// randomQuery emits a random member of the supported SQL subset.
+func randomQuery(r *rand.Rand) string {
+	cols := []string{"a", "b", "c", "dest", "delay"}
+	tabs := []string{"t", "u", "ontime", "Galaxy"}
+	col := func() string { return cols[r.Intn(len(cols))] }
+	tab := func() string { return tabs[r.Intn(len(tabs))] }
+	lit := func() string {
+		switch r.Intn(4) {
+		case 0:
+			return "'s" + string(rune('a'+r.Intn(26))) + "'"
+		case 1:
+			return "0x" + string(rune('1'+r.Intn(9)))
+		default:
+			return string(rune('0' + r.Intn(10)))
+		}
+	}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth > 2 {
+			return col()
+		}
+		switch r.Intn(8) {
+		case 0:
+			return col() + " = " + lit()
+		case 1:
+			return "(" + expr(depth+1) + " AND " + expr(depth+1) + ")"
+		case 2:
+			return col() + " BETWEEN 1 AND 9"
+		case 3:
+			return col() + " IN (" + lit() + ", " + lit() + ")"
+		case 4:
+			return "SUM(" + col() + ") > " + lit()
+		case 5:
+			return "CASE WHEN " + col() + " > 1 THEN 'hi' ELSE 'lo' END = 'hi'"
+		case 6:
+			return "NOT " + col() + " IS NULL"
+		default:
+			return col() + " < " + col()
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if r.Intn(4) == 0 {
+		sb.WriteString("DISTINCT ")
+	}
+	if r.Intn(4) == 0 {
+		sb.WriteString("TOP 5 ")
+	}
+	nproj := 1 + r.Intn(3)
+	for i := 0; i < nproj; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch r.Intn(4) {
+		case 0:
+			sb.WriteString("COUNT(" + col() + ")")
+		case 1:
+			sb.WriteString(col() + " AS x" + string(rune('0'+i)))
+		default:
+			sb.WriteString(col())
+		}
+	}
+	sb.WriteString(" FROM " + tab())
+	if r.Intn(3) == 0 {
+		sb.WriteString(" JOIN " + tab() + " ON " + col() + " = " + col())
+	}
+	if r.Intn(2) == 0 {
+		sb.WriteString(" WHERE " + expr(0))
+	}
+	if r.Intn(3) == 0 {
+		sb.WriteString(" GROUP BY " + col())
+		if r.Intn(2) == 0 {
+			sb.WriteString(" HAVING COUNT(*) > 1")
+		}
+	}
+	if r.Intn(3) == 0 {
+		sb.WriteString(" ORDER BY " + col())
+		if r.Intn(2) == 0 {
+			sb.WriteString(" DESC")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,263 @@
+package treediff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// TestTable1 reproduces the paper's Table 1: the diffs between the two
+// Figure 3 queries. The leaf diffs are the projection column change
+// (str) and the predicate constant change (str); the ancestors include
+// the ProjClause, the BiExpr and the whole-tree transformation.
+func TestTable1(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT cty, sales FROM T WHERE cty = 'USA'")
+	q2 := sqlparser.MustParse("SELECT cty, costs FROM T WHERE cty = 'EUR'")
+	res := Compare(q1, q2)
+
+	if len(res.Leaves) != 2 {
+		t.Fatalf("leaf diffs = %d, want 2: %v", len(res.Leaves), res.Leaves)
+	}
+	byPath := map[string]Diff{}
+	for _, d := range res.Leaves {
+		byPath[d.Path.String()] = d
+	}
+	// d1: the second project clause's column expression, sales -> costs, str.
+	d1, ok := byPath["0/1/0"]
+	if !ok {
+		t.Fatalf("missing diff at 0/1/0; got %v", byPath)
+	}
+	if d1.Left.Value() != "sales" || d1.Right.Value() != "costs" || d1.Kind() != ast.KindString {
+		t.Fatalf("d1 wrong: %s", d1)
+	}
+	// d2: the WHERE literal USA -> EUR, str. (The paper's path 2/0/0/1
+	// counts the Where wrapper implicitly; in our layout the predicate
+	// is Where's only child, so the literal sits at 2/0/1.)
+	d2, ok := byPath["2/0/1"]
+	if !ok {
+		t.Fatalf("missing diff at 2/0/1; got %v", byPath)
+	}
+	if d2.Left.Value() != "USA" || d2.Right.Value() != "EUR" || d2.Kind() != ast.KindString {
+		t.Fatalf("d2 wrong: %s", d2)
+	}
+
+	// Ancestors include d3 (the ProjClause at 0/1), d4 (the predicate
+	// subtree) and the root.
+	anc := map[string]bool{}
+	for _, d := range res.Ancestors {
+		anc[d.Path.String()] = true
+		if d.Kind() != ast.KindTree {
+			t.Errorf("ancestor diff %s should have tree kind", d)
+		}
+	}
+	for _, want := range []string{"0/1", "0", "2/0", "2", "/"} {
+		if !anc[want] {
+			t.Errorf("missing ancestor transformation at %s (have %v)", want, anc)
+		}
+	}
+}
+
+// TestLCAPruning checks §6.2: only leaf-ds and least common ancestors
+// of pairs of leaf-ds survive.
+func TestLCAPruning(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT cty, sales FROM T WHERE cty = 'USA'")
+	q2 := sqlparser.MustParse("SELECT cty, costs FROM T WHERE cty = 'EUR'")
+	res := CompareLCA(q1, q2)
+	if len(res.Leaves) != 2 {
+		t.Fatalf("leaves = %d", len(res.Leaves))
+	}
+	// The only LCA of the two leaf diffs (0/1/0 and 2/0/1) is the root.
+	if len(res.Ancestors) != 1 || res.Ancestors[0].Path.String() != "/" {
+		t.Fatalf("LCA ancestors = %v, want only root", res.Ancestors)
+	}
+}
+
+func TestLCASingleLeaf(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT a FROM t WHERE x = 1")
+	q2 := sqlparser.MustParse("SELECT a FROM t WHERE x = 2")
+	res := CompareLCA(q1, q2)
+	if len(res.Leaves) != 1 {
+		t.Fatalf("leaves = %v", res.Leaves)
+	}
+	if len(res.Ancestors) != 0 {
+		t.Fatalf("a single leaf diff has no LCA ancestors, got %v", res.Ancestors)
+	}
+	if res.Leaves[0].Kind() != ast.KindNumber {
+		t.Fatalf("numeric literal change should be num kind: %s", res.Leaves[0])
+	}
+}
+
+func TestIdenticalTreesNoDiffs(t *testing.T) {
+	q := sqlparser.MustParse("SELECT a, b FROM t WHERE x = 1 GROUP BY a")
+	res := Compare(q, q.Clone())
+	if len(res.Leaves) != 0 || len(res.Ancestors) != 0 {
+		t.Fatalf("identical trees produced diffs: %v %v", res.Leaves, res.Ancestors)
+	}
+}
+
+func TestAdditionAndDeletion(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT a FROM t")
+	q2 := sqlparser.MustParse("SELECT a, b FROM t")
+	res := Compare(q1, q2)
+	if len(res.Leaves) != 1 {
+		t.Fatalf("leaves = %v", res.Leaves)
+	}
+	d := res.Leaves[0]
+	if d.Left != nil || d.Right == nil {
+		t.Fatalf("expected pure insertion, got %s", d)
+	}
+	if d.Kind() != ast.KindTree {
+		t.Fatal("insertions are tree kind")
+	}
+	// And the reverse is a deletion.
+	rev := Compare(q2, q1)
+	if len(rev.Leaves) != 1 || rev.Leaves[0].Right != nil || rev.Leaves[0].Left == nil {
+		t.Fatalf("expected deletion, got %v", rev.Leaves)
+	}
+}
+
+// TestTopAddition reproduces the Listing 6 shape: adding TOP is a diff
+// at the Limit slot; changing the TOP value is a numeric leaf diff below
+// it, so the two widgets of Figure 5d fall out.
+func TestTopAddition(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT g.objID FROM Galaxy g")
+	q2 := sqlparser.MustParse("SELECT TOP 1 g.objID FROM Galaxy g")
+	q3 := sqlparser.MustParse("SELECT TOP 10 g.objID FROM Galaxy g")
+
+	r12 := Compare(q1, q2)
+	if len(r12.Leaves) != 1 || r12.Leaves[0].Path.String() != "6" {
+		t.Fatalf("q1->q2 leaves = %v, want single diff at Limit slot 6", r12.Leaves)
+	}
+	if r12.Leaves[0].Kind() != ast.KindTree {
+		t.Fatal("TOP addition should be tree kind (it is a toggle, not a slider)")
+	}
+
+	r23 := Compare(q2, q3)
+	if len(r23.Leaves) != 1 || r23.Leaves[0].Path.String() != "6/0" {
+		t.Fatalf("q2->q3 leaves = %v, want diff at 6/0", r23.Leaves)
+	}
+	if r23.Leaves[0].Kind() != ast.KindNumber {
+		t.Fatal("TOP value change should be num kind (slider)")
+	}
+}
+
+// TestApplyReconstructs checks the functional interpretation d(q) = q':
+// applying all leaf diffs of Compare(q1, q2) to q1 yields q2, and the
+// inverses recover q1. Applying deeper paths first keeps earlier
+// replacements from invalidating later paths.
+func TestApplyReconstructs(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT cty, sales FROM T WHERE cty = 'USA'",
+			"SELECT cty, costs FROM T WHERE cty = 'EUR'"},
+		{"SELECT COUNT(Delay), DestState FROM ontime WHERE Month = 9 GROUP BY DestState",
+			"SELECT DestState FROM ontime WHERE Month = 8 GROUP BY DestState"},
+		{"SELECT * FROM T",
+			"SELECT * FROM (SELECT a FROM T WHERE b > 10)"},
+		{"SELECT avg(a)", "SELECT count(b)"},
+	}
+	for _, pr := range pairs {
+		q1 := sqlparser.MustParse(pr[0])
+		q2 := sqlparser.MustParse(pr[1])
+		res := Compare(q1, q2)
+		got := applyAll(q1, res.Leaves)
+		if !ast.Equal(got, q2) {
+			t.Errorf("apply(%q -> %q) produced %s, want %s", pr[0], pr[1], got, q2)
+		}
+		// Root ancestor alone also transforms q1 to q2.
+		if len(res.Ancestors) > 0 {
+			root := res.Ancestors[len(res.Ancestors)-1]
+			for _, a := range res.Ancestors {
+				if len(a.Path) == 0 {
+					root = a
+				}
+			}
+			if !ast.Equal(root.Apply(q1), q2) {
+				t.Errorf("root ancestor transformation failed for %q", pr[0])
+			}
+		}
+	}
+}
+
+// applyAll delegates to ApplyAll (kept as a local alias for readability).
+func applyAll(q *ast.Node, ds []Diff) *ast.Node { return ApplyAll(q, ds) }
+
+// TestDiffLocality: diffs never report paths outside the left tree
+// (replacements and deletions index existing nodes; insertions index at
+// most one past the last child).
+func TestDiffLocality(t *testing.T) {
+	q1 := sqlparser.MustParse("SELECT a, b, c FROM t WHERE x = 1 AND y = 2")
+	q2 := sqlparser.MustParse("SELECT a, c FROM t WHERE x = 3 AND z = 2 GROUP BY c")
+	res := Compare(q1, q2)
+	for _, d := range append(res.Leaves, res.Ancestors...) {
+		if d.Left != nil {
+			if got := q1.At(d.Path); got == nil {
+				t.Errorf("diff %s: left path not found in q1", d)
+			}
+		}
+	}
+}
+
+// Property: for randomly generated query pairs, applying the leaf diffs
+// reconstructs the target in both directions, and identical inputs
+// yield no diffs.
+func TestCompareReconstructionProperty(t *testing.T) {
+	gen := func(r *rand.Rand) *ast.Node {
+		cols := []string{"a", "b", "c", "d"}
+		tabs := []string{"t", "u"}
+		sql := "SELECT " + cols[r.Intn(4)]
+		if r.Intn(2) == 0 {
+			sql += ", " + cols[r.Intn(4)]
+		}
+		sql += " FROM " + tabs[r.Intn(2)]
+		if r.Intn(2) == 0 {
+			sql += " WHERE x = " + string(rune('0'+r.Intn(10)))
+		}
+		if r.Intn(3) == 0 {
+			sql += " GROUP BY " + cols[r.Intn(4)]
+		}
+		return sqlparser.MustParse(sql)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		a, b := gen(r), gen(r)
+		if got := ApplyAll(a, Compare(a, b).Leaves); !ast.Equal(got, b) {
+			t.Fatalf("forward reconstruction failed:\na=%s\nb=%s\ngot=%s", a, b, got)
+		}
+		if got := ApplyAll(b, Compare(b, a).Leaves); !ast.Equal(got, a) {
+			t.Fatalf("backward reconstruction failed:\na=%s\nb=%s\ngot=%s", a, b, got)
+		}
+		if ds := Compare(a, a.Clone()).Leaves; len(ds) != 0 {
+			t.Fatalf("self-compare produced diffs: %v", ds)
+		}
+	}
+}
+
+// Property (testing/quick): applying the leaf diffs between two
+// single-literal queries always reconstructs the right-hand query.
+func TestApplyProperty(t *testing.T) {
+	f := func(v1, v2 uint16) bool {
+		q1 := sqlparser.MustParse("SELECT a FROM t WHERE x = " + itoa(int(v1)))
+		q2 := sqlparser.MustParse("SELECT a FROM t WHERE x = " + itoa(int(v2)))
+		res := Compare(q1, q2)
+		return ast.Equal(applyAll(q1, res.Leaves), q2)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,9 @@
+package vis
+
+import (
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// parse adapts the sqlparser for engine.ExecSQL in tests.
+func parse(sql string) (*ast.Node, error) { return sqlparser.Parse(sql) }

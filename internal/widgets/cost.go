@@ -1,0 +1,129 @@
+package widgets
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostFunc is the paper's cost model (§4.3): a low-dimensional
+// polynomial c(n) = a0 + a1·n + a2·n², monotonically increasing in the
+// domain size n, measured in milliseconds of expected interaction time.
+type CostFunc struct {
+	A0, A1, A2 float64
+}
+
+// Eval returns the cost for a domain of size n.
+func (c CostFunc) Eval(n int) float64 {
+	fn := float64(n)
+	return c.A0 + c.A1*fn + c.A2*fn*fn
+}
+
+// String renders the polynomial like Example 4.4.
+func (c CostFunc) String() string {
+	return fmt.Sprintf("%.0f + %.2f*n + %.3f*n^2", c.A0, c.A1, c.A2)
+}
+
+// TimingTrace is one observation: the measured interaction time (ms)
+// for a widget instantiated with a given domain size. The paper collects
+// these by instrumenting widget interactions; we synthesize them (see
+// SynthesizeTraces) and fit the same quadratic.
+type TimingTrace struct {
+	DomainSize int
+	Millis     float64
+}
+
+// FitCost fits c(n) = a0 + a1·n + a2·n² to timing traces by ordinary
+// least squares on the monomial basis {1, n, n²}, then clamps negative
+// coefficients to zero (the paper requires ai ≥ 0). It solves the 3×3
+// normal equations directly.
+func FitCost(traces []TimingTrace) (CostFunc, error) {
+	if len(traces) < 3 {
+		return CostFunc{}, fmt.Errorf("widgets: need at least 3 traces, have %d", len(traces))
+	}
+	// Normal equations: (XᵀX) a = Xᵀy with X rows (1, n, n²).
+	var m [3][3]float64
+	var v [3]float64
+	for _, t := range traces {
+		n := float64(t.DomainSize)
+		x := [3]float64{1, n, n * n}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += x[i] * x[j]
+			}
+			v[i] += x[i] * t.Millis
+		}
+	}
+	a, ok := solve3(m, v)
+	if !ok {
+		// Degenerate design (e.g. all traces at one size): fall back to
+		// a constant at the mean.
+		mean := 0.0
+		for _, t := range traces {
+			mean += t.Millis
+		}
+		return CostFunc{A0: mean / float64(len(traces))}, nil
+	}
+	for i := range a {
+		if a[i] <= 0 { // also normalizes IEEE negative zero
+			a[i] = 0
+		}
+	}
+	return CostFunc{A0: a[0], A1: a[1], A2: a[2]}, nil
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with
+// partial pivoting; ok is false when the matrix is singular.
+func solve3(m [3][3]float64, v [3]float64) ([3]float64, bool) {
+	var a [3][4]float64
+	for i := 0; i < 3; i++ {
+		copy(a[i][:3], m[i][:])
+		a[i][3] = v[i]
+	}
+	for col := 0; col < 3; col++ {
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		a[col], a[p] = a[p], a[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = a[i][3] / a[i][i]
+	}
+	return out, true
+}
+
+// SynthesizeTraces generates deterministic timing traces for a widget
+// type from a Fitts-style interaction latency model: a fixed pointing/
+// acquisition time plus a per-option visual scan term and a quadratic
+// crowding term. It stands in for the paper's instrumented traces; the
+// default library nevertheless ships the paper's published constants so
+// widget selection matches the paper exactly.
+func SynthesizeTraces(base, scan, crowd float64, sizes []int, repeats int) []TimingTrace {
+	var out []TimingTrace
+	// Deterministic small perturbation so the fit is non-trivial but
+	// reproducible (no global RNG: experiments must be replayable).
+	noise := []float64{-0.03, 0.01, 0.04, -0.02, 0.0}
+	for _, n := range sizes {
+		for r := 0; r < repeats; r++ {
+			truth := base + scan*float64(n) + crowd*float64(n)*float64(n)
+			jitter := 1 + noise[(n+r)%len(noise)]
+			out = append(out, TimingTrace{DomainSize: n, Millis: truth * jitter})
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package widgets implements the interaction-widget model of §4.3: a
+// widget type is a constraint rule plus a cost function; a widget
+// instance is a path in the AST plus a domain of subtrees it can swap in
+// at that path. The library contains the nine HTML widget types used in
+// the paper's experiments, with the published cost-function constants as
+// defaults and a trace-fitting procedure to re-derive them.
+package widgets
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Domain is the set of subtrees a widget can express at its path. It is
+// initialized from a subset of the diffs table and, for numeric domains
+// used by sliders, extrapolates to the full [Min, Max] range (§4.3:
+// "its domain will be extrapolated as the range [1, 100]").
+type Domain struct {
+	set  *ast.Set
+	kind ast.Kind
+
+	hasNil bool // contains the "absent" option (added/removed subtree)
+
+	numeric  bool // all non-nil values are numeric terminals
+	numCount int
+	min, max float64
+}
+
+// NewDomain returns an empty domain.
+func NewDomain() *Domain {
+	return &Domain{set: ast.NewSet(), kind: ast.KindNumber, numeric: true}
+}
+
+// Add inserts a subtree (nil allowed: the absent option). It updates the
+// domain's kind: number if all members are numeric terminals, string if
+// all are string-castable terminals, tree otherwise.
+func (d *Domain) Add(n *ast.Node) {
+	if !d.set.Add(n) {
+		return
+	}
+	if n == nil {
+		d.hasNil = true
+		d.kind = ast.KindTree
+		d.numeric = false
+		return
+	}
+	k := ast.KindOf(n)
+	switch k {
+	case ast.KindNumber:
+		if v, ok := NumericValue(n); ok {
+			d.numCount++
+			if d.numCount == 1 {
+				d.min, d.max = v, v
+			} else {
+				if v < d.min {
+					d.min = v
+				}
+				if v > d.max {
+					d.max = v
+				}
+			}
+		} else {
+			d.numeric = false
+		}
+	default:
+		d.numeric = false
+	}
+	// Kind lattice: number ⊂ string ⊂ tree.
+	if d.kind == ast.KindNumber && k != ast.KindNumber {
+		if k == ast.KindString {
+			d.kind = ast.KindString
+		} else {
+			d.kind = ast.KindTree
+		}
+	} else if d.kind == ast.KindString && k == ast.KindTree {
+		d.kind = ast.KindTree
+	}
+}
+
+// Kind returns the primitive kind of the whole domain.
+func (d *Domain) Kind() ast.Kind { return d.kind }
+
+// Len returns the number of distinct options (|w.d|).
+func (d *Domain) Len() int { return d.set.Len() }
+
+// IsNumericRange reports whether the domain consists solely of numeric
+// terminals so that a slider may extrapolate it to [Min, Max].
+func (d *Domain) IsNumericRange() bool { return d.numeric && !d.hasNil && d.set.Len() > 0 }
+
+// Range returns the extrapolated numeric bounds (valid only when
+// IsNumericRange).
+func (d *Domain) Range() (min, max float64) { return d.min, d.max }
+
+// HasAbsent reports whether the domain includes the absent option.
+func (d *Domain) HasAbsent() bool { return d.hasNil }
+
+// Contains reports whether the domain can express the subtree: exact
+// structural membership, or numeric-range membership for extrapolated
+// numeric domains.
+func (d *Domain) Contains(n *ast.Node) bool {
+	if d.set.Contains(n) {
+		return true
+	}
+	if n != nil && d.IsNumericRange() {
+		if v, ok := NumericValue(n); ok {
+			return v >= d.min && v <= d.max
+		}
+	}
+	return false
+}
+
+// Values returns the distinct member subtrees in deterministic order.
+func (d *Domain) Values() []*ast.Node { return d.set.Values() }
+
+// NumericValue parses the numeric value of a NumExpr terminal,
+// supporting both decimal and the SDSS logs' 0x hex object ids.
+func NumericValue(n *ast.Node) (float64, bool) {
+	if n == nil || n.Type != ast.TypeNumExpr {
+		return 0, false
+	}
+	v := n.Value()
+	if n.Attr("fmt") == "hex" || strings.HasPrefix(v, "0x") || strings.HasPrefix(v, "0X") {
+		u, err := strconv.ParseUint(strings.TrimPrefix(strings.TrimPrefix(v, "0x"), "0X"), 16, 64)
+		if err != nil {
+			return 0, false
+		}
+		return float64(u), true
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interaction"
+	"repro/internal/qlog"
+)
+
+func TestAllGeneratedQueriesParse(t *testing.T) {
+	logs := map[string]*qlog.Log{
+		"lookup":   SDSSClient(Lookup, 1, 100),
+		"radial":   SDSSClient(Radial, 2, 100),
+		"filter":   SDSSClient(Filter, 3, 100),
+		"slowburn": SDSSClient(SlowBurn, 4, 100),
+		"olap":     OLAPLog(200, 5),
+		"adhoc":    AdhocLog(200, 6),
+		"full":     SDSSFullLog(500, 7),
+	}
+	for name, l := range logs {
+		if _, err := l.Parse(); err != nil {
+			t.Errorf("%s log does not parse: %v", name, err)
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a := SDSSClient(Lookup, 42, 50).SQLs()
+	b := SDSSClient(Lookup, 42, 50).SQLs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if OLAPLog(50, 9).SQLs()[49] != OLAPLog(50, 9).SQLs()[49] {
+		t.Fatal("OLAP log nondeterministic")
+	}
+}
+
+func TestClientsVaryBySeed(t *testing.T) {
+	a := SDSSClient(Lookup, 1, 50).SQLs()
+	b := SDSSClient(Lookup, 2, 50).SQLs()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical logs")
+	}
+}
+
+// TestLookupRecallSaturates pins the Figure 6a behaviour: a few dozen
+// training queries suffice for 100%-ish hold-out recall on structured
+// lookup clients.
+func TestLookupRecallSaturates(t *testing.T) {
+	l := SDSSClient(Lookup, 11, 200)
+	train, hold := l.Split(60)
+	iface, err := core.Generate(train, core.Options{
+		Miner: interaction.Options{WindowSize: 0, LCAPrune: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdQ, err := hold.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := iface.Recall(holdQ); r < 0.95 {
+		t.Fatalf("lookup recall after 60 training queries = %v, want >= 0.95", r)
+	}
+}
+
+// TestSlowBurnRecallClimbsSlowly pins the C5 behaviour: with only a few
+// training queries the string vocabulary is mostly unseen.
+func TestSlowBurnRecallClimbsSlowly(t *testing.T) {
+	l := SDSSClient(SlowBurn, 13, 200)
+	holdQ, err := l.Slice(100, 200).Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(n int) float64 {
+		iface, err := core.Generate(l.Slice(0, n), core.Options{
+			Miner: interaction.Options{WindowSize: 0, LCAPrune: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface.Recall(holdQ)
+	}
+	early, late := gen(10), gen(100)
+	if early >= late {
+		t.Fatalf("slow-burn recall should climb: recall(10)=%v, recall(100)=%v", early, late)
+	}
+	if early > 0.9 {
+		t.Fatalf("slow-burn recall too high too early: %v", early)
+	}
+}
+
+// TestAdhocRecallStaysLow pins Figure 6c's red line: ad-hoc exploration
+// does not generalize (≈20%).
+func TestAdhocRecallStaysLow(t *testing.T) {
+	l := AdhocLog(200, 17)
+	train, hold := l.Split(100)
+	iface, err := core.Generate(train, core.Options{
+		Miner: interaction.Options{WindowSize: 0, LCAPrune: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdQ, err := hold.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := iface.Recall(holdQ)
+	if r > 0.5 {
+		t.Fatalf("ad-hoc recall = %v, should stay low (paper: ≈0.2)", r)
+	}
+	if r == 0 {
+		t.Fatal("ad-hoc recall should be non-zero (the recurring template)")
+	}
+}
+
+// TestCrossArchetypeRecallBimodal pins Figures 9/10: an interface from
+// one client expresses same-archetype clients and nothing else.
+func TestCrossArchetypeRecallBimodal(t *testing.T) {
+	gen := func(arch Archetype, seed int64) *core.Interface {
+		iface, err := core.Generate(SDSSClient(arch, seed, 100), core.Options{
+			Miner: interaction.Options{WindowSize: 0, LCAPrune: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface
+	}
+	lk := gen(Lookup, 21)
+	sameQ, _ := SDSSClient(Lookup, 99, 100).Parse()
+	diffQ, _ := SDSSClient(Radial, 22, 100).Parse()
+	if r := lk.Recall(sameQ); r < 0.9 {
+		t.Fatalf("same-archetype recall = %v, want high", r)
+	}
+	if r := lk.Recall(diffQ); r > 0.1 {
+		t.Fatalf("cross-archetype recall = %v, want ~0", r)
+	}
+}
+
+func TestArchetypeMix22(t *testing.T) {
+	mix := archetypeMix(22)
+	counts := map[Archetype]int{}
+	for _, a := range mix {
+		counts[a]++
+	}
+	if counts[Lookup] != 7 || counts[Radial] != 6 || counts[Filter] != 5 || counts[SlowBurn] != 4 {
+		t.Fatalf("mix = %v", counts)
+	}
+}
+
+func TestSDSSFullLogSize(t *testing.T) {
+	l := SDSSFullLog(1234, 1)
+	if l.Len() != 1234 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}

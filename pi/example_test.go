@@ -1,0 +1,75 @@
+package pi_test
+
+import (
+	"fmt"
+
+	"repro/pi"
+)
+
+// Example shows the minimal mine-and-inspect flow.
+func Example() {
+	log := pi.LogFromSQL(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+		"SELECT a FROM t WHERE x = 9",
+	)
+	iface, err := pi.Generate(log, pi.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	for _, w := range iface.Widgets {
+		lo, hi := w.Domain.Range()
+		fmt.Printf("%s at %s over [%g, %g]\n", w.Type.Name, w.Path, lo, hi)
+	}
+	// Output:
+	// slider at 2/0/1 over [1, 9]
+}
+
+// ExampleInterface_CanExpress shows closure-membership checks: sliders
+// extrapolate to unseen values, but parts of the query that never
+// changed stay fixed.
+func ExampleInterface_CanExpress() {
+	log := pi.LogFromSQL(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 9",
+	)
+	iface, _ := pi.Generate(log, pi.DefaultOptions())
+	unseen, _ := pi.ParseSQL("SELECT a FROM t WHERE x = 5")
+	outside, _ := pi.ParseSQL("SELECT b FROM t WHERE x = 5")
+	fmt.Println(iface.CanExpress(unseen))
+	fmt.Println(iface.CanExpress(outside))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleExec shows the exec()/render() pair the paper assumes.
+func ExampleExec() {
+	db := pi.NewDB()
+	sales := pi.NewTable("sales", "region", "amount")
+	sales.MustAddRow(pi.Str("USA"), pi.Num(100))
+	sales.MustAddRow(pi.Str("USA"), pi.Num(50))
+	sales.MustAddRow(pi.Str("EUR"), pi.Num(70))
+	db.AddTable(sales)
+
+	q, _ := pi.ParseSQL("SELECT region, SUM(amount) AS total FROM sales GROUP BY region")
+	res, _ := pi.Exec(db, q)
+	for _, row := range res.Rows {
+		fmt.Printf("%s %s\n", row[0], row[1])
+	}
+	// Output:
+	// USA 150
+	// EUR 70
+}
+
+// ExampleQueryDistance shows the semantic query distance used for
+// session clustering.
+func ExampleQueryDistance() {
+	a, _ := pi.ParseSQL("SELECT a FROM t WHERE x = 1")
+	b, _ := pi.ParseSQL("SELECT a FROM t WHERE x = 2")
+	fmt.Println(pi.QueryDistance(a, a) == 0)
+	fmt.Println(pi.QueryDistance(a, b) < 0.1)
+	// Output:
+	// true
+	// true
+}
