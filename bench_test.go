@@ -10,14 +10,20 @@
 package main
 
 import (
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/interaction"
 	"repro/internal/mapper"
 	"repro/internal/qlog"
+	"repro/internal/server"
 	"repro/internal/widgets"
 	"repro/internal/workload"
 )
@@ -219,6 +225,67 @@ func BenchmarkCanExpress(b *testing.B) {
 		iface.CanExpress(holdQ[i%len(holdQ)])
 	}
 }
+
+// --- Serving-layer benchmarks (internal/server).
+
+// servingHandler mines the OLAP interface once and returns the HTTP
+// handler plus a slider widget to vary, shared by the serve benchmarks.
+func servingHandler(b *testing.B, cacheSize int) (http.Handler, string, float64, float64) {
+	b.Helper()
+	iface, err := core.Generate(workload.OLAPLog(150, 7), core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := server.NewRegistryWithCache(cacheSize)
+	if _, err := reg.Add("olap", "bench", iface, engine.OnTimeDB(2000)); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range iface.Widgets {
+		if w.Domain.IsNumericRange() {
+			lo, hi := w.Domain.Range()
+			return server.New(reg).Handler(), w.Path.String(), lo, hi
+		}
+	}
+	b.Fatal("no numeric widget mined")
+	return nil, "", 0, 0
+}
+
+func benchServeQuery(b *testing.B, cacheSize, distinctStates int) {
+	h, path, lo, hi := servingHandler(b, cacheSize)
+	span := int(hi - lo + 1)
+	if distinctStates < span {
+		span = distinctStates
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			v := lo + float64(i%span)
+			i++
+			body := fmt.Sprintf(`{"widgets":[{"path":%q,"number":%g}]}`, path, v)
+			req := httptest.NewRequest("POST", "/interfaces/olap/query", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}
+
+// BenchmarkServeQueryCached is the hot serving path: concurrent clients
+// cycling through a handful of widget states, so nearly every request
+// is answered from the AST-hash LRU.
+func BenchmarkServeQueryCached(b *testing.B) { benchServeQuery(b, server.DefaultCacheSize, 4) }
+
+// BenchmarkServeQueryUncached disables the result cache: every request
+// binds and executes against the engine — the serving layer's floor.
+func BenchmarkServeQueryUncached(b *testing.B) { benchServeQuery(b, 0, 4) }
+
+// BenchmarkServeQueryMixed spreads clients over the slider's whole
+// extrapolated range, the realistic many-users mix of hits and misses.
+func BenchmarkServeQueryMixed(b *testing.B) { benchServeQuery(b, server.DefaultCacheSize, 1<<30) }
 
 // BenchmarkParse measures the SQL parsing substrate on a mixed log.
 func BenchmarkParse(b *testing.B) {

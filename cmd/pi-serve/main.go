@@ -1,0 +1,94 @@
+// Command pi-serve mines interfaces from the paper's workloads and
+// serves them over HTTP: the generated pages become live dashboards
+// whose widget interactions execute against the in-memory engine.
+//
+// Usage:
+//
+//	pi-serve [-addr :8080] [-workloads olap,adhoc,sdss] [-n 150] [-rows 2000] [-seed 7] [-cache 256]
+//
+// Endpoints:
+//
+//	GET  /interfaces            list hosted interfaces
+//	GET  /interfaces/{id}       one interface's widgets and initial query
+//	GET  /interfaces/{id}/page  the live HTML dashboard
+//	POST /interfaces/{id}/query bind widget state, execute, return rows
+//	GET  /debug                 cache and traffic counters
+//
+// Example:
+//
+//	pi-serve &
+//	curl -s localhost:8080/interfaces
+//	curl -s -X POST localhost:8080/interfaces/olap/query \
+//	     -d '{"widgets":[{"path":"3/0","value":{"type":"ColExpr","attrs":{"value":"uniquecarrier"}}}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qlog"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/pi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workloads := flag.String("workloads", "olap,adhoc,sdss", "comma-separated workloads to mine and host")
+	n := flag.Int("n", 150, "queries per mined log")
+	rows := flag.Int("rows", 2000, "rows per synthetic dataset table")
+	seed := flag.Int64("seed", 7, "workload generator seed")
+	cache := flag.Int("cache", server.DefaultCacheSize, "per-interface result-cache entries (0 disables)")
+	flag.Parse()
+
+	reg := server.NewRegistryWithCache(*cache)
+	for _, name := range strings.Split(*workloads, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		logq, db, title, err := buildWorkload(name, *n, *rows, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		iface, err := pi.Generate(logq, pi.DefaultOptions())
+		if err != nil {
+			fatal(fmt.Errorf("mine %s: %w", name, err))
+		}
+		h, err := reg.Add(name, title, iface, db)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("hosted %-6s %d queries -> %d widgets (cost %.0f) at /interfaces/%s/page",
+			h.ID, logq.Len(), len(iface.Widgets), iface.Cost(), h.ID)
+	}
+	if reg.Len() == 0 {
+		fatal(fmt.Errorf("no workloads hosted"))
+	}
+
+	log.Printf("serving %d interface(s) on %s", reg.Len(), *addr)
+	fatal(pi.Serve(*addr, reg))
+}
+
+// buildWorkload returns the query log and the dataset for one named
+// workload.
+func buildWorkload(name string, n, rows int, seed int64) (*qlog.Log, *engine.DB, string, error) {
+	switch name {
+	case "olap":
+		return workload.OLAPLog(n, seed), engine.OnTimeDB(rows), "OnTime OLAP dashboard", nil
+	case "adhoc":
+		return workload.AdhocLog(n, seed), engine.OnTimeDB(rows), "OnTime ad-hoc study", nil
+	case "sdss":
+		return workload.SDSSClient(workload.Lookup, seed, n), engine.SDSSDB(rows), "SDSS spectro explorer", nil
+	}
+	return nil, nil, "", fmt.Errorf("unknown workload %q (want olap, adhoc or sdss)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pi-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Served dashboard: the OLAP example turned live. Mine an interface
+// from an OLAP log, host it with the serving layer, then act as an HTTP
+// client driving the dashboard: list interfaces, flip a widget to a
+// value never seen in the log (numeric-range extrapolation), and repeat
+// the request to show the AST-hash result cache taking over.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/pi"
+)
+
+func main() {
+	// Mine and host, exactly what `pi-serve -workloads olap` does.
+	session := workload.OLAPLog(150, 7)
+	iface, err := pi.Generate(session, pi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := pi.NewRegistry()
+	if _, err := pi.Host(reg, "olap", "OnTime OLAP dashboard", iface, engine.OnTimeDB(2000)); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { log.Fatal(http.Serve(ln, pi.ServeHandler(reg))) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// 1. Discover the hosted interface and its widgets.
+	var detail server.InterfaceDetail
+	getJSON(base+"/interfaces/olap", &detail)
+	fmt.Printf("\ninterface %q: %s\n", detail.ID, detail.InitialSQL)
+	for _, w := range detail.Widgets {
+		fmt.Printf("  %-13s at %-6s %q (%d options)\n", w.Kind, w.Path, w.Label, len(w.Options))
+	}
+
+	// 2. Find a numeric (slider) widget and query with a value strictly
+	// between two mined options — a state no query in the log ever had.
+	var numeric *server.WidgetInfo
+	for i := range detail.Widgets {
+		if detail.Widgets[i].Numeric {
+			numeric = &detail.Widgets[i]
+			break
+		}
+	}
+	var bindings []server.WidgetBinding
+	if numeric != nil {
+		unseen := unseenInteger(numeric)
+		fmt.Printf("\nslider at %s spans [%g, %g]; querying unseen value %g\n",
+			numeric.Path, numeric.Min, numeric.Max, unseen)
+		bindings = []server.WidgetBinding{{Path: numeric.Path, Number: &unseen}}
+	} else {
+		// No slider mined for this seed: run the initial query unchanged.
+		fmt.Println("\nno numeric widget mined; running the initial query")
+	}
+
+	for i := 0; i < 2; i++ {
+		resp := postQuery(base+"/interfaces/olap/query", server.QueryRequest{
+			Widgets: bindings,
+		})
+		fmt.Printf("\n#%d %s\n  %d rows, cache %s (hits=%d misses=%d)\n",
+			i+1, resp.SQL, resp.RowCount, resp.Cache, resp.CacheStats.Hits, resp.CacheStats.Misses)
+		for r := 0; r < len(resp.Rows) && r < 3; r++ {
+			fmt.Printf("  %v\n", resp.Rows[r])
+		}
+	}
+}
+
+// unseenInteger picks an integer inside the slider's extrapolated range
+// that none of the log's queries used — the closure beyond the log that
+// range extrapolation (§4.3) buys.
+func unseenInteger(w *server.WidgetInfo) float64 {
+	mined := map[string]bool{}
+	for _, o := range w.Options {
+		mined[o] = true
+	}
+	for v := w.Min; v <= w.Max; v++ {
+		if !mined[fmt.Sprintf("%g", v)] {
+			return v
+		}
+	}
+	return (w.Min + w.Max) / 2
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postQuery(url string, req server.QueryRequest) *server.QueryResponse {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out server.QueryResponse
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return &out
+}

@@ -11,6 +11,14 @@ import (
 // Exec executes a SELECT AST against the database and returns the
 // result relation. This is the exec() function the paper assumes is
 // provided (§3.3); generated interfaces call it on every interaction.
+//
+// Exec never mutates db or its tables: filtering and grouping only read
+// source rows, ORDER BY sorts through a fresh index slice, and every
+// result row is newly allocated by the projection. It is therefore safe
+// to call concurrently from many goroutines against a shared DB, as
+// long as no goroutine concurrently mutates the DB (AddTable/AddFunc/
+// AddRow must happen-before serving begins) — the contract the serving
+// layer relies on. Registered TableFuncs must uphold the same property.
 func Exec(db *DB, sel *ast.Node) (*Table, error) {
 	if sel == nil || sel.Type != ast.TypeSelect {
 		return nil, fmt.Errorf("engine: not a SELECT ast (%v)", sel)

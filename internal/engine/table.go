@@ -35,6 +35,25 @@ func (t *Table) MustAddRow(vals ...Value) {
 	}
 }
 
+// NumRows returns the row count — a read-only accessor for callers
+// (like the serving layer) that treat shared tables as immutable.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Clone returns a deep copy of the table. Callers that want to mutate
+// a shared result (e.g. one handed out by a cache) must clone it first;
+// everything else should treat shared tables as read-only.
+func (t *Table) Clone() *Table {
+	cp := &Table{Name: t.Name, Cols: append([]string(nil), t.Cols...)}
+	cp.Rows = make([][]Value, len(t.Rows))
+	for i, row := range t.Rows {
+		cp.Rows[i] = append([]Value(nil), row...)
+	}
+	return cp
+}
+
 // ColIndex returns the index of a column (case-insensitive), or -1.
 func (t *Table) ColIndex(name string) int {
 	for i, c := range t.Cols {
@@ -50,6 +69,13 @@ func (t *Table) ColIndex(name string) int {
 type TableFunc func(args []Value) (*Table, error)
 
 // DB is the catalog: named tables and table-valued functions.
+//
+// Concurrency contract: a DB is built single-threaded (AddTable,
+// AddFunc, loading rows) and is immutable afterwards. All read paths —
+// Exec, Table, Func, TableNames, NumTables — are safe to use
+// concurrently once building is done. The serving layer shares one DB
+// across all request goroutines under this contract instead of locking
+// per query.
 type DB struct {
 	tables map[string]*Table
 	funcs  map[string]TableFunc
@@ -86,6 +112,9 @@ func (db *DB) Func(name string) (TableFunc, bool) {
 	}
 	return f, ok
 }
+
+// NumTables returns the number of registered tables.
+func (db *DB) NumTables() int { return len(db.tables) }
 
 // TableNames lists registered tables in sorted order.
 func (db *DB) TableNames() []string {

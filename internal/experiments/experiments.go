@@ -203,4 +203,3 @@ func widgetSummary(iface *core.Interface) []string {
 	sort.Strings(out)
 	return out
 }
-

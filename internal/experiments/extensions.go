@@ -169,4 +169,3 @@ func runExtAnomalies(w io.Writer) error {
 	fmt.Fprintf(w, " (%d legitimate)\n", nonNoise)
 	return nil
 }
-

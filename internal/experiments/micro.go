@@ -141,4 +141,3 @@ func microWidgets(w io.Writer, l *qlog.Log, allPairs bool) error {
 		iface.Cost(), iface.Expressiveness(queries)*100, iface.ClosureSize(1000))
 	return nil
 }
-

@@ -28,7 +28,7 @@ type Dependency struct {
 
 // Compile renders the interface as a self-contained HTML document.
 func Compile(iface *core.Interface, title string) (string, error) {
-	return CompileWithDeps(iface, title, nil)
+	return compile(iface, title, nil, "")
 }
 
 // CompileWithDeps additionally embeds widget dependencies (§4.5 /
@@ -36,6 +36,27 @@ func Compile(iface *core.Interface, title string) (string, error) {
 // enabled"): the page disables a dependent widget's controls while its
 // controlling widget is in a non-supporting state.
 func CompileWithDeps(iface *core.Interface, title string, deps []Dependency) (string, error) {
+	return compile(iface, title, deps, "")
+}
+
+// CompileServed renders the interface as a page whose exec() hook is
+// live: every interaction POSTs the current widget bindings to the
+// given API endpoint (the serving layer's POST /interfaces/{id}/query)
+// and renders the returned rows. This is the interaction hook that
+// turns the static §5.3 compilation into a working dashboard.
+func CompileServed(iface *core.Interface, title, endpoint string) (string, error) {
+	return CompileServedWithDeps(iface, title, endpoint, nil)
+}
+
+// CompileServedWithDeps is CompileServed plus widget dependencies.
+func CompileServedWithDeps(iface *core.Interface, title, endpoint string, deps []Dependency) (string, error) {
+	if endpoint == "" {
+		return "", fmt.Errorf("htmlgen: served page needs a query endpoint")
+	}
+	return compile(iface, title, deps, endpoint)
+}
+
+func compile(iface *core.Interface, title string, deps []Dependency, endpoint string) (string, error) {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
 	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
@@ -53,7 +74,7 @@ func CompileWithDeps(iface *core.Interface, title string, deps []Dependency) (st
 	b.WriteString("</div>\n")
 	b.WriteString("<pre id=\"sql\"></pre>\n<div id=\"result\"></div>\n")
 
-	state, err := pageState(iface, deps)
+	state, err := pageState(iface, deps, endpoint)
 	if err != nil {
 		return "", err
 	}
@@ -65,7 +86,7 @@ func CompileWithDeps(iface *core.Interface, title string, deps []Dependency) (st
 // pageState serializes the initial query AST, each widget's path and
 // domain (as both AST JSON and rendered SQL fragments), and the widget
 // dependencies for the page script.
-func pageState(iface *core.Interface, deps []Dependency) (string, error) {
+func pageState(iface *core.Interface, deps []Dependency, endpoint string) (string, error) {
 	type option struct {
 		Label string          `json:"label"`
 		AST   json.RawMessage `json:"ast"`
@@ -79,12 +100,13 @@ func pageState(iface *core.Interface, deps []Dependency) (string, error) {
 		Max     float64  `json:"max,omitempty"`
 	}
 	type page struct {
-		Initial json.RawMessage `json:"initial"`
-		InitSQL string          `json:"initSql"`
-		Widgets []widgetState   `json:"widgets"`
-		Deps    []Dependency    `json:"deps,omitempty"`
+		Initial  json.RawMessage `json:"initial"`
+		InitSQL  string          `json:"initSql"`
+		Widgets  []widgetState   `json:"widgets"`
+		Deps     []Dependency    `json:"deps,omitempty"`
+		Endpoint string          `json:"endpoint,omitempty"`
 	}
-	p := page{InitSQL: ast.SQL(iface.Initial), Deps: deps}
+	p := page{InitSQL: ast.SQL(iface.Initial), Deps: deps, Endpoint: endpoint}
 	ini, err := json.Marshal(iface.Initial)
 	if err != nil {
 		return "", err
@@ -93,7 +115,7 @@ func pageState(iface *core.Interface, deps []Dependency) (string, error) {
 	for _, w := range iface.Widgets {
 		ws := widgetState{
 			Kind:  w.Type.Name,
-			Label: widgetLabel(w),
+			Label: Label(w),
 			Path:  w.Path.String(),
 		}
 		if w.Domain.IsNumericRange() {
@@ -120,10 +142,10 @@ func pageState(iface *core.Interface, deps []Dependency) (string, error) {
 	return string(out), nil
 }
 
-// widgetLabel derives a human-readable caption from the widget path and
-// domain (the editor of §5.3 lets users override it; Label wins when
-// set).
-func widgetLabel(w *mapper.MappedWidget) string {
+// Label derives a human-readable caption from the widget path and
+// domain (the editor of §5.3 lets users override it; the widget's own
+// Label wins when set). The serving layer reuses it for the JSON API.
+func Label(w *mapper.MappedWidget) string {
 	if w.Label != "" {
 		return w.Label
 	}
@@ -152,7 +174,7 @@ func widgetLabel(w *mapper.MappedWidget) string {
 // renderWidget emits the HTML control for one widget.
 func renderWidget(idx int, w *mapper.MappedWidget) (string, error) {
 	var b strings.Builder
-	label := html.EscapeString(widgetLabel(w))
+	label := html.EscapeString(Label(w))
 	fmt.Fprintf(&b, "<div class=\"widget\" data-widget=\"%d\">\n<label>%s</label>\n", idx, label)
 	vals := w.Domain.Values()
 	switch w.Type {
@@ -207,6 +229,10 @@ body { font-family: sans-serif; margin: 2em; }
 .widget label { font-weight: bold; margin-right: 1em; }
 .widget .opt { font-weight: normal; display: block; margin-left: 1em; }
 #sql { background: #f6f6f6; padding: 1em; border-radius: 6px; max-width: 60em; white-space: pre-wrap; }
+#result table { border-collapse: collapse; margin-top: 0.5em; }
+#result th, #result td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: left; }
+#result .meta { color: #666; font-size: 0.9em; }
+#result .error { color: #a00; }
 </style>
 `
 
@@ -215,6 +241,10 @@ body { font-family: sans-serif; margin: 2em; }
 // widget domains contain), plus exec() and render() hooks.
 const scriptBlock = `
 let current = JSON.parse(JSON.stringify(PI_STATE.initial));
+// Widget bindings in request order: path -> last applied AST value
+// (null = absent). The served exec() sends these to the query API,
+// which re-binds them onto the template server-side.
+const piBindings = {};
 function parsePath(p) { return p === "/" ? [] : p.split("/").map(Number); }
 function replaceAt(node, path, sub) {
   if (path.length === 0) return sub;
@@ -227,6 +257,7 @@ function replaceAt(node, path, sub) {
 }
 function piApply(idx, astValue) {
   const w = PI_STATE.widgets[idx];
+  piBindings[w.path] = astValue;
   current = replaceAt(current, parsePath(w.path), astValue);
   refresh();
 }
@@ -313,11 +344,60 @@ function sql(n) {
   }
   return "?" + n.type;
 }
-// exec()/render() hooks (§3.3): applications point exec at a real
-// endpoint; the default shows the SQL and a placeholder result.
-async function exec(q) { return {note: "exec() stub — wire this to your database", sql: q}; }
+// exec()/render() hooks (§3.3). A served page (PI_STATE.endpoint set)
+// POSTs the widget bindings to the live query API and renders the
+// returned rows; a standalone page falls back to the stub.
+async function exec(q) {
+  if (!PI_STATE.endpoint) {
+    return {note: "exec() stub — wire this to your database", sql: q};
+  }
+  const widgets = Object.keys(piBindings).map(path =>
+    piBindings[path] === null ? {path: path, absent: true}
+                              : {path: path, value: piBindings[path]});
+  try {
+    const resp = await fetch(PI_STATE.endpoint, {
+      method: "POST",
+      headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({widgets: widgets}),
+    });
+    const body = await resp.json();
+    if (!resp.ok) return {error: body.error || resp.statusText};
+    return body;
+  } catch (err) {
+    return {error: String(err)};
+  }
+}
 function render(result) {
-  document.getElementById("result").textContent = JSON.stringify(result);
+  const el = document.getElementById("result");
+  if (result && result.error) {
+    el.innerHTML = "";
+    const div = document.createElement("div");
+    div.className = "error";
+    div.textContent = result.error;
+    el.appendChild(div);
+    return;
+  }
+  if (!result || !result.cols) {
+    el.textContent = JSON.stringify(result);
+    return;
+  }
+  el.innerHTML = "";
+  const meta = document.createElement("div");
+  meta.className = "meta";
+  meta.textContent = result.rowCount + " rows (cache " + result.cache + ")";
+  el.appendChild(meta);
+  const table = document.createElement("table");
+  const head = table.insertRow();
+  for (const c of result.cols) {
+    const th = document.createElement("th");
+    th.textContent = c;
+    head.appendChild(th);
+  }
+  for (const row of result.rows.slice(0, 100)) {
+    const tr = table.insertRow();
+    for (const v of row) tr.insertCell().textContent = v === null ? "NULL" : v;
+  }
+  el.appendChild(table);
 }
 async function refresh() {
   const q = sql(current);

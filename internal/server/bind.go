@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/mapper"
+)
+
+// WidgetBinding is one widget's requested state in a query request.
+// Exactly one of Value, Number, Text or Absent should be set:
+//
+//   - Value:  a full AST subtree in the {type, attrs, children} wire
+//     format (what the served page's JS sends for option widgets);
+//   - Number: shorthand for a numeric literal (sliders);
+//   - Text:   shorthand for a string literal (textboxes);
+//   - Absent: request removal of the node at the widget's path
+//     (toggles whose domain includes the absent option).
+type WidgetBinding struct {
+	Path   string    `json:"path"`
+	Value  *ast.Node `json:"value,omitempty"`
+	Number *float64  `json:"number,omitempty"`
+	Text   *string   `json:"text,omitempty"`
+	Absent bool      `json:"absent,omitempty"`
+}
+
+// BindError is a client error discovered while binding widget state:
+// unknown widget path, ambiguous binding, or a value outside the mined
+// domain. Handlers map it to a 4xx status.
+type BindError struct{ msg string }
+
+func (e *BindError) Error() string { return e.msg }
+
+func bindErrf(format string, args ...any) *BindError {
+	return &BindError{msg: fmt.Sprintf(format, args...)}
+}
+
+// valueNode converts the binding's requested state into the AST subtree
+// to swap in at the widget's path (nil = absent).
+func (b *WidgetBinding) valueNode() (*ast.Node, error) {
+	set := 0
+	if b.Value != nil {
+		set++
+	}
+	if b.Number != nil {
+		set++
+	}
+	if b.Text != nil {
+		set++
+	}
+	if b.Absent {
+		set++
+	}
+	if set != 1 {
+		return nil, bindErrf("binding for path %q must set exactly one of value, number, text, absent", b.Path)
+	}
+	switch {
+	case b.Absent:
+		return nil, nil
+	case b.Number != nil:
+		return ast.Leaf(ast.TypeNumExpr, strconv.FormatFloat(*b.Number, 'g', -1, 64)), nil
+	case b.Text != nil:
+		return ast.Leaf(ast.TypeStrExpr, *b.Text), nil
+	default:
+		return b.Value, nil
+	}
+}
+
+// Bind applies the widget bindings to the interface's initial query and
+// returns the bound query AST. Widgets are applied in the interface's
+// path order (ancestors first) so a template swapped in by an ancestor
+// widget can be refined by descendant bindings, mirroring
+// core.Interface.CanExpress. Every binding must name a mined widget
+// path and carry a value inside that widget's domain (numeric-range
+// extrapolation included) — anything else is a *BindError.
+func Bind(iface *core.Interface, bindings []WidgetBinding) (*ast.Node, error) {
+	if len(bindings) == 0 {
+		return iface.Initial, nil
+	}
+	byPath := make(map[string]*WidgetBinding, len(bindings))
+	for i := range bindings {
+		b := &bindings[i]
+		if _, dup := byPath[b.Path]; dup {
+			return nil, bindErrf("duplicate binding for path %q", b.Path)
+		}
+		byPath[b.Path] = b
+	}
+
+	cur := iface.Initial
+	bound := 0
+	for _, w := range iface.Widgets {
+		b, ok := byPath[w.Path.String()]
+		if !ok {
+			continue
+		}
+		bound++
+		val, err := b.valueNode()
+		if err != nil {
+			return nil, err
+		}
+		next, err := applyOne(cur, w, val)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	if bound != len(byPath) {
+		for p := range byPath {
+			if !hasWidgetAt(iface, p) {
+				return nil, bindErrf("no widget at path %q", p)
+			}
+		}
+	}
+	return cur, nil
+}
+
+func hasWidgetAt(iface *core.Interface, path string) bool {
+	for _, w := range iface.Widgets {
+		if w.Path.String() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// applyOne sets one widget, translating domain violations into client
+// errors.
+func applyOne(q *ast.Node, w *mapper.MappedWidget, val *ast.Node) (*ast.Node, error) {
+	if val == nil && !w.Domain.HasAbsent() {
+		return nil, bindErrf("widget at %q cannot be absent", w.Path)
+	}
+	if !w.Domain.Contains(val) {
+		return nil, bindErrf("value %s outside the domain of widget at %q",
+			renderVal(val), w.Path)
+	}
+	next := core.Apply(q, w, val)
+	if next == nil {
+		return nil, bindErrf("value %s not applicable to widget at %q", renderVal(val), w.Path)
+	}
+	return next, nil
+}
+
+func renderVal(val *ast.Node) string {
+	if val == nil {
+		return "(absent)"
+	}
+	return strconv.Quote(ast.SQL(val))
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+)
+
+// Cache is a concurrency-safe LRU of query results keyed by the
+// canonical structural hash of the bound query AST (ast.HashOf). Widget
+// interactions are bursty and highly repetitive — many clients sit on
+// the same dashboard and flip the same options — so a small result
+// cache absorbs most of the execution load (result caching in the
+// spirit of query answering under updates: recompute only what the
+// interaction actually changed).
+//
+// Hash collisions are guarded by comparing the canonical SQL rendering
+// of the query; a colliding entry is treated as a miss and overwritten.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[ast.Hash]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key ast.Hash
+	sql string // canonical rendering, verified on hit
+	res *engine.Table
+}
+
+// NewCache returns an LRU holding at most capacity results. A capacity
+// of 0 or less disables caching (every lookup misses, nothing is kept).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[ast.Hash]*list.Element),
+	}
+}
+
+// Get returns the cached result for the query hash, verifying the
+// canonical SQL to rule out hash collisions. The returned table is
+// shared and must be treated as immutable by callers.
+func (c *Cache) Get(key ast.Hash, sql string) (*engine.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.sql == sql {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return e.res, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a result, evicting the least recently used entry when the
+// cache is full. The caller must not mutate res after handing it over.
+func (c *Cache) Put(key ast.Hash, sql string, res *engine.Table) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = &cacheEntry{key: key, sql: sql, res: res}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sql: sql, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness,
+// exposed by the /debug endpoint and echoed in query responses.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns a snapshot of the hit/miss counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+)
+
+func tableOf(n int) *engine.Table {
+	t := engine.NewTable("result", "v")
+	t.MustAddRow(engine.Num(float64(n)))
+	return t
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put(ast.Hash(1), "q1", tableOf(1))
+	c.Put(ast.Hash(2), "q2", tableOf(2))
+	if _, ok := c.Get(ast.Hash(1), "q1"); !ok {
+		t.Fatal("q1 evicted too early")
+	}
+	// q2 is now LRU; inserting q3 must evict it.
+	c.Put(ast.Hash(3), "q3", tableOf(3))
+	if _, ok := c.Get(ast.Hash(2), "q2"); ok {
+		t.Fatal("q2 survived past capacity")
+	}
+	if _, ok := c.Get(ast.Hash(3), "q3"); !ok {
+		t.Fatal("q3 missing")
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheCollisionVerified(t *testing.T) {
+	c := NewCache(4)
+	c.Put(ast.Hash(7), "SELECT a", tableOf(1))
+	// Same hash, different canonical SQL: must miss, not serve a wrong
+	// result.
+	if _, ok := c.Get(ast.Hash(7), "SELECT b"); ok {
+		t.Fatal("collision served the wrong result")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put(ast.Hash(1), "q", tableOf(1))
+	if _, ok := c.Get(ast.Hash(1), "q"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := ast.Hash(i % 32)
+				sql := fmt.Sprintf("q%d", i%32)
+				if res, ok := c.Get(k, sql); ok {
+					_ = res.NumRows()
+				} else {
+					c.Put(k, sql, tableOf(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 16 {
+		t.Fatalf("cache overflowed: %+v", st)
+	}
+}

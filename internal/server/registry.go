@@ -1,0 +1,139 @@
+// Package server is the live serving layer: it hosts mined interfaces
+// over HTTP so the pages htmlgen compiles are backed by a real exec()
+// endpoint instead of a stub. The split follows the classic web-system
+// architecture — a stateless HTTP front binds widget state onto the
+// interface's query template (via internal/ast paths), a shared
+// immutable engine executes the bound query, and an LRU of results
+// keyed by canonical AST hash absorbs repeated widget states.
+//
+// Concurrency model: a Registry is safe for concurrent use. Hosted
+// interfaces are registered before (or while) serving; each Hosted
+// holds only immutable mined state (interface, dataset) plus two
+// internally synchronized members (the lazily compiled page and the
+// result cache), so request handlers never take a lock around query
+// execution.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Hosted is one mined interface registered for serving: the interface,
+// the dataset its queries run against, and the serving-side state (page
+// cache, result cache, counters).
+type Hosted struct {
+	ID    string
+	Title string
+
+	// Iface and DB are treated as immutable once hosted: the handlers
+	// only read them. Do not mutate a DB after registering it.
+	Iface *core.Interface
+	DB    *engine.DB
+
+	// Cache is the per-interface result LRU keyed by canonical AST
+	// hash. Exposed for stats; handlers use it internally.
+	Cache *Cache
+
+	queries atomic.Uint64 // total POST /query requests served
+
+	pageMu sync.RWMutex // guards lazy compilation of page
+	page   string
+}
+
+// Queries returns the number of query requests this interface served.
+func (h *Hosted) Queries() uint64 { return h.queries.Load() }
+
+// Registry is a concurrency-safe collection of hosted interfaces keyed
+// by ID. Reads (the per-request path) take a shared lock; registration
+// takes the exclusive lock.
+type Registry struct {
+	mu        sync.RWMutex
+	ifaces    map[string]*Hosted
+	cacheSize int
+}
+
+// DefaultCacheSize is the per-interface result LRU capacity used when
+// the registry was built with NewRegistry.
+const DefaultCacheSize = 256
+
+// NewRegistry returns an empty registry whose hosted interfaces get a
+// result cache of DefaultCacheSize entries.
+func NewRegistry() *Registry { return NewRegistryWithCache(DefaultCacheSize) }
+
+// NewRegistryWithCache returns an empty registry with a custom
+// per-interface result-cache capacity (0 disables result caching).
+func NewRegistryWithCache(cacheSize int) *Registry {
+	return &Registry{ifaces: make(map[string]*Hosted), cacheSize: cacheSize}
+}
+
+// Add hosts an interface under the given ID. IDs become one URL path
+// segment (/interfaces/{id}/query), so they are restricted to letters,
+// digits, '_', '-' and '.'. The database is shared, not copied: callers
+// must stop mutating it before serving begins. Adding a duplicate or
+// invalid ID or a nil interface/db is an error.
+func (r *Registry) Add(id, title string, iface *core.Interface, db *engine.DB) (*Hosted, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("server: invalid interface id %q (want [A-Za-z0-9._-]+)", id)
+	}
+	if iface == nil || db == nil {
+		return nil, fmt.Errorf("server: interface %q needs a non-nil interface and db", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.ifaces[id]; dup {
+		return nil, fmt.Errorf("server: duplicate interface id %q", id)
+	}
+	h := &Hosted{ID: id, Title: title, Iface: iface, DB: db, Cache: NewCache(r.cacheSize)}
+	r.ifaces[id] = h
+	return h, nil
+}
+
+// validID reports whether the ID is non-empty and safe to embed as one
+// URL path segment.
+func validID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the hosted interface with the given ID.
+func (r *Registry) Get(id string) (*Hosted, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.ifaces[id]
+	return h, ok
+}
+
+// List returns the hosted interfaces sorted by ID.
+func (r *Registry) List() []*Hosted {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Hosted, 0, len(r.ifaces))
+	for _, h := range r.ifaces {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of hosted interfaces.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ifaces)
+}

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/htmlgen"
+)
+
+// Server is the HTTP front over a registry of hosted interfaces.
+//
+//	GET  /interfaces            — list hosted interfaces
+//	GET  /interfaces/{id}       — one interface's widgets and initial query
+//	GET  /interfaces/{id}/page  — the compiled HTML page, wired to the API
+//	POST /interfaces/{id}/query — bind widget state, execute, return rows
+//	GET  /debug                 — cache and traffic counters
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// New builds a server over the registry. Interfaces may still be added
+// to the registry after the server starts.
+func New(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /interfaces", s.handleList)
+	s.mux.HandleFunc("GET /interfaces/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /interfaces/{id}/page", s.handlePage)
+	s.mux.HandleFunc("POST /interfaces/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /debug", s.handleDebug)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// Handler returns the http.Handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves the API on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+// --- response shapes (the JSON API contract).
+
+// InterfaceSummary is one row of GET /interfaces.
+type InterfaceSummary struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Widgets int     `json:"widgets"`
+	Cost    float64 `json:"cost"`
+	Queries uint64  `json:"queries"`
+}
+
+// WidgetInfo describes one widget of GET /interfaces/{id}.
+type WidgetInfo struct {
+	Path    string   `json:"path"`
+	Kind    string   `json:"kind"`
+	Label   string   `json:"label"`
+	Options []string `json:"options"`
+	Absent  bool     `json:"absent,omitempty"`
+	Numeric bool     `json:"numeric,omitempty"`
+	// Min/Max are meaningful only when Numeric; no omitempty, since 0
+	// is a legitimate bound.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// InterfaceDetail is the body of GET /interfaces/{id}.
+type InterfaceDetail struct {
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	InitialSQL string       `json:"initialSql"`
+	Widgets    []WidgetInfo `json:"widgets"`
+}
+
+// QueryRequest is the body of POST /interfaces/{id}/query.
+type QueryRequest struct {
+	Widgets []WidgetBinding `json:"widgets"`
+}
+
+// QueryResponse is the body of a successful query: the bound SQL, the
+// result relation, and whether the result came from the AST-hash cache.
+type QueryResponse struct {
+	SQL        string     `json:"sql"`
+	Cols       []string   `json:"cols"`
+	Rows       [][]any    `json:"rows"`
+	RowCount   int        `json:"rowCount"`
+	Cache      string     `json:"cache"` // "hit" | "miss"
+	CacheStats CacheStats `json:"cacheStats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers.
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	http.Redirect(w, r, "/interfaces", http.StatusFound)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	hosted := s.reg.List()
+	out := make([]InterfaceSummary, 0, len(hosted))
+	for _, h := range hosted {
+		out = append(out, InterfaceSummary{
+			ID:      h.ID,
+			Title:   h.Title,
+			Widgets: len(h.Iface.Widgets),
+			Cost:    h.Iface.Cost(),
+			Queries: h.Queries(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) hosted(w http.ResponseWriter, r *http.Request) (*Hosted, bool) {
+	id := r.PathValue("id")
+	h, ok := s.reg.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown interface %q", id)})
+		return nil, false
+	}
+	return h, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.hosted(w, r)
+	if !ok {
+		return
+	}
+	d := InterfaceDetail{ID: h.ID, Title: h.Title, InitialSQL: ast.SQL(h.Iface.Initial)}
+	for _, wd := range h.Iface.Widgets {
+		info := WidgetInfo{
+			Path:   wd.Path.String(),
+			Kind:   wd.Type.Name,
+			Label:  htmlgen.Label(wd),
+			Absent: wd.Domain.HasAbsent(),
+		}
+		for _, v := range wd.Domain.Values() {
+			if v == nil {
+				info.Options = append(info.Options, "(absent)")
+				continue
+			}
+			info.Options = append(info.Options, ast.SQL(v))
+		}
+		if wd.Domain.IsNumericRange() {
+			info.Numeric = true
+			info.Min, info.Max = wd.Domain.Range()
+		}
+		d.Widgets = append(d.Widgets, info)
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.hosted(w, r)
+	if !ok {
+		return
+	}
+	h.pageMu.RLock()
+	page := h.page
+	h.pageMu.RUnlock()
+	if page == "" {
+		h.pageMu.Lock()
+		if h.page == "" {
+			compiled, err := htmlgen.CompileServed(h.Iface, h.Title, "/interfaces/"+h.ID+"/query")
+			if err != nil {
+				h.pageMu.Unlock()
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+				return
+			}
+			h.page = compiled
+		}
+		page = h.page
+		h.pageMu.Unlock()
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(page))
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.hosted(w, r)
+	if !ok {
+		return
+	}
+	h.queries.Add(1)
+
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+
+	q, err := Bind(h.Iface, req.Widgets)
+	if err != nil {
+		var be *BindError
+		if errors.As(err, &be) {
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: be.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	sql := ast.SQL(q)
+	key := ast.HashOf(q)
+	res, hit := h.Cache.Get(key, sql)
+	if !hit {
+		res, err = engine.Exec(h.DB, q)
+		if err != nil {
+			// The closure can contain queries the dataset cannot answer
+			// (e.g. a column the sample lacks); that is a client-state
+			// problem, not a server fault.
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: "exec: " + err.Error()})
+			return
+		}
+		h.Cache.Put(key, sql, res)
+	}
+
+	resp := QueryResponse{
+		SQL:        sql,
+		Cols:       res.Cols,
+		Rows:       rowsJSON(res),
+		RowCount:   len(res.Rows),
+		Cache:      "miss",
+		CacheStats: h.Cache.Stats(),
+	}
+	if hit {
+		resp.Cache = "hit"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DebugInfo is the body of GET /debug.
+type DebugInfo struct {
+	Interfaces []DebugInterface `json:"interfaces"`
+}
+
+// DebugInterface is one interface's serving counters.
+type DebugInterface struct {
+	ID      string     `json:"id"`
+	Queries uint64     `json:"queries"`
+	Cache   CacheStats `json:"cache"`
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	info := DebugInfo{Interfaces: []DebugInterface{}}
+	for _, h := range s.reg.List() {
+		info.Interfaces = append(info.Interfaces, DebugInterface{
+			ID:      h.ID,
+			Queries: h.Queries(),
+			Cache:   h.Cache.Stats(),
+		})
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// --- helpers.
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// rowsJSON converts engine values to JSON scalars (numbers, strings,
+// booleans, null).
+func rowsJSON(t *engine.Table) [][]any {
+	out := make([][]any, len(t.Rows))
+	for i, row := range t.Rows {
+		jr := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case engine.KindNumber:
+				jr[j] = v.Num
+			case engine.KindString:
+				jr[j] = v.Str
+			case engine.KindBool:
+				jr[j] = v.Bool
+			default:
+				jr[j] = nil
+			}
+		}
+		out[i] = jr
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mapper"
+	"repro/internal/workload"
+)
+
+// testFixture mines the OLAP interface once; every test builds its own
+// registry over the shared immutable interface and dataset.
+var fixture struct {
+	once  sync.Once
+	iface *core.Interface
+	db    *engine.DB
+	err   error
+}
+
+func minedOLAP(t *testing.T) (*core.Interface, *engine.DB) {
+	t.Helper()
+	fixture.once.Do(func() {
+		log := workload.OLAPLog(150, 7)
+		fixture.iface, fixture.err = core.Generate(log, core.DefaultOptions())
+		fixture.db = engine.OnTimeDB(300)
+	})
+	if fixture.err != nil {
+		t.Fatalf("mine OLAP fixture: %v", fixture.err)
+	}
+	return fixture.iface, fixture.db
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *Hosted) {
+	t.Helper()
+	iface, db := minedOLAP(t)
+	reg := NewRegistry()
+	h, err := reg.Add("olap", "OnTime OLAP dashboard", iface, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(reg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, h
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postQuery(t *testing.T, url string, req QueryRequest) (int, *QueryResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, nil, e.Error
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &out, ""
+}
+
+// sliderWidget returns a mined numeric-range widget to exercise
+// extrapolation.
+func sliderWidget(t *testing.T, iface *core.Interface) *mapper.MappedWidget {
+	t.Helper()
+	for _, w := range iface.Widgets {
+		if w.Domain.IsNumericRange() {
+			return w
+		}
+	}
+	t.Fatal("fixture mined no numeric-range widget")
+	return nil
+}
+
+func TestListInterfaces(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var list []InterfaceSummary
+	if code := getJSON(t, ts.URL+"/interfaces", &list); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(list) != 1 || list[0].ID != "olap" || list[0].Widgets == 0 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestGetInterfaceDetail(t *testing.T) {
+	ts, h := newTestServer(t)
+	var d InterfaceDetail
+	if code := getJSON(t, ts.URL+"/interfaces/olap", &d); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if d.InitialSQL == "" || len(d.Widgets) != len(h.Iface.Widgets) {
+		t.Fatalf("detail = %+v", d)
+	}
+	for _, w := range d.Widgets {
+		if w.Path == "" || w.Kind == "" || len(w.Options) == 0 {
+			t.Fatalf("incomplete widget info: %+v", w)
+		}
+	}
+}
+
+func TestUnknownInterfaceIs404(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var e errorResponse
+	if code := getJSON(t, ts.URL+"/interfaces/nope", &e); code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+	code, _, _ := postQuery(t, ts.URL+"/interfaces/nope/query", QueryRequest{})
+	if code != http.StatusNotFound {
+		t.Fatalf("POST status = %d, want 404", code)
+	}
+}
+
+func TestServedPage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/interfaces/olap/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.Contains(page, `"endpoint":"/interfaces/olap/query"`) {
+		t.Fatalf("page not wired to the query endpoint:\n%.400s", page)
+	}
+}
+
+func TestQueryInitial(t *testing.T) {
+	ts, h := newTestServer(t)
+	code, resp, _ := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	want, err := engine.Exec(h.DB, h.Iface.Initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SQL != ast.SQL(h.Iface.Initial) || resp.RowCount != len(want.Rows) {
+		t.Fatalf("sql=%q rows=%d, want sql=%q rows=%d",
+			resp.SQL, resp.RowCount, ast.SQL(h.Iface.Initial), len(want.Rows))
+	}
+}
+
+// TestQueryUnseenSliderValue is the acceptance scenario: a slider value
+// the log never contained binds via range extrapolation and returns the
+// same rows direct engine execution yields.
+func TestQueryUnseenSliderValue(t *testing.T) {
+	ts, h := newTestServer(t)
+	w := sliderWidget(t, h.Iface)
+	lo, hi := w.Domain.Range()
+	unseen := float64(int(lo+hi) / 2)
+	for _, v := range w.Domain.Values() {
+		if s := ast.SQL(v); s == fmt.Sprintf("%g", unseen) {
+			unseen += 0.5 // collide with a mined option? shift off-grid
+		}
+	}
+	code, resp, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
+		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &unseen}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", code, errMsg)
+	}
+	bound, err := Bind(h.Iface, []WidgetBinding{{Path: w.Path.String(), Number: &unseen}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Exec(h.DB, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowCount != len(want.Rows) || len(resp.Cols) != len(want.Cols) {
+		t.Fatalf("got %d rows/%d cols, want %d/%d", resp.RowCount, len(resp.Cols), len(want.Rows), len(want.Cols))
+	}
+	if !strings.Contains(resp.SQL, fmt.Sprintf("%g", unseen)) {
+		t.Fatalf("bound SQL %q lacks the unseen value %g", resp.SQL, unseen)
+	}
+}
+
+func TestQueryOutOfDomainIs4xx(t *testing.T) {
+	ts, h := newTestServer(t)
+	w := sliderWidget(t, h.Iface)
+	_, hi := w.Domain.Range()
+	outside := hi + 1000
+	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
+		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &outside}},
+	})
+	if code < 400 || code >= 500 {
+		t.Fatalf("status = %d, want 4xx", code)
+	}
+	if !strings.Contains(errMsg, "domain") {
+		t.Fatalf("error %q does not mention the domain", errMsg)
+	}
+}
+
+func TestQueryUnknownWidgetPathIs4xx(t *testing.T) {
+	ts, _ := newTestServer(t)
+	v := 1.0
+	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
+		Widgets: []WidgetBinding{{Path: "9/9/9", Number: &v}},
+	})
+	if code < 400 || code >= 500 {
+		t.Fatalf("status = %d, want 4xx", code)
+	}
+	if !strings.Contains(errMsg, "no widget") {
+		t.Fatalf("unexpected error %q", errMsg)
+	}
+}
+
+func TestQueryMalformedBodyIs400(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/interfaces/olap/query", "application/json",
+		strings.NewReader(`{"widgets": [`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestQueryAmbiguousBindingIs4xx(t *testing.T) {
+	ts, h := newTestServer(t)
+	w := sliderWidget(t, h.Iface)
+	v, s := 3.0, "three"
+	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
+		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &v, Text: &s}},
+	})
+	if code < 400 || code >= 500 {
+		t.Fatalf("status = %d, want 4xx", code)
+	}
+	if !strings.Contains(errMsg, "exactly one") {
+		t.Fatalf("unexpected error %q", errMsg)
+	}
+}
+
+func TestRepeatedQueryHitsCache(t *testing.T) {
+	ts, h := newTestServer(t)
+	w := sliderWidget(t, h.Iface)
+	lo, _ := w.Domain.Range()
+	req := QueryRequest{Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &lo}}}
+
+	code, first, _ := postQuery(t, ts.URL+"/interfaces/olap/query", req)
+	if code != http.StatusOK || first.Cache != "miss" {
+		t.Fatalf("first request: status=%d cache=%q", code, first.Cache)
+	}
+	code, second, _ := postQuery(t, ts.URL+"/interfaces/olap/query", req)
+	if code != http.StatusOK || second.Cache != "hit" {
+		t.Fatalf("second request: status=%d cache=%q", code, second.Cache)
+	}
+	if second.CacheStats.Hits == 0 {
+		t.Fatalf("cache stats did not record the hit: %+v", second.CacheStats)
+	}
+	if second.RowCount != first.RowCount || second.SQL != first.SQL {
+		t.Fatalf("cached result differs: %+v vs %+v", second, first)
+	}
+
+	var dbg DebugInfo
+	if codeDbg := getJSON(t, ts.URL+"/debug", &dbg); codeDbg != http.StatusOK {
+		t.Fatalf("debug status = %d", codeDbg)
+	}
+	if len(dbg.Interfaces) != 1 || dbg.Interfaces[0].Cache.Hits == 0 || dbg.Interfaces[0].Queries < 2 {
+		t.Fatalf("debug = %+v", dbg)
+	}
+}
+
+// TestConcurrentQueries hammers POST /query from many goroutines with a
+// mix of widget states; run under -race this is the serving layer's
+// thread-safety check (shared immutable dataset, locked cache).
+func TestConcurrentQueries(t *testing.T) {
+	ts, h := newTestServer(t)
+	w := sliderWidget(t, h.Iface)
+	lo, hi := w.Domain.Range()
+
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := lo + float64((g*perG+i)%int(hi-lo+1))
+				body, _ := json.Marshal(QueryRequest{
+					Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &v}},
+				})
+				resp, err := http.Post(ts.URL+"/interfaces/olap/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := h.Cache.Stats()
+	if stats.Hits+stats.Misses == 0 {
+		t.Fatalf("cache saw no traffic: %+v", stats)
+	}
+	if got := h.Queries(); got != goroutines*perG {
+		t.Fatalf("query counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegistryDuplicateAndNil(t *testing.T) {
+	iface, db := minedOLAP(t)
+	reg := NewRegistry()
+	if _, err := reg.Add("x", "t", iface, db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("x", "t", iface, db); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := reg.Add("", "t", iface, db); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := reg.Add("team/olap", "t", iface, db); err == nil {
+		t.Fatal("id with '/' accepted (would be unroutable)")
+	}
+	if _, err := reg.Add("y", "t", nil, db); err == nil {
+		t.Fatal("nil interface accepted")
+	}
+}

@@ -22,6 +22,7 @@ package pi
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/ast"
 	"repro/internal/core"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/interaction"
 	"repro/internal/qlog"
 	"repro/internal/schema"
+	"repro/internal/server"
 	"repro/internal/sessions"
 	"repro/internal/speculate"
 	"repro/internal/sqlparser"
@@ -160,4 +162,43 @@ func QueryDistance(a, b *Node) float64 { return treediff.NormalizedDistance(a, b
 // move, resize and hide widgets, then compile the edited page.
 func NewEditor(iface *Interface) *editor.Session {
 	return editor.NewSession(iface, widgets.DefaultLibrary())
+}
+
+// --- Serving layer (internal/server): host mined interfaces over HTTP
+// so the compiled pages are backed by a live exec() endpoint.
+
+// Registry holds interfaces registered for serving; it is safe for
+// concurrent use.
+type Registry = server.Registry
+
+// Hosted is one interface registered for serving.
+type Hosted = server.Hosted
+
+// NewRegistry returns an empty serving registry with the default
+// per-interface result-cache size.
+func NewRegistry() *Registry { return server.NewRegistry() }
+
+// Host mines nothing — it registers an already generated interface and
+// the dataset its queries run against under the given ID. The DB must
+// not be mutated after hosting (see engine.DB's concurrency contract).
+func Host(reg *Registry, id, title string, iface *Interface, db *DB) (*Hosted, error) {
+	return reg.Add(id, title, iface, db)
+}
+
+// ServeHandler returns the HTTP handler exposing the registry's JSON
+// API and served pages (GET /interfaces, GET /interfaces/{id},
+// GET /interfaces/{id}/page, POST /interfaces/{id}/query, GET /debug).
+func ServeHandler(reg *Registry) http.Handler { return server.New(reg).Handler() }
+
+// Serve hosts the registry's interfaces on addr until the listener
+// fails; it is http.ListenAndServe over ServeHandler.
+func Serve(addr string, reg *Registry) error {
+	return server.New(reg).ListenAndServe(addr)
+}
+
+// CompileServedHTML compiles an interface into a page whose
+// interactions POST widget state to the given query endpoint — the
+// live-page variant of CompileHTML.
+func CompileServedHTML(iface *Interface, title, endpoint string) (string, error) {
+	return htmlgen.CompileServed(iface, title, endpoint)
 }
