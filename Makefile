@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench
+.PHONY: check fmt-check vet build test race bench ingest-demo
 
 check: fmt-check vet build race
 
@@ -22,3 +22,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# End-to-end drive of the live-ingestion subsystem: build pi-serve,
+# query it, stream new log entries in, watch the epoch bump.
+ingest-demo:
+	sh scripts/ingest_demo.sh

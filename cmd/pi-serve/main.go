@@ -1,18 +1,25 @@
 // Command pi-serve mines interfaces from the paper's workloads and
 // serves them over HTTP: the generated pages become live dashboards
-// whose widget interactions execute against the in-memory engine.
+// whose widget interactions execute against the in-memory engine, and
+// — with ingestion enabled — the dashboards keep improving as new
+// query-log entries stream in.
 //
 // Usage:
 //
-//	pi-serve [-addr :8080] [-workloads olap,adhoc,sdss] [-n 150] [-rows 2000] [-seed 7] [-cache 256]
+//	pi-serve [-addr :8080] [-workloads olap,adhoc,sdss] [-n 150] [-rows 2000]
+//	         [-seed 7] [-cache 256] [-ingest] [-batch 8] [-flush-every 2s]
+//	         [-tail id=path[,id=path...]]
 //
 // Endpoints:
 //
-//	GET  /interfaces            list hosted interfaces
-//	GET  /interfaces/{id}       one interface's widgets and initial query
-//	GET  /interfaces/{id}/page  the live HTML dashboard
-//	POST /interfaces/{id}/query bind widget state, execute, return rows
-//	GET  /debug                 cache and traffic counters
+//	GET  /interfaces             list hosted interfaces
+//	GET  /interfaces/{id}        one interface's widgets and initial query
+//	GET  /interfaces/{id}/page   the live HTML dashboard (reloads on epoch bump)
+//	GET  /interfaces/{id}/epoch  the interface's current epoch
+//	POST /interfaces/{id}/query  bind widget state, execute, return rows
+//	POST /interfaces/{id}/log    ingest new query-log entries (text or JSON)
+//	GET  /healthz                build info, uptime, epochs, cache hit rates
+//	GET  /debug                  cache and traffic counters
 //
 // Example:
 //
@@ -20,20 +27,26 @@
 //	curl -s localhost:8080/interfaces
 //	curl -s -X POST localhost:8080/interfaces/olap/query \
 //	     -d '{"widgets":[{"path":"3/0","value":{"type":"ColExpr","attrs":{"value":"uniquecarrier"}}}]}'
+//	curl -s -X POST 'localhost:8080/interfaces/olap/log?flush=1' \
+//	     --data-binary 'SELECT DestState, COUNT(Delay) FROM ontime WHERE Day = 28 GROUP BY DestState'
+//	curl -s localhost:8080/healthz
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/qlog"
 	"repro/internal/server"
 	"repro/internal/workload"
-	"repro/pi"
 )
 
 func main() {
@@ -42,10 +55,16 @@ func main() {
 	n := flag.Int("n", 150, "queries per mined log")
 	rows := flag.Int("rows", 2000, "rows per synthetic dataset table")
 	seed := flag.Int64("seed", 7, "workload generator seed")
-	cache := flag.Int("cache", server.DefaultCacheSize, "per-interface result-cache entries (0 disables)")
+	cache := flag.Int("cache", server.DefaultCacheSize, "per-interface result/plan-cache entries (0 disables)")
+	enableIngest := flag.Bool("ingest", true, "enable live log ingestion (POST /interfaces/{id}/log)")
+	batch := flag.Int("batch", 8, "ingested entries per incremental re-mine")
+	flushEvery := flag.Duration("flush-every", 2*time.Second, "background flush interval for partial batches")
+	tails := flag.String("tail", "", "comma-separated id=path log files to tail into hosted interfaces")
 	flag.Parse()
 
 	reg := server.NewRegistryWithCache(*cache)
+	ing := ingest.New(reg, ingest.Options{BatchSize: *batch, FlushInterval: *flushEvery})
+
 	for _, name := range strings.Split(*workloads, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -55,14 +74,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		iface, err := pi.Generate(logq, pi.DefaultOptions())
-		if err != nil {
-			fatal(fmt.Errorf("mine %s: %w", name, err))
+		var h *server.Hosted
+		if *enableIngest {
+			h, err = ing.Host(name, title, logq, db, core.DefaultLiveOptions())
+		} else {
+			var iface *core.Interface
+			iface, err = core.Generate(logq, core.DefaultOptions())
+			if err == nil {
+				h, err = reg.Add(name, title, iface, db)
+			}
 		}
-		h, err := reg.Add(name, title, iface, db)
 		if err != nil {
-			fatal(err)
+			fatal(fmt.Errorf("host %s: %w", name, err))
 		}
+		iface := h.Iface()
 		log.Printf("hosted %-6s %d queries -> %d widgets (cost %.0f) at /interfaces/%s/page",
 			h.ID, logq.Len(), len(iface.Widgets), iface.Cost(), h.ID)
 	}
@@ -70,8 +95,33 @@ func main() {
 		fatal(fmt.Errorf("no workloads hosted"))
 	}
 
-	log.Printf("serving %d interface(s) on %s", reg.Len(), *addr)
-	fatal(pi.Serve(*addr, reg))
+	srv := server.New(reg)
+	ctx := context.Background()
+	if *enableIngest {
+		srv.SetIngestor(ing)
+		go ing.Run(ctx)
+		for _, spec := range strings.Split(*tails, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			id, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -tail spec %q (want id=path)", spec))
+			}
+			go func(id, path string) {
+				log.Printf("tailing %s into /interfaces/%s", path, id)
+				if err := ing.Tail(ctx, id, path, time.Second); err != nil && ctx.Err() == nil {
+					log.Printf("tail %s: %v", path, err)
+				}
+			}(id, path)
+		}
+	} else if *tails != "" {
+		fatal(fmt.Errorf("-tail needs -ingest"))
+	}
+
+	log.Printf("serving %d interface(s) on %s (ingestion %v)", reg.Len(), *addr, *enableIngest)
+	fatal(srv.ListenAndServe(*addr))
 }
 
 // buildWorkload returns the query log and the dataset for one named

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/qlog"
+	"repro/internal/widgets"
+	"repro/internal/workload"
+)
+
+// grownOLAP returns an OLAP log of n entries plus k extra entries drawn
+// from the same generator (the continuation a live system would see).
+func grownOLAP(n, k int) (initial *qlog.Log, extra []qlog.Entry) {
+	full := workload.OLAPLog(n+k, 7)
+	initial = full.Slice(0, n)
+	for _, e := range full.Entries[n:] {
+		extra = append(extra, e)
+	}
+	return initial, extra
+}
+
+func ifaceFingerprint(t *testing.T, i *Interface) string {
+	t.Helper()
+	out := fmt.Sprintf("initial=%s cost=%.4f widgets=%d\n", ast.SQL(i.Initial), i.Cost(), len(i.Widgets))
+	for _, w := range i.Widgets {
+		out += fmt.Sprintf("  %s %s absent=%v numeric=%v:", w.Path, w.Type.Name, w.Domain.HasAbsent(), w.Domain.IsNumericRange())
+		for _, v := range w.Domain.Values() {
+			if v == nil {
+				out += " <absent>"
+				continue
+			}
+			out += " " + ast.SQL(v)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestAppendMatchesBatchRemine is the incremental-correctness anchor:
+// a miner grown entry-by-entry must produce exactly the interface a
+// batch Generate over the grown log produces.
+func TestAppendMatchesBatchRemine(t *testing.T) {
+	initial, extra := grownOLAP(120, 30)
+
+	m, err := NewMiner(initial, DefaultLiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append in uneven chunks to exercise chunk-boundary handling.
+	for _, chunk := range [][]qlog.Entry{extra[:1], extra[1:12], extra[12:]} {
+		if _, st, err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		} else if st.Added != len(chunk) || st.ParseErrors != 0 {
+			t.Fatalf("append stats = %+v, want %d added", st, len(chunk))
+		}
+	}
+
+	grown := workload.OLAPLog(150, 7)
+	want, err := Generate(grown, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Interface()
+	if g, w := ifaceFingerprint(t, got), ifaceFingerprint(t, want); g != w {
+		t.Fatalf("incremental interface diverged from batch re-mine:\nincremental:\n%s\nbatch:\n%s", g, w)
+	}
+	if m.Len() != 150 {
+		t.Fatalf("miner length = %d, want 150", m.Len())
+	}
+}
+
+// TestAppendWidensDomains: appending entries with fresh literals at a
+// mined path must widen that widget's domain in place while keeping the
+// interface's identity (initial query) stable.
+func TestAppendWidensDomains(t *testing.T) {
+	log := qlog.FromSQL(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+		"SELECT a FROM t WHERE x = 3",
+	)
+	m, err := NewMiner(log, DefaultLiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Interface()
+	if len(before.Widgets) == 0 {
+		t.Fatal("no widgets mined from seed log")
+	}
+	_, hi0 := before.Widgets[0].Domain.Range()
+
+	iface, st, err := m.Append([]qlog.Entry{
+		{SQL: "SELECT a FROM t WHERE x = 9"},
+		{SQL: "SELECT a FROM t WHERE x = 42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 2 || st.FullRemine {
+		t.Fatalf("stats = %+v, want 2 added on the incremental path", st)
+	}
+	if !ast.Equal(iface.Initial, before.Initial) {
+		t.Fatalf("initial query changed across append: %s -> %s",
+			ast.SQL(before.Initial), ast.SQL(iface.Initial))
+	}
+	if len(iface.Widgets) == 0 {
+		t.Fatal("widgets vanished")
+	}
+	_, hi1 := iface.Widgets[0].Domain.Range()
+	if hi1 <= hi0 || hi1 != 42 {
+		t.Fatalf("domain did not widen: max %g -> %g, want 42", hi0, hi1)
+	}
+	// The previously returned interface must be unaffected (readers may
+	// still hold it mid-request).
+	if _, hiOld := before.Widgets[0].Domain.Range(); hiOld != hi0 {
+		t.Fatalf("append mutated the previously served interface (max now %g)", hiOld)
+	}
+}
+
+// TestAppendCoverageFallback: an appended query whose transformations
+// the widget library cannot express (a slider-only library facing a
+// tree-shaped change) trips the structural-coverage check and forces a
+// full re-mine; with the check disabled the append stays incremental.
+func TestAppendCoverageFallback(t *testing.T) {
+	log := qlog.FromSQL(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+	)
+	opts := DefaultLiveOptions()
+	opts.CoverageThreshold = 1.0
+	opts.Generate.Library = widgets.Library{widgets.Slider}
+	m, err := NewMiner(log, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := m.Append([]qlog.Entry{
+		{SQL: "SELECT COUNT(z), w FROM other GROUP BY w ORDER BY w DESC"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullRemine {
+		t.Fatalf("coverage check did not trigger a full re-mine: %+v", st)
+	}
+
+	// With the check disabled the same append stays incremental.
+	opts.CoverageThreshold = -1
+	m2, err := NewMiner(qlog.FromSQL(log.SQLs()...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := m2.Append([]qlog.Entry{
+		{SQL: "SELECT COUNT(z), w FROM other GROUP BY w ORDER BY w DESC"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FullRemine {
+		t.Fatalf("disabled coverage check still re-mined: %+v", st2)
+	}
+}
+
+// TestAppendDropsUnparseableEntries: bad entries are counted and
+// skipped, good ones still mined.
+func TestAppendDropsUnparseableEntries(t *testing.T) {
+	log := qlog.FromSQL(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+	)
+	m, err := NewMiner(log, DefaultLiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := m.Append([]qlog.Entry{
+		{SQL: "THIS IS NOT SQL ((("},
+		{SQL: "SELECT a FROM t WHERE x = 7"},
+		{SQL: "ALSO ;;; NOT SQL"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 1 || st.ParseErrors != 2 || st.LastParseError == "" {
+		t.Fatalf("stats = %+v, want 1 added / 2 parse errors", st)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("miner length = %d, want 3", m.Len())
+	}
+}
+
+// TestIncrementalSpeedup is the acceptance bar: appending a handful of
+// entries to a large mined log must be at least 5x faster than the full
+// re-mine (parse + mine + map) it replaces.
+func TestIncrementalSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const n, k = 1200, 5
+	initial, extra := grownOLAP(n, k)
+	m, err := NewMiner(initial, DefaultLiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now()
+	_, st, err := m.Append(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr := time.Since(t0)
+	if st.FullRemine {
+		t.Fatalf("append fell back to a full re-mine: %+v", st)
+	}
+
+	grown := workload.OLAPLog(n+k, 7)
+	t1 := time.Now()
+	if _, err := Generate(grown, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t1)
+
+	t.Logf("incremental append of %d onto %d: %v; full re-mine: %v (%.1fx)",
+		k, n, incr, full, float64(full)/float64(incr))
+	if incr*5 > full {
+		t.Fatalf("incremental append %v not ≥5x faster than full re-mine %v", incr, full)
+	}
+}
+
+// BenchmarkAppendIncremental measures the incremental path: batches of
+// K=5 entries from the workload's own continuation stream appended to
+// an n=1200 mined log. One miner absorbs every iteration's append —
+// the log keeps growing, which is exactly the live scenario.
+func BenchmarkAppendIncremental(b *testing.B) {
+	const n, k, chunks = 1200, 5, 1024
+	full := workload.OLAPLog(n+k*chunks, 7)
+	m, err := NewMiner(full.Slice(0, n), DefaultLiveOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := full.Entries[n:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := (i % chunks) * k
+		if _, _, err := m.Append(stream[at : at+k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRemine is the baseline the incremental path replaces:
+// batch Generate over the grown log.
+func BenchmarkFullRemine(b *testing.B) {
+	const n, k = 1200, 5
+	grown := workload.OLAPLog(n+k, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(grown, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,7 +28,7 @@ type Dependency struct {
 
 // Compile renders the interface as a self-contained HTML document.
 func Compile(iface *core.Interface, title string) (string, error) {
-	return compile(iface, title, nil, "")
+	return compile(iface, title, nil, "", "", 0)
 }
 
 // CompileWithDeps additionally embeds widget dependencies (§4.5 /
@@ -36,7 +36,7 @@ func Compile(iface *core.Interface, title string) (string, error) {
 // enabled"): the page disables a dependent widget's controls while its
 // controlling widget is in a non-supporting state.
 func CompileWithDeps(iface *core.Interface, title string, deps []Dependency) (string, error) {
-	return compile(iface, title, deps, "")
+	return compile(iface, title, deps, "", "", 0)
 }
 
 // CompileServed renders the interface as a page whose exec() hook is
@@ -53,10 +53,23 @@ func CompileServedWithDeps(iface *core.Interface, title, endpoint string, deps [
 	if endpoint == "" {
 		return "", fmt.Errorf("htmlgen: served page needs a query endpoint")
 	}
-	return compile(iface, title, deps, endpoint)
+	return compile(iface, title, deps, endpoint, "", 0)
 }
 
-func compile(iface *core.Interface, title string, deps []Dependency, endpoint string) (string, error) {
+// CompileServedLive is CompileServed for an interface that evolves
+// under live log ingestion: the page is stamped with the epoch it was
+// compiled at and polls the given epoch endpoint (GET, returning
+// {"epoch": n}); when the server hot-swaps a re-mined interface the
+// epoch bumps and the page reloads itself, picking up the widened
+// widget domains while keeping the same URL.
+func CompileServedLive(iface *core.Interface, title, endpoint, epochEndpoint string, epoch uint64) (string, error) {
+	if endpoint == "" {
+		return "", fmt.Errorf("htmlgen: served page needs a query endpoint")
+	}
+	return compile(iface, title, nil, endpoint, epochEndpoint, epoch)
+}
+
+func compile(iface *core.Interface, title string, deps []Dependency, endpoint, epochEndpoint string, epoch uint64) (string, error) {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
 	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
@@ -74,7 +87,7 @@ func compile(iface *core.Interface, title string, deps []Dependency, endpoint st
 	b.WriteString("</div>\n")
 	b.WriteString("<pre id=\"sql\"></pre>\n<div id=\"result\"></div>\n")
 
-	state, err := pageState(iface, deps, endpoint)
+	state, err := pageState(iface, deps, endpoint, epochEndpoint, epoch)
 	if err != nil {
 		return "", err
 	}
@@ -86,7 +99,7 @@ func compile(iface *core.Interface, title string, deps []Dependency, endpoint st
 // pageState serializes the initial query AST, each widget's path and
 // domain (as both AST JSON and rendered SQL fragments), and the widget
 // dependencies for the page script.
-func pageState(iface *core.Interface, deps []Dependency, endpoint string) (string, error) {
+func pageState(iface *core.Interface, deps []Dependency, endpoint, epochEndpoint string, epoch uint64) (string, error) {
 	type option struct {
 		Label string          `json:"label"`
 		AST   json.RawMessage `json:"ast"`
@@ -100,13 +113,18 @@ func pageState(iface *core.Interface, deps []Dependency, endpoint string) (strin
 		Max     float64  `json:"max,omitempty"`
 	}
 	type page struct {
-		Initial  json.RawMessage `json:"initial"`
-		InitSQL  string          `json:"initSql"`
-		Widgets  []widgetState   `json:"widgets"`
-		Deps     []Dependency    `json:"deps,omitempty"`
-		Endpoint string          `json:"endpoint,omitempty"`
+		Initial       json.RawMessage `json:"initial"`
+		InitSQL       string          `json:"initSql"`
+		Widgets       []widgetState   `json:"widgets"`
+		Deps          []Dependency    `json:"deps,omitempty"`
+		Endpoint      string          `json:"endpoint,omitempty"`
+		EpochEndpoint string          `json:"epochEndpoint,omitempty"`
+		Epoch         uint64          `json:"epoch,omitempty"`
 	}
-	p := page{InitSQL: ast.SQL(iface.Initial), Deps: deps, Endpoint: endpoint}
+	p := page{
+		InitSQL: ast.SQL(iface.Initial), Deps: deps, Endpoint: endpoint,
+		EpochEndpoint: epochEndpoint, Epoch: epoch,
+	}
 	ini, err := json.Marshal(iface.Initial)
 	if err != nil {
 		return "", err
@@ -403,6 +421,20 @@ async function refresh() {
   const q = sql(current);
   document.getElementById("sql").textContent = q;
   render(await exec(q));
+}
+// Live ingestion: a page compiled at some epoch polls the epoch
+// endpoint; when the server hot-swaps a re-mined interface the epoch
+// bumps and the page reloads to pick up the widened widget domains.
+// The current URL (and thus the interface ID) stays stable.
+if (PI_STATE.epochEndpoint) {
+  setInterval(async function () {
+    try {
+      const resp = await fetch(PI_STATE.epochEndpoint);
+      if (!resp.ok) return;
+      const body = await resp.json();
+      if (body.epoch && body.epoch !== PI_STATE.epoch) location.reload();
+    } catch (err) { /* server away; keep the dashboard usable */ }
+  }, 3000);
 }
 applyDeps();
 refresh();

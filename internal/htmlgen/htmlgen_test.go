@@ -115,3 +115,31 @@ func TestEmptyInterfaceCompiles(t *testing.T) {
 		t.Fatal("page should still carry state for q0")
 	}
 }
+
+func TestCompileServedLiveEmbedsEpochPolling(t *testing.T) {
+	iface := buildIface(t,
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2")
+	page, err := CompileServedLive(iface, "Live", "/interfaces/x/query", "/interfaces/x/epoch", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`"endpoint":"/interfaces/x/query"`,
+		`"epochEndpoint":"/interfaces/x/epoch"`,
+		`"epoch":3`,
+		"location.reload()",
+	} {
+		if !strings.Contains(page, frag) {
+			t.Errorf("live page missing %s", frag)
+		}
+	}
+	// A plain served page neither embeds an epoch nor polls.
+	static, err := CompileServed(iface, "Static", "/interfaces/x/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(static, "epochEndpoint\":") {
+		t.Error("static served page should not carry an epoch endpoint")
+	}
+}

@@ -1,0 +1,280 @@
+// Package ingest is the streaming half of the pipeline: it accepts
+// query-log entries for interfaces that are already being served,
+// buffers them per interface, re-mines incrementally (via core.Miner,
+// which reuses the interaction graph and the mapper's partition state
+// so an append costs O(K·window) tree comparisons instead of a full
+// O(n·window) re-mine) and hot-swaps the result into the serving
+// registry under a bumped epoch. The batch pipeline turns a frozen log
+// into a dashboard; this package keeps the dashboard improving while
+// users keep querying — the "logs as the system API" premise applied
+// to a log that is still being written.
+//
+// Entry points: HTTP (the server's POST /interfaces/{id}/log routes to
+// Submit), direct calls (pi.Ingest) and file tailing (Tail, which
+// follows a growing log file the way tail -f does). An Ingester
+// implements server.Ingestor and server.IngestStatuser, so wiring it
+// into a server enables the endpoint and the /healthz ingest rows.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qlog"
+	"repro/internal/server"
+)
+
+// Options configure buffering and flushing.
+type Options struct {
+	// BatchSize is the buffered-entry count that triggers an inline
+	// flush (re-mine + swap) during Submit. Default 8.
+	BatchSize int
+	// MaxBuffer bounds the per-interface buffer. A submission that
+	// would overflow it flushes inline (backpressure through mining
+	// latency instead of unbounded memory — or data loss). Default 4096.
+	MaxBuffer int
+	// FlushInterval is the background cadence at which Run flushes
+	// buffers that never filled a batch. Default 2s.
+	FlushInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.MaxBuffer <= 0 {
+		o.MaxBuffer = 4096
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Second
+	}
+	return o
+}
+
+// feed is one interface's ingestion state: the retained miner, the
+// entry buffer and the counters. feed.mu serializes mining and
+// swapping for the interface; query traffic never takes it.
+type feed struct {
+	hosted *server.Hosted
+	mu     sync.Mutex
+	miner  *core.Miner
+	buf    []qlog.Entry
+
+	accepted    uint64
+	dropped     uint64
+	flushes     uint64
+	fullRemines uint64
+	lastError   string
+}
+
+// Ingester routes submitted log entries to per-interface feeds. It is
+// safe for concurrent use.
+type Ingester struct {
+	reg  *server.Registry
+	opts Options
+
+	mu    sync.RWMutex
+	feeds map[string]*feed
+}
+
+// New returns an ingester over the registry.
+func New(reg *server.Registry, opts Options) *Ingester {
+	return &Ingester{reg: reg, opts: opts.withDefaults(), feeds: make(map[string]*feed)}
+}
+
+// Host mines the log, registers the interface for serving AND attaches
+// a live feed, so subsequent Submit calls evolve it. This is the
+// live-path counterpart of mining once and calling Registry.Add.
+func (ing *Ingester) Host(id, title string, log *qlog.Log, db *engine.DB, opts core.LiveOptions) (*server.Hosted, error) {
+	m, err := core.NewMiner(log, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: mine %q: %w", id, err)
+	}
+	h, err := ing.reg.Add(id, title, m.Interface(), db)
+	if err != nil {
+		return nil, err
+	}
+	ing.mu.Lock()
+	ing.feeds[id] = &feed{hosted: h, miner: m}
+	ing.mu.Unlock()
+	return h, nil
+}
+
+func (ing *Ingester) feed(id string) (*feed, error) {
+	ing.mu.RLock()
+	f, ok := ing.feeds[id]
+	ing.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ingest: interface %q has no live feed (hosted without ingestion?)", id)
+	}
+	return f, nil
+}
+
+// Submit buffers entries for the interface and flushes inline when the
+// batch threshold is reached. A submission larger than the remaining
+// buffer flushes mid-way and keeps going, so no entry is ever silently
+// discarded: Submit either accepts everything (Accepted == len(entries))
+// or returns the re-mining error that stopped it, with Accepted telling
+// how far it got. Implements server.Ingestor.
+func (ing *Ingester) Submit(id string, entries []qlog.Entry) (server.IngestAck, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return server.IngestAck{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ack server.IngestAck
+	for len(entries) > 0 {
+		room := ing.opts.MaxBuffer - len(f.buf)
+		if room <= 0 {
+			// Buffer full (flushes must have been failing, or MaxBuffer <
+			// BatchSize): drain it before accepting more.
+			dropped, err := ing.flushLocked(f)
+			ack.Flushed = true
+			ack.Dropped += dropped
+			if err != nil {
+				ack.Buffered = len(f.buf)
+				ack.Epoch = f.hosted.Epoch()
+				return ack, err
+			}
+			continue
+		}
+		take := min(room, len(entries))
+		f.buf = append(f.buf, entries[:take]...)
+		entries = entries[take:]
+		f.accepted += uint64(take)
+		ack.Accepted += take
+		if len(f.buf) >= ing.opts.BatchSize {
+			dropped, err := ing.flushLocked(f)
+			ack.Flushed = true
+			ack.Dropped += dropped
+			if err != nil {
+				ack.Buffered = len(f.buf)
+				ack.Epoch = f.hosted.Epoch()
+				return ack, err
+			}
+		}
+	}
+	ack.Buffered = len(f.buf)
+	ack.Epoch = f.hosted.Epoch()
+	return ack, nil
+}
+
+// Flush re-mines any buffered entries for the interface immediately
+// and returns the current epoch. Implements server.Ingestor.
+func (ing *Ingester) Flush(id string) (uint64, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := ing.flushLocked(f); err != nil {
+		return f.hosted.Epoch(), err
+	}
+	return f.hosted.Epoch(), nil
+}
+
+// flushLocked re-mines the buffered entries and hot-swaps the updated
+// interface. Caller holds f.mu. Returns how many entries were dropped
+// as unparseable.
+func (ing *Ingester) flushLocked(f *feed) (int, error) {
+	if len(f.buf) == 0 {
+		return 0, nil
+	}
+	entries := f.buf
+	f.buf = nil
+	iface, st, err := f.miner.Append(entries)
+	f.dropped += uint64(st.ParseErrors)
+	if st.LastParseError != "" {
+		f.lastError = st.LastParseError
+	}
+	if err != nil {
+		// A failed Append made no state changes: put the batch back so
+		// a later flush retries it instead of silently losing it.
+		f.buf = append(entries, f.buf...)
+		f.lastError = err.Error()
+		return st.ParseErrors, fmt.Errorf("ingest: re-mine %q: %w", f.hosted.ID, err)
+	}
+	if st.FullRemine {
+		f.fullRemines++
+	}
+	if st.Added == 0 {
+		// Nothing mined (every entry dropped): keep the epoch, and with
+		// it the caches — nothing changed.
+		return st.ParseErrors, nil
+	}
+	f.flushes++
+	if _, err := f.hosted.Swap(iface, nil); err != nil {
+		f.lastError = err.Error()
+		return st.ParseErrors, fmt.Errorf("ingest: swap %q: %w", f.hosted.ID, err)
+	}
+	return st.ParseErrors, nil
+}
+
+// FlushAll flushes every feed; errors are recorded in the feeds'
+// status rather than returned (the background loop has nobody to tell).
+func (ing *Ingester) FlushAll() {
+	ing.mu.RLock()
+	ids := make([]string, 0, len(ing.feeds))
+	for id := range ing.feeds {
+		ids = append(ids, id)
+	}
+	ing.mu.RUnlock()
+	for _, id := range ids {
+		_, _ = ing.Flush(id)
+	}
+}
+
+// Run flushes straggler buffers on the configured interval until ctx
+// is done — Submit already flushes full batches inline; Run exists so
+// a trickle of entries below BatchSize still lands.
+func (ing *Ingester) Run(ctx context.Context) {
+	t := time.NewTicker(ing.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			ing.FlushAll()
+		}
+	}
+}
+
+// IngestStatus implements server.IngestStatuser for /healthz.
+func (ing *Ingester) IngestStatus(id string) (server.IngestStatus, bool) {
+	ing.mu.RLock()
+	f, ok := ing.feeds[id]
+	ing.mu.RUnlock()
+	if !ok {
+		return server.IngestStatus{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return server.IngestStatus{
+		Buffered:    len(f.buf),
+		Accepted:    f.accepted,
+		Dropped:     f.dropped,
+		Flushes:     f.flushes,
+		FullRemines: f.fullRemines,
+		LastError:   f.lastError,
+	}, true
+}
+
+// MinedLen returns how many log entries the interface's miner holds
+// (initial log plus mined appends; buffered entries not yet flushed are
+// excluded).
+func (ing *Ingester) MinedLen(id string) (int, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.miner.Len(), nil
+}

@@ -1,0 +1,435 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qlog"
+	"repro/internal/server"
+)
+
+// fixtureDB is a tiny dataset matching the "SELECT a FROM t WHERE x=N"
+// template the tests mine.
+func fixtureDB(t *testing.T) *engine.DB {
+	t.Helper()
+	tbl := engine.NewTable("t", "a", "x")
+	for i := 1; i <= 50; i++ {
+		if err := tbl.AddRow(engine.Num(float64(i*10)), engine.Num(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := engine.NewDB()
+	db.AddTable(tbl)
+	return db
+}
+
+func fixtureLog(n int) *qlog.Log {
+	l := &qlog.Log{}
+	for i := 1; i <= n; i++ {
+		l.Append(fmt.Sprintf("SELECT a FROM t WHERE x = %d", i), "")
+	}
+	return l
+}
+
+func entry(sql string) qlog.Entry { return qlog.Entry{SQL: sql} }
+
+func newIngester(t *testing.T, opts Options) (*server.Registry, *Ingester, *server.Hosted) {
+	t.Helper()
+	reg := server.NewRegistry()
+	ing := New(reg, opts)
+	h, err := ing.Host("live", "live test", fixtureLog(4), fixtureDB(t), core.DefaultLiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, ing, h
+}
+
+func TestSubmitBuffersUntilBatch(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 3})
+	if h.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d", h.Epoch())
+	}
+	ack, err := ing.Submit("live", []qlog.Entry{entry("SELECT a FROM t WHERE x = 30")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Flushed || ack.Buffered != 1 || ack.Epoch != 1 {
+		t.Fatalf("ack = %+v, want buffered unflushed at epoch 1", ack)
+	}
+	// Filling the batch flushes inline: re-mine + hot swap.
+	ack, err = ing.Submit("live", []qlog.Entry{
+		entry("SELECT a FROM t WHERE x = 31"),
+		entry("SELECT a FROM t WHERE x = 32"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Flushed || ack.Buffered != 0 || ack.Epoch != 2 {
+		t.Fatalf("ack = %+v, want flushed at epoch 2", ack)
+	}
+	// The served interface widened: 32 is now inside the mined domain.
+	found := false
+	for _, w := range h.Iface().Widgets {
+		if w.Domain.IsNumericRange() {
+			if _, hi := w.Domain.Range(); hi >= 32 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no widget domain widened to the ingested values")
+	}
+	if n, err := ing.MinedLen("live"); err != nil || n != 7 {
+		t.Fatalf("mined len = %d (%v), want 7", n, err)
+	}
+}
+
+func TestFlushOnDemandAndStatus(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 100})
+	if _, err := ing.Submit("live", []qlog.Entry{
+		entry("SELECT a FROM t WHERE x = 40"),
+		entry("not sql at all ((("),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := ing.Flush("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || h.Epoch() != 2 {
+		t.Fatalf("epoch = %d/%d, want 2", epoch, h.Epoch())
+	}
+	st, ok := ing.IngestStatus("live")
+	if !ok {
+		t.Fatal("no status for live feed")
+	}
+	if st.Accepted != 2 || st.Dropped != 1 || st.Flushes != 1 || st.Buffered != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.LastError == "" {
+		t.Fatal("dropped entry left no error trace")
+	}
+	// Flushing an empty buffer is a no-op: no epoch bump, caches kept.
+	if epoch, err = ing.Flush("live"); err != nil || epoch != 2 {
+		t.Fatalf("idle flush: epoch %d, %v", epoch, err)
+	}
+}
+
+func TestAllDroppedKeepsEpoch(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 1})
+	ack, err := ing.Submit("live", []qlog.Entry{entry("garbage ~~~")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch != 1 || h.Epoch() != 1 || ack.Dropped != 1 {
+		t.Fatalf("ack = %+v epoch=%d, want unchanged epoch 1", ack, h.Epoch())
+	}
+}
+
+func TestSubmitUnknownFeed(t *testing.T) {
+	reg := server.NewRegistry()
+	ing := New(reg, Options{})
+	if _, err := ing.Submit("nope", []qlog.Entry{entry("SELECT a FROM t")}); err == nil {
+		t.Fatal("unknown feed accepted")
+	}
+}
+
+// TestBufferOverflowFlushesThrough: a submission larger than the
+// buffer must not lose entries — it flushes mid-way and accepts
+// everything.
+func TestBufferOverflowFlushesThrough(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 100, MaxBuffer: 2})
+	var entries []qlog.Entry
+	for i := 0; i < 5; i++ {
+		entries = append(entries, entry(fmt.Sprintf("SELECT a FROM t WHERE x = %d", 20+i)))
+	}
+	ack, err := ing.Submit("live", entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 5 || !ack.Flushed {
+		t.Fatalf("ack = %+v, want all 5 accepted via mid-way flushes", ack)
+	}
+	// 4 seed entries + everything flushed so far (the last partial
+	// buffer may still be pending).
+	mined, _ := ing.MinedLen("live")
+	if mined+ack.Buffered != 9 {
+		t.Fatalf("mined %d + buffered %d, want 9 total", mined, ack.Buffered)
+	}
+	if h.Epoch() < 2 {
+		t.Fatalf("epoch = %d, want bumped by overflow flushes", h.Epoch())
+	}
+}
+
+// TestNoStaleCacheAcrossSwap is the acceptance "epoch test": a result
+// cached before ingestion must never be replayed after the hot swap —
+// the post-swap query reports the new epoch and a cache miss.
+func TestNoStaleCacheAcrossSwap(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 1})
+	ts := httptest.NewServer(serveWith(nil, ing, h))
+	defer ts.Close()
+
+	first := postQuery(t, ts.URL, `{"widgets":[]}`)
+	if first.Epoch != 1 || first.Cache != "miss" {
+		t.Fatalf("first = %+v", first)
+	}
+	if again := postQuery(t, ts.URL, `{"widgets":[]}`); again.Cache != "hit" || again.Plan != "hit" {
+		t.Fatalf("repeat before swap = %+v, want result+plan hits", again)
+	}
+
+	if _, err := ing.Submit("live", []qlog.Entry{entry("SELECT a FROM t WHERE x = 44")}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch() != 2 {
+		t.Fatalf("epoch after ingest = %d", h.Epoch())
+	}
+	after := postQuery(t, ts.URL, `{"widgets":[]}`)
+	if after.Epoch != 2 {
+		t.Fatalf("post-swap epoch = %d, want 2", after.Epoch)
+	}
+	if after.Cache != "miss" || after.Plan != "miss" {
+		t.Fatalf("post-swap served pre-swap cached state: %+v", after)
+	}
+}
+
+// serveWith builds the HTTP handler the way cmd/pi-serve does.
+func serveWith(t *testing.T, ing *Ingester, h *server.Hosted) http.Handler {
+	reg := ing.reg
+	s := server.New(reg)
+	s.SetIngestor(ing)
+	return s.Handler()
+}
+
+func postQuery(t *testing.T, base, body string) *server.QueryResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/interfaces/live/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	var out server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// TestIngestEndpointTextAndJSON drives POST /interfaces/{id}/log in
+// both body formats, including a multi-line statement, and checks
+// /healthz reports the feed.
+func TestIngestEndpointTextAndJSON(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 100})
+	ts := httptest.NewServer(serveWith(t, ing, h))
+	defer ts.Close()
+
+	// text/plain, multi-line ;-terminated with a comment.
+	text := "SELECT a\n  FROM t -- live\n  WHERE x = 45;\nSELECT a FROM t WHERE x = 46\n"
+	resp, err := http.Post(ts.URL+"/interfaces/live/log?flush=1", "text/plain", bytes.NewReader([]byte(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack server.IngestAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || ack.Accepted != 2 || !ack.Flushed || ack.Epoch != 2 {
+		t.Fatalf("text ingest: status=%d ack=%+v", resp.StatusCode, ack)
+	}
+
+	// JSON body.
+	body := `{"entries":[{"sql":"SELECT a FROM t WHERE x = 47","client":"c9"}]}`
+	resp, err = http.Post(ts.URL+"/interfaces/live/log?flush=1", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || ack.Accepted != 1 || ack.Epoch != 3 {
+		t.Fatalf("json ingest: status=%d ack=%+v", resp.StatusCode, ack)
+	}
+
+	// /healthz carries the ingest counters and the epoch.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health server.Health
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || !health.Ingestion || len(health.Interfaces) != 1 {
+		t.Fatalf("health = %+v", health)
+	}
+	row := health.Interfaces[0]
+	if row.ID != "live" || row.Epoch != 3 || row.Ingest == nil || row.Ingest.Accepted != 3 {
+		t.Fatalf("health row = %+v (ingest %+v)", row, row.Ingest)
+	}
+}
+
+func TestIngestEndpointWithoutIngestorIs501(t *testing.T) {
+	reg := server.NewRegistry()
+	ing := New(reg, Options{})
+	if _, err := ing.Host("live", "t", fixtureLog(3), fixtureDB(t), core.DefaultLiveOptions()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg).Handler()) // no SetIngestor
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/interfaces/live/log", "text/plain",
+		bytes.NewReader([]byte("SELECT a FROM t WHERE x = 1\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestHotSwapUnderConcurrentQueries is the -race hammer: goroutines
+// POST widget states nonstop while the main goroutine ingests (each
+// flush hot-swaps a new epoch). Every response must carry an epoch at
+// least as new as the epoch observed before the request was sent — a
+// post-swap query served from a pre-swap cache would violate that.
+func TestHotSwapUnderConcurrentQueries(t *testing.T) {
+	_, ing, h := newIngester(t, Options{BatchSize: 1})
+	ts := httptest.NewServer(serveWith(t, ing, h))
+	defer ts.Close()
+
+	const goroutines = 6
+	const perG = 40
+	stop := make(chan struct{})
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				before := h.Epoch()
+				// Alternate cached (initial) and fresh widget states.
+				body := `{"widgets":[]}`
+				resp, err := http.Post(ts.URL+"/interfaces/live/query", "application/json",
+					bytes.NewReader([]byte(body)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out server.QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				if out.Epoch < before {
+					errs <- fmt.Errorf("stale epoch: served %d, current was already %d", out.Epoch, before)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Meanwhile: ingest entries one by one; BatchSize 1 swaps on every
+	// submit.
+	for i := 0; i < 25; i++ {
+		if _, err := ing.Submit("live", []qlog.Entry{
+			entry(fmt.Sprintf("SELECT a FROM t WHERE x = %d", 100+i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if h.Epoch() != 26 {
+		t.Fatalf("final epoch = %d, want 26 (1 + 25 swaps)", h.Epoch())
+	}
+}
+
+// TestTailFollowsFile appends to a log file (multi-line statements
+// included) and waits for the tailer to mine them in.
+func TestTailFollowsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queries.log")
+	if err := os.WriteFile(path, []byte("SELECT a FROM t WHERE x = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ing, h := newIngester(t, Options{BatchSize: 1, FlushInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ing.Tail(ctx, "live", path, 5*time.Millisecond) }()
+
+	// Give the tailer a beat to record the initial offset, then append.
+	time.Sleep(20 * time.Millisecond)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("SELECT a\n  FROM t\n  WHERE x = 48;\nSELECT a FROM t WHERE x = 49\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, _ := ing.MinedLen("live"); n >= 6 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n, _ := ing.MinedLen("live"); n < 6 {
+		t.Fatalf("tailer mined %d entries, want 6 (4 seed + 2 appended)", n)
+	}
+
+	// A final line without a trailing newline must still land once the
+	// file goes quiet.
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("SELECT a FROM t WHERE x = 50"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for time.Now().Before(deadline) {
+		if n, _ := ing.MinedLen("live"); n >= 7 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n, _ := ing.MinedLen("live"); n < 7 {
+		t.Fatalf("tailer mined %d entries, want 7 (newline-less final line lost)", n)
+	}
+	if h.Epoch() < 2 {
+		t.Fatalf("epoch = %d, want >= 2 after tailed ingestion", h.Epoch())
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("tail returned %v", err)
+	}
+}

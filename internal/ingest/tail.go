@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/qlog"
+)
+
+// Tail follows a growing query-log file (tail -f style) and submits
+// every statement appended after the call to the interface's feed.
+// Statements are assembled with the qlog statement scanner, so
+// multi-line ';'-terminated SQL and "--" comments are handled. A
+// statement still open at the end of a poll (mid-write) is held, not
+// submitted half-finished; only after two consecutive polls with no
+// new bytes is the held state force-completed — a writer that pauses
+// longer than 2x the interval in the middle of an unterminated
+// multi-line statement can still get it split, so slow writers should
+// ';'-terminate (the terminator completes a statement regardless of
+// timing). Truncation or rotation (file shrinks) restarts from the
+// beginning of the new file. Tail blocks until ctx is done; run it in
+// a goroutine.
+//
+// The poll interval doubles as the liveness budget: entries appear in
+// the served interface after at most interval (poll) + FlushInterval
+// (background flush) once a batch hasn't filled earlier.
+func (ing *Ingester) Tail(ctx context.Context, id, path string, interval time.Duration) error {
+	if _, err := ing.feed(id); err != nil {
+		return err
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	offset, err := initialOffset(path)
+	if err != nil {
+		return fmt.Errorf("ingest: tail %q: %w", path, err)
+	}
+	sc := qlog.NewStatementScanner()
+	var partial []byte
+	quiet := 0
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			newOffset, newPartial, err := ing.poll(id, path, offset, partial, sc)
+			if err != nil {
+				// Transient (file rotated away, fs hiccup): keep tailing.
+				continue
+			}
+			if newOffset != offset {
+				quiet = 0
+			} else if quiet++; quiet >= 2 {
+				// Quiescent for two polls: what we hold is complete —
+				// a final line without a trailing newline (the
+				// partial) and a statement the scanner still keeps
+				// open (legacy one-per-line logs never ';'-terminate
+				// their last line). Feed and flush both.
+				if len(newPartial) > 0 {
+					sc.Line(string(newPartial))
+					newPartial = nil
+				}
+				sc.Flush()
+				if entries := sc.Drain(); len(entries) > 0 {
+					_, _ = ing.Submit(id, entries)
+				}
+			}
+			offset, partial = newOffset, newPartial
+		}
+	}
+}
+
+// initialOffset returns the file's current size — tailing starts at
+// the end, like tail -f; the file's existing contents are the batch
+// log the interface was mined from. A missing file starts at 0 and is
+// picked up when it appears.
+func initialOffset(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// poll reads bytes appended since offset, feeds complete lines through
+// the statement scanner and submits finished statements.
+func (ing *Ingester) poll(id, path string, offset int64, partial []byte, sc *qlog.StatementScanner) (int64, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return offset, partial, nil // not yet created (or rotated out)
+		}
+		return offset, partial, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return offset, partial, err
+	}
+	if st.Size() < offset {
+		// Truncated or rotated: drop partial state, restart at 0.
+		offset, partial = 0, nil
+		sc.Flush()
+		sc.Drain()
+	}
+	if st.Size() == offset {
+		return offset, partial, nil
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return offset, partial, err
+	}
+	chunk, err := io.ReadAll(f)
+	if err != nil {
+		return offset, partial, err
+	}
+	offset += int64(len(chunk))
+
+	buf := append(partial, chunk...)
+	var entries []qlog.Entry
+	start := 0
+	for i := 0; i < len(buf); i++ {
+		if buf[i] != '\n' {
+			continue
+		}
+		sc.Line(string(buf[start:i]))
+		entries = append(entries, sc.Drain()...)
+		start = i + 1
+	}
+	partial = append([]byte(nil), buf[start:]...)
+	if len(entries) > 0 {
+		if _, err := ing.Submit(id, entries); err != nil {
+			return offset, partial, err
+		}
+	}
+	return offset, partial, nil
+}

@@ -84,19 +84,60 @@ type Stats struct {
 	DiffRecords int
 }
 
+// Differ computes the pairwise subtree transformations the miner is
+// built on. The zero-state stdDiffer calls treediff directly; a
+// *treediff.Comparer memoizes repeated pairs, which an incremental
+// miner revisits on every fallback re-mine.
+type Differ interface {
+	Compare(left, right *ast.Node) treediff.Result
+	CompareLCA(left, right *ast.Node) treediff.Result
+}
+
+type stdDiffer struct{}
+
+func (stdDiffer) Compare(l, r *ast.Node) treediff.Result    { return treediff.Compare(l, r) }
+func (stdDiffer) CompareLCA(l, r *ast.Node) treediff.Result { return treediff.CompareLCA(l, r) }
+
 // Mine parses nothing — it takes already-parsed ASTs (one per log entry,
 // in log order) and builds the interaction graph.
 func Mine(queries []*ast.Node, opts Options) (*Graph, Stats) {
-	g := &Graph{Queries: queries}
-	var st Stats
-	win := opts.WindowSize
-	if win <= 0 {
-		win = len(queries)
+	return MineWith(queries, opts, nil)
+}
+
+// MineWith is Mine with an explicit differ (nil = plain treediff).
+func MineWith(queries []*ast.Node, opts Options, d Differ) (*Graph, Stats) {
+	g := &Graph{}
+	st := MineAppend(g, queries, opts, d)
+	return g, st
+}
+
+// MineAppend grows an existing graph in place: the new queries become
+// vertices, and exactly the comparisons batch mining would have added
+// for them are performed — pairs (i, j) with j in the appended range
+// and i inside the sliding window (every i < j when WindowSize <= 0).
+// Appending K entries therefore costs O(K·w) comparisons instead of the
+// O(n·w) full re-mine, and a graph grown by repeated MineAppend calls
+// is structurally identical to batch-mining the whole log. The returned
+// stats cover only this append.
+func MineAppend(g *Graph, newQueries []*ast.Node, opts Options, d Differ) Stats {
+	if d == nil {
+		d = stdDiffer{}
 	}
-	for i := 0; i < len(queries); i++ {
-		for j := i + 1; j < len(queries) && j <= i+win-1; j++ {
+	var st Stats
+	base := len(g.Queries)
+	g.Queries = append(g.Queries, newQueries...)
+	win := opts.WindowSize
+	for j := base; j < len(g.Queries); j++ {
+		lo := 0
+		if win > 0 {
+			lo = j - win + 1
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		for i := lo; i < j; i++ {
 			st.Comparisons++
-			e, ok := compare(queries, i, j, opts.LCAPrune)
+			e, ok := compare(g.Queries, i, j, opts.LCAPrune, d)
 			if !ok {
 				continue
 			}
@@ -105,16 +146,15 @@ func Mine(queries []*ast.Node, opts Options) (*Graph, Stats) {
 			st.DiffRecords += len(e.Diffs)
 		}
 	}
-	st.Edges = len(g.Edges)
-	return g, st
+	return st
 }
 
-func compare(queries []*ast.Node, i, j int, lca bool) (Edge, bool) {
+func compare(queries []*ast.Node, i, j int, lca bool, d Differ) (Edge, bool) {
 	var res treediff.Result
 	if lca {
-		res = treediff.CompareLCA(queries[i], queries[j])
+		res = d.CompareLCA(queries[i], queries[j])
 	} else {
-		res = treediff.Compare(queries[i], queries[j])
+		res = d.Compare(queries[i], queries[j])
 	}
 	if len(res.Leaves) == 0 {
 		return Edge{}, false // identical queries: no interaction needed

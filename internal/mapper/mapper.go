@@ -65,23 +65,92 @@ func MapWithoutMerge(g *interaction.Graph, lib widgets.Library) []*MappedWidget 
 // heterogeneous log also swaps, say, a column reference in and out at
 // the same path (which would otherwise poison the domain's kind).
 func initialize(g *interaction.Graph, lib widgets.Library) []*MappedWidget {
-	parts := map[string][]interaction.DiffRecord{}
-	var order []string
-	for _, d := range g.Diffs() {
+	s := NewState(lib)
+	s.AddDiffs(g.Diffs())
+	return s.initialWidgets()
+}
+
+// State is the mapper's retained partition state for incremental
+// re-mapping: the (path, kind)-partitioned diffs table plus the widget
+// instantiated for each partition. Batch mapping partitions the whole
+// diffs table, instantiates every partition's widget and merges; a
+// State keeps the partitions across appends so only partitions touched
+// by new diff records are re-instantiated, leaving the per-append cost
+// proportional to the new records (merging still runs over the full
+// widget set — it is the cheap phase). Widgets() output is identical to
+// a batch Map over the same accumulated records.
+//
+// A State is not safe for concurrent use; it belongs to one miner.
+type State struct {
+	lib   widgets.Library
+	parts map[string][]interaction.DiffRecord
+	built map[string]*MappedWidget // pre-merge widget per partition
+}
+
+// NewState returns an empty mapping state over the widget library.
+func NewState(lib widgets.Library) *State {
+	if lib == nil {
+		lib = widgets.DefaultLibrary()
+	}
+	return &State{
+		lib:   lib,
+		parts: map[string][]interaction.DiffRecord{},
+		built: map[string]*MappedWidget{},
+	}
+}
+
+// AddDiffs appends new diff records to the partition state and
+// re-instantiates only the touched partitions. Returns how many
+// partitions were (re)built.
+func (s *State) AddDiffs(ds []interaction.DiffRecord) int {
+	dirty := map[string]bool{}
+	for _, d := range ds {
 		key := d.Path.String() + "|" + d.Kind().String()
-		if _, ok := parts[key]; !ok {
-			order = append(order, key)
-		}
-		parts[key] = append(parts[key], d)
+		s.parts[key] = append(s.parts[key], d)
+		dirty[key] = true
 	}
-	sort.Strings(order)
-	var ws []*MappedWidget
-	for _, key := range order {
-		recs := parts[key]
-		if w := rebuild(lib, recs[0].Path, recs); w != nil {
-			ws = append(ws, w)
+	for key := range dirty {
+		recs := s.parts[key]
+		if w := rebuild(s.lib, recs[0].Path, recs); w != nil {
+			s.built[key] = w
+		} else {
+			delete(s.built, key)
 		}
 	}
+	return len(dirty)
+}
+
+// NumDiffs returns the number of accumulated diff records.
+func (s *State) NumDiffs() int {
+	n := 0
+	for _, recs := range s.parts {
+		n += len(recs)
+	}
+	return n
+}
+
+// initialWidgets assembles the pre-merge widget list in sorted
+// partition-key order — exactly what batch initialize produces.
+func (s *State) initialWidgets() []*MappedWidget {
+	keys := make([]string, 0, len(s.built))
+	for key := range s.built {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	ws := make([]*MappedWidget, 0, len(keys))
+	for _, key := range keys {
+		ws = append(ws, s.built[key])
+	}
+	return ws
+}
+
+// Widgets runs the merge phase over the current partitions and returns
+// the interface's widgets in path order, like Map. The cached per-
+// partition widgets are not mutated (merge builds replacements), so
+// Widgets may be called after every append.
+func (s *State) Widgets() []*MappedWidget {
+	ws := merge(s.initialWidgets(), s.lib)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Path.Compare(ws[j].Path) < 0 })
 	return ws
 }
 

@@ -153,27 +153,268 @@ func (l *Log) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses the text format written by Write. Lines starting with
-// "--" or "#" and blank lines are skipped. A line containing a tab is
-// treated as "client<TAB>sql".
+// Read parses the text log format. The simple form is what Write
+// emits — one statement per line, optionally "client<TAB>sql" — but
+// real logs are messier, so the reader also accepts:
+//
+//   - multi-line statements: a line that does not start a new statement
+//     (and is not ';'-terminated) continues the previous one, and lines
+//     inside an unbalanced parenthesis — subqueries wrapped across
+//     lines — always continue;
+//   - explicit ';' terminators, including several statements per line;
+//   - "--" end-of-line comments (quote-aware: a '--' inside a string
+//     literal is kept) and full-line "#" comments;
+//   - blank lines, which terminate any pending multi-line statement.
+//
+// The client TAB prefix is recognized on the first line of a statement.
 func Read(r io.Reader) (*Log, error) {
 	l := &Log{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	st := NewStatementScanner()
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
-			continue
+		st.Line(sc.Text())
+		for _, e := range st.Drain() {
+			l.Append(e.SQL, e.Client)
 		}
-		client := ""
-		sql := line
-		if i := strings.IndexByte(line, '\t'); i >= 0 {
-			client, sql = line[:i], strings.TrimSpace(line[i+1:])
-		}
-		l.Append(sql, client)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	st.Flush()
+	for _, e := range st.Drain() {
+		l.Append(e.SQL, e.Client)
+	}
 	return l, nil
+}
+
+// StatementScanner assembles complete log entries from text lines fed
+// incrementally — the streaming core behind Read and the ingest file
+// tailer, which sees a log file grow line-by-line and must not split a
+// statement across a flush.
+//
+// Statement boundaries: a ';' (outside string literals) always
+// terminates. Without one, a line *continues* the pending statement
+// only when it plausibly belongs to it — it is indented, starts with a
+// clause keyword (FROM, WHERE, AND, JOIN, ...) or closing punctuation,
+// the pending text has an unbalanced '(' or string literal, or it is
+// the SELECT body of a pending WITH. Any other line completes the
+// pending statement and starts its own entry (so a legacy one-per-line
+// log keeps its per-line semantics, and a junk line cannot corrupt the
+// statement before it). Blank lines complete the pending statement,
+// "#"-lines and "--" comment tails are dropped.
+type StatementScanner struct {
+	out     []Entry
+	pending []string
+	client  string
+	depth   int  // unclosed '(' across pending lines
+	inQuote bool // unclosed string literal across pending lines
+}
+
+// NewStatementScanner returns an empty scanner.
+func NewStatementScanner() *StatementScanner { return &StatementScanner{} }
+
+// Line feeds one input line (without trailing newline). Completed
+// entries accumulate until Drain.
+func (s *StatementScanner) Line(line string) {
+	indented := len(line) > 0 && (line[0] == ' ' || line[0] == '\t')
+	line = strings.TrimSpace(line)
+	if line == "" {
+		s.Flush()
+		return
+	}
+	if strings.HasPrefix(line, "#") && !s.inQuote {
+		return
+	}
+	if !s.inQuote {
+		line = strings.TrimSpace(stripLineComment(line))
+		if line == "" {
+			return
+		}
+	}
+
+	continues := s.depth > 0 || s.inQuote ||
+		(len(s.pending) > 0 && (indented || continuesStatement(line) ||
+			(s.pendingWithNeedsBody() && startsWith(line, "SELECT"))))
+	if !continues {
+		// The line is a new entry: complete any pending statement and
+		// parse the leading "client<TAB>" prefix, if any.
+		s.Flush()
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			s.client = line[:i]
+			line = strings.TrimSpace(line[i+1:])
+		}
+	}
+
+	// Split on ';' terminators outside string literals.
+	for {
+		cut := semicolonIndex(line, s.inQuote)
+		if cut < 0 {
+			break
+		}
+		s.push(line[:cut])
+		s.Flush()
+		line = strings.TrimSpace(line[cut+1:])
+		if line == "" {
+			return
+		}
+	}
+	s.push(line)
+}
+
+// push appends a fragment to the pending statement, updating the paren
+// and quote balance.
+func (s *StatementScanner) push(frag string) {
+	if frag == "" {
+		return
+	}
+	s.pending = append(s.pending, frag)
+	inQuote := s.inQuote
+	depth := s.depth
+	for i := 0; i < len(frag); i++ {
+		switch frag[i] {
+		case '\'':
+			inQuote = !inQuote
+		case '(':
+			if !inQuote {
+				depth++
+			}
+		case ')':
+			if !inQuote && depth > 0 {
+				depth--
+			}
+		}
+	}
+	s.inQuote = inQuote
+	s.depth = depth
+}
+
+// Flush completes the pending statement, if any.
+func (s *StatementScanner) Flush() {
+	if len(s.pending) > 0 {
+		sql := strings.Join(s.pending, " ")
+		s.out = append(s.out, Entry{SQL: sql, Client: s.client})
+	}
+	s.pending = s.pending[:0]
+	s.client = ""
+	s.depth = 0
+	s.inQuote = false
+}
+
+// Drain returns the completed entries accumulated so far and resets the
+// output buffer. Seq fields are zero; callers appending to a Log get
+// rebased sequence numbers from Log.Append.
+func (s *StatementScanner) Drain() []Entry {
+	out := s.out
+	s.out = nil
+	return out
+}
+
+// pendingWithNeedsBody reports whether the pending statement is a WITH
+// that still lacks its main SELECT (no SELECT outside parentheses
+// yet): only then may a following SELECT line continue it. A complete
+// single-line WITH query does not swallow the unrelated SELECT after
+// it.
+func (s *StatementScanner) pendingWithNeedsBody() bool {
+	if len(s.pending) == 0 || !startsWith(s.pending[0], "WITH") {
+		return false
+	}
+	depth, inQuote := 0, false
+	for _, frag := range s.pending {
+		for i := 0; i < len(frag); i++ {
+			switch frag[i] {
+			case '\'':
+				inQuote = !inQuote
+			case '(':
+				if !inQuote {
+					depth++
+				}
+			case ')':
+				if !inQuote && depth > 0 {
+					depth--
+				}
+			default:
+				if !inQuote && depth == 0 && startsWith(frag[i:], "SELECT") &&
+					(i == 0 || frag[i-1] == ' ' || frag[i-1] == '\t' || frag[i-1] == ')') {
+					return false // body already present
+				}
+			}
+		}
+	}
+	return true
+}
+
+// continuationWords are clause openers that mark an unindented line as
+// the continuation of the pending statement rather than a new entry.
+var continuationWords = []string{
+	"FROM", "WHERE", "GROUP", "ORDER", "HAVING", "LIMIT", "OFFSET", "BY",
+	"AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "ON", "AS",
+	"JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+	"UNION", "EXCEPT", "INTERSECT",
+	"WHEN", "THEN", "ELSE", "END", "DESC", "ASC",
+}
+
+// continuesStatement reports whether an unindented line plausibly
+// continues a pending statement: it opens with a clause keyword or
+// with closing/listing punctuation.
+func continuesStatement(line string) bool {
+	if line[0] == ')' || line[0] == ',' {
+		return true
+	}
+	for _, kw := range continuationWords {
+		if startsWith(line, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// startsWith reports a case-insensitive keyword prefix ending at a word
+// boundary ("SELECTED" does not start a statement).
+func startsWith(s, kw string) bool {
+	if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return false
+	}
+	if len(s) == len(kw) {
+		return true
+	}
+	switch s[len(kw)] {
+	case ' ', '\t', '(', '*', ';', ',', ')':
+		return true
+	}
+	return false
+}
+
+// stripLineComment removes a "--" comment tail, ignoring "--" inside
+// single-quoted string literals.
+func stripLineComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line)-1; i++ {
+		switch line[i] {
+		case '\'':
+			inQuote = !inQuote
+		case '-':
+			if !inQuote && line[i+1] == '-' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// semicolonIndex returns the index of the first ';' outside string
+// literals, or -1. startInQuote carries quote state from prior lines.
+func semicolonIndex(line string, startInQuote bool) int {
+	inQuote := startInQuote
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
 }

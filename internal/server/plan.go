@@ -1,0 +1,138 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// Plan is a bound, rendered, hashed query — everything the query
+// handler derives from a widget-state shape before execution. Caching
+// plans means a cold *result* cache state (or a cache-disabled server)
+// still skips the per-request AST binding walk: the widget-state shape
+// is looked up as a string key, no tree copies, no SQL re-rendering,
+// no re-hashing.
+type Plan struct {
+	Query *ast.Node
+	SQL   string
+	Hash  ast.Hash
+}
+
+// PlanCache is a concurrency-safe LRU of Plans keyed by the canonical
+// widget-state shape (PlanKey). Like the result cache it lives inside
+// one epoch snapshot, so an interface swap starts with an empty plan
+// cache and stale bindings can never leak across epochs.
+type PlanCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type planEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache returns an LRU holding at most capacity plans (<= 0
+// disables caching).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached plan for the widget-state key.
+func (c *PlanCache) Get(key string) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*planEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a plan, evicting the least recently used entry when full.
+func (c *PlanCache) Put(key string, p *Plan) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = &planEntry{key: key, plan: p}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: p})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*planEntry).key)
+	}
+}
+
+// Stats returns a snapshot of the hit/miss counters and occupancy.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Capacity: c.cap}
+}
+
+// PlanKey renders a widget-binding set as a canonical string: bindings
+// sorted by path, each with a tag for which of the four binding forms
+// it uses and a canonical rendering of the value. Requests that bind
+// the same widgets to the same values produce the same key regardless
+// of binding order, so they share one cached plan. The key builder
+// never touches the query AST — that is the work being skipped.
+//
+// Every user-controlled field (path, text, value SQL) is length-
+// prefixed, making the encoding injective: no crafted text can make
+// one binding set collide with another's key and hit a plan the
+// client's own bindings would not have validated to.
+func PlanKey(bindings []WidgetBinding) string {
+	if len(bindings) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(bindings))
+	for i := range bindings {
+		b := &bindings[i]
+		var sb strings.Builder
+		writeField(&sb, b.Path)
+		switch {
+		case b.Absent:
+			sb.WriteByte('a')
+		case b.Number != nil:
+			sb.WriteByte('n')
+			writeField(&sb, strconv.FormatFloat(*b.Number, 'g', -1, 64))
+		case b.Text != nil:
+			sb.WriteByte('t')
+			writeField(&sb, *b.Text)
+		case b.Value != nil:
+			sb.WriteByte('v')
+			writeField(&sb, strconv.FormatUint(uint64(ast.HashOf(b.Value)), 16))
+			writeField(&sb, ast.SQL(b.Value))
+		default:
+			// Malformed binding (nothing set): make the key unique so it
+			// misses and Bind reports the error.
+			sb.WriteByte('?')
+		}
+		parts = append(parts, sb.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// writeField appends one length-prefixed field.
+func writeField(sb *strings.Builder, s string) {
+	sb.WriteString(strconv.Itoa(len(s)))
+	sb.WriteByte(':')
+	sb.WriteString(s)
+}

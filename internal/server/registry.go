@@ -6,12 +6,16 @@
 // immutable engine executes the bound query, and an LRU of results
 // keyed by canonical AST hash absorbs repeated widget states.
 //
-// Concurrency model: a Registry is safe for concurrent use. Hosted
-// interfaces are registered before (or while) serving; each Hosted
-// holds only immutable mined state (interface, dataset) plus two
-// internally synchronized members (the lazily compiled page and the
-// result cache), so request handlers never take a lock around query
-// execution.
+// Concurrency model: a Registry is safe for concurrent use. Each
+// Hosted interface's mutable serving state (interface, dataset, result
+// cache, plan cache, compiled page) lives behind one atomically
+// swapped, internally immutable epoch snapshot: request handlers load
+// the snapshot once and work against consistent state for the whole
+// request, while ingestion swaps in a re-mined interface under a
+// bumped epoch without blocking readers. Swapping replaces the caches
+// wholesale, so a post-swap request can never observe a pre-swap
+// cached result — the epoch-based invalidation discipline of answering
+// queries under updates (Berkholz et al.).
 package server
 
 import (
@@ -24,30 +28,96 @@ import (
 	"repro/internal/engine"
 )
 
-// Hosted is one mined interface registered for serving: the interface,
-// the dataset its queries run against, and the serving-side state (page
-// cache, result cache, counters).
+// epochState is one epoch's immutable serving snapshot: the interface
+// and dataset plus the caches that are only valid for them. The two
+// caches and the lazily compiled page are internally synchronized; the
+// rest is read-only after construction.
+type epochState struct {
+	epoch uint64
+	iface *core.Interface
+	db    *engine.DB
+	cache *Cache     // result LRU keyed by canonical AST hash
+	plans *PlanCache // bound-query plans keyed by widget-state shape
+
+	pageMu sync.RWMutex
+	page   string // lazily compiled served page ("" until first GET)
+}
+
+// Hosted is one mined interface registered for serving. Identity (ID,
+// Title) is fixed at registration; the served interface itself advances
+// through epoch snapshots as live ingestion re-mines it.
 type Hosted struct {
 	ID    string
 	Title string
 
-	// Iface and DB are treated as immutable once hosted: the handlers
-	// only read them. Do not mutate a DB after registering it.
-	Iface *core.Interface
-	DB    *engine.DB
+	cacheSize int
+	queries   atomic.Uint64 // total POST /query requests served
 
-	// Cache is the per-interface result LRU keyed by canonical AST
-	// hash. Exposed for stats; handlers use it internally.
-	Cache *Cache
-
-	queries atomic.Uint64 // total POST /query requests served
-
-	pageMu sync.RWMutex // guards lazy compilation of page
-	page   string
+	swapMu sync.Mutex // serializes Swap; readers never take it
+	state  atomic.Pointer[epochState]
 }
+
+// newHosted builds a hosted interface at epoch 1.
+func newHosted(id, title string, iface *core.Interface, db *engine.DB, cacheSize int) *Hosted {
+	h := &Hosted{ID: id, Title: title, cacheSize: cacheSize}
+	h.state.Store(h.newEpoch(1, iface, db))
+	return h
+}
+
+func (h *Hosted) newEpoch(epoch uint64, iface *core.Interface, db *engine.DB) *epochState {
+	return &epochState{
+		epoch: epoch,
+		iface: iface,
+		db:    db,
+		cache: NewCache(h.cacheSize),
+		plans: NewPlanCache(h.cacheSize),
+	}
+}
+
+// load returns the current epoch snapshot. Handlers call it once per
+// request and use only the snapshot afterwards.
+func (h *Hosted) load() *epochState { return h.state.Load() }
+
+// Iface returns the currently served interface (immutable; a Swap
+// replaces rather than mutates it, so holders stay consistent).
+func (h *Hosted) Iface() *core.Interface { return h.load().iface }
+
+// DB returns the dataset the current interface executes against.
+func (h *Hosted) DB() *engine.DB { return h.load().db }
+
+// Cache returns the current epoch's result cache (exposed for stats).
+func (h *Hosted) Cache() *Cache { return h.load().cache }
+
+// Plans returns the current epoch's plan cache (exposed for stats).
+func (h *Hosted) Plans() *PlanCache { return h.load().plans }
+
+// Epoch returns the current epoch counter (starts at 1, bumped by every
+// Swap).
+func (h *Hosted) Epoch() uint64 { return h.load().epoch }
 
 // Queries returns the number of query requests this interface served.
 func (h *Hosted) Queries() uint64 { return h.queries.Load() }
+
+// Swap replaces the served interface under a bumped epoch: widget
+// domains widen (or change arbitrarily), the result and plan caches
+// start empty, and the compiled page is recompiled on next request — a
+// dashboard that keeps its URL while its log grows. A nil db keeps the
+// current dataset. In-flight requests finish against the snapshot they
+// loaded; new requests see the new epoch. Returns the new epoch.
+func (h *Hosted) Swap(iface *core.Interface, db *engine.DB) (uint64, error) {
+	if iface == nil {
+		return 0, fmt.Errorf("server: swap on %q needs a non-nil interface", h.ID)
+	}
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	cur := h.load()
+	if db == nil {
+		db = cur.db
+	}
+	next := h.newEpoch(cur.epoch+1, iface, db)
+	h.state.Store(next)
+	return next.epoch, nil
+}
 
 // Registry is a concurrency-safe collection of hosted interfaces keyed
 // by ID. Reads (the per-request path) take a shared lock; registration
@@ -89,9 +159,19 @@ func (r *Registry) Add(id, title string, iface *core.Interface, db *engine.DB) (
 	if _, dup := r.ifaces[id]; dup {
 		return nil, fmt.Errorf("server: duplicate interface id %q", id)
 	}
-	h := &Hosted{ID: id, Title: title, Iface: iface, DB: db, Cache: NewCache(r.cacheSize)}
+	h := newHosted(id, title, iface, db, r.cacheSize)
 	r.ifaces[id] = h
 	return h, nil
+}
+
+// Swap replaces the interface hosted under id (see Hosted.Swap) and
+// returns the new epoch.
+func (r *Registry) Swap(id string, iface *core.Interface, db *engine.DB) (uint64, error) {
+	h, ok := r.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("server: unknown interface %q", id)
+	}
+	return h.Swap(iface, db)
 }
 
 // validID reports whether the ID is non-empty and safe to embed as one

@@ -5,36 +5,88 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/engine"
 	"repro/internal/htmlgen"
+	"repro/internal/qlog"
 )
 
 // Server is the HTTP front over a registry of hosted interfaces.
 //
-//	GET  /interfaces            — list hosted interfaces
-//	GET  /interfaces/{id}       — one interface's widgets and initial query
-//	GET  /interfaces/{id}/page  — the compiled HTML page, wired to the API
-//	POST /interfaces/{id}/query — bind widget state, execute, return rows
-//	GET  /debug                 — cache and traffic counters
+//	GET  /interfaces             — list hosted interfaces
+//	GET  /interfaces/{id}        — one interface's widgets and initial query
+//	GET  /interfaces/{id}/page   — the compiled HTML page, wired to the API
+//	GET  /interfaces/{id}/epoch  — the interface's current epoch (pages poll it)
+//	POST /interfaces/{id}/query  — bind widget state, execute, return rows
+//	POST /interfaces/{id}/log    — ingest new query-log entries (needs an Ingestor)
+//	GET  /healthz                — build info, uptime, per-interface epoch + cache hit rate
+//	GET  /debug                  — cache and traffic counters
 type Server struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg   *Registry
+	mux   *http.ServeMux
+	ing   Ingestor
+	start time.Time
+}
+
+// Ingestor accepts new query-log entries for a hosted interface —
+// internal/ingest implements it; the server stays decoupled from the
+// mining machinery. Submit buffers entries (and may flush when a batch
+// fills); Flush forces buffered entries through re-mining and returns
+// the resulting epoch.
+type Ingestor interface {
+	Submit(id string, entries []qlog.Entry) (IngestAck, error)
+	Flush(id string) (uint64, error)
+}
+
+// IngestStatuser is optionally implemented by an Ingestor to surface
+// per-interface ingestion counters in /healthz.
+type IngestStatuser interface {
+	IngestStatus(id string) (IngestStatus, bool)
+}
+
+// IngestStatus is one interface's ingestion counters.
+type IngestStatus struct {
+	Buffered    int    `json:"buffered"`
+	Accepted    uint64 `json:"accepted"`
+	Dropped     uint64 `json:"dropped"`
+	Flushes     uint64 `json:"flushes"`
+	FullRemines uint64 `json:"fullRemines"`
+	LastError   string `json:"lastError,omitempty"`
+}
+
+// IngestAck reports what happened to a Submit call.
+type IngestAck struct {
+	Accepted int    `json:"accepted"` // entries buffered by this call
+	Buffered int    `json:"buffered"` // entries still waiting after the call
+	Flushed  bool   `json:"flushed"`  // whether a re-mine ran
+	Dropped  int    `json:"dropped,omitempty"`
+	Epoch    uint64 `json:"epoch"` // interface epoch after the call
 }
 
 // New builds a server over the registry. Interfaces may still be added
 // to the registry after the server starts.
 func New(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("GET /interfaces", s.handleList)
 	s.mux.HandleFunc("GET /interfaces/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /interfaces/{id}/page", s.handlePage)
+	s.mux.HandleFunc("GET /interfaces/{id}/epoch", s.handleEpoch)
 	s.mux.HandleFunc("POST /interfaces/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /interfaces/{id}/log", s.handleLog)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug", s.handleDebug)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	return s
 }
+
+// SetIngestor wires live log ingestion into POST /interfaces/{id}/log.
+// Call before serving begins.
+func (s *Server) SetIngestor(ing Ingestor) { s.ing = ing }
 
 // Handler returns the http.Handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -53,6 +105,7 @@ type InterfaceSummary struct {
 	Widgets int     `json:"widgets"`
 	Cost    float64 `json:"cost"`
 	Queries uint64  `json:"queries"`
+	Epoch   uint64  `json:"epoch"`
 }
 
 // WidgetInfo describes one widget of GET /interfaces/{id}.
@@ -73,6 +126,7 @@ type WidgetInfo struct {
 type InterfaceDetail struct {
 	ID         string       `json:"id"`
 	Title      string       `json:"title"`
+	Epoch      uint64       `json:"epoch"`
 	InitialSQL string       `json:"initialSql"`
 	Widgets    []WidgetInfo `json:"widgets"`
 }
@@ -83,14 +137,29 @@ type QueryRequest struct {
 }
 
 // QueryResponse is the body of a successful query: the bound SQL, the
-// result relation, and whether the result came from the AST-hash cache.
+// result relation, the epoch of the interface that answered, and
+// whether result and plan came from their caches.
 type QueryResponse struct {
 	SQL        string     `json:"sql"`
+	Epoch      uint64     `json:"epoch"`
 	Cols       []string   `json:"cols"`
 	Rows       [][]any    `json:"rows"`
 	RowCount   int        `json:"rowCount"`
 	Cache      string     `json:"cache"` // "hit" | "miss"
+	Plan       string     `json:"plan"`  // "hit" | "miss"
 	CacheStats CacheStats `json:"cacheStats"`
+}
+
+// LogRequest is the JSON body of POST /interfaces/{id}/log (the
+// endpoint also accepts text/plain statements in the qlog text format).
+type LogRequest struct {
+	Entries []LogEntry `json:"entries"`
+}
+
+// LogEntry is one submitted query-log entry.
+type LogEntry struct {
+	SQL    string `json:"sql"`
+	Client string `json:"client,omitempty"`
 }
 
 type errorResponse struct {
@@ -107,12 +176,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	hosted := s.reg.List()
 	out := make([]InterfaceSummary, 0, len(hosted))
 	for _, h := range hosted {
+		st := h.load()
 		out = append(out, InterfaceSummary{
 			ID:      h.ID,
 			Title:   h.Title,
-			Widgets: len(h.Iface.Widgets),
-			Cost:    h.Iface.Cost(),
+			Widgets: len(st.iface.Widgets),
+			Cost:    st.iface.Cost(),
 			Queries: h.Queries(),
+			Epoch:   st.epoch,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -133,8 +204,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d := InterfaceDetail{ID: h.ID, Title: h.Title, InitialSQL: ast.SQL(h.Iface.Initial)}
-	for _, wd := range h.Iface.Widgets {
+	st := h.load()
+	d := InterfaceDetail{ID: h.ID, Title: h.Title, Epoch: st.epoch, InitialSQL: ast.SQL(st.iface.Initial)}
+	for _, wd := range st.iface.Widgets {
 		info := WidgetInfo{
 			Path:   wd.Path.String(),
 			Kind:   wd.Type.Name,
@@ -157,27 +229,37 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d)
 }
 
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.hosted(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": h.Epoch()})
+}
+
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.hosted(w, r)
 	if !ok {
 		return
 	}
-	h.pageMu.RLock()
-	page := h.page
-	h.pageMu.RUnlock()
+	st := h.load()
+	st.pageMu.RLock()
+	page := st.page
+	st.pageMu.RUnlock()
 	if page == "" {
-		h.pageMu.Lock()
-		if h.page == "" {
-			compiled, err := htmlgen.CompileServed(h.Iface, h.Title, "/interfaces/"+h.ID+"/query")
+		st.pageMu.Lock()
+		if st.page == "" {
+			base := "/interfaces/" + h.ID
+			compiled, err := htmlgen.CompileServedLive(st.iface, h.Title, base+"/query", base+"/epoch", st.epoch)
 			if err != nil {
-				h.pageMu.Unlock()
+				st.pageMu.Unlock()
 				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 				return
 			}
-			h.page = compiled
+			st.page = compiled
 		}
-		page = h.page
-		h.pageMu.Unlock()
+		page = st.page
+		st.pageMu.Unlock()
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(page))
@@ -189,6 +271,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.queries.Add(1)
+	st := h.load()
 
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -198,22 +281,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	q, err := Bind(h.Iface, req.Widgets)
-	if err != nil {
-		var be *BindError
-		if errors.As(err, &be) {
-			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: be.Error()})
+	// Plan lookup first: a repeated widget-state shape skips binding,
+	// rendering and hashing even when its result has been evicted.
+	planKey := PlanKey(req.Widgets)
+	plan, planHit := st.plans.Get(planKey)
+	if !planHit {
+		q, err := Bind(st.iface, req.Widgets)
+		if err != nil {
+			var be *BindError
+			if errors.As(err, &be) {
+				writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: be.Error()})
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		plan = &Plan{Query: q, SQL: ast.SQL(q), Hash: ast.HashOf(q)}
+		st.plans.Put(planKey, plan)
 	}
 
-	sql := ast.SQL(q)
-	key := ast.HashOf(q)
-	res, hit := h.Cache.Get(key, sql)
+	res, hit := st.cache.Get(plan.Hash, plan.SQL)
 	if !hit {
-		res, err = engine.Exec(h.DB, q)
+		var err error
+		res, err = engine.Exec(st.db, plan.Query)
 		if err != nil {
 			// The closure can contain queries the dataset cannot answer
 			// (e.g. a column the sample lacks); that is a client-state
@@ -221,21 +311,164 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: "exec: " + err.Error()})
 			return
 		}
-		h.Cache.Put(key, sql, res)
+		st.cache.Put(plan.Hash, plan.SQL, res)
 	}
 
 	resp := QueryResponse{
-		SQL:        sql,
+		SQL:        plan.SQL,
+		Epoch:      st.epoch,
 		Cols:       res.Cols,
 		Rows:       rowsJSON(res),
 		RowCount:   len(res.Rows),
 		Cache:      "miss",
-		CacheStats: h.Cache.Stats(),
+		Plan:       "miss",
+		CacheStats: st.cache.Stats(),
 	}
 	if hit {
 		resp.Cache = "hit"
 	}
+	if planHit {
+		resp.Plan = "hit"
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.hosted(w, r)
+	if !ok {
+		return
+	}
+	if s.ing == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "live ingestion is not enabled on this server"})
+		return
+	}
+	entries, err := readLogEntries(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(entries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no log entries in request body"})
+		return
+	}
+	ack, err := s.ing.Submit(h.ID, entries)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	if r.URL.Query().Get("flush") != "" && ack.Buffered > 0 {
+		if _, err := s.ing.Flush(h.ID); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+			return
+		}
+		ack.Flushed = true
+		ack.Buffered = 0
+	}
+	ack.Epoch = h.Epoch()
+	writeJSON(w, http.StatusAccepted, ack)
+}
+
+// readLogEntries decodes the /log request body: JSON ({"entries":
+// [{"sql": ...}]}) or plain text in the qlog statement format.
+func readLogEntries(r *http.Request) ([]qlog.Entry, error) {
+	body := http.MaxBytesReader(nil, r.Body, 8<<20)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req LogRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad request body: %w", err)
+		}
+		out := make([]qlog.Entry, 0, len(req.Entries))
+		for _, e := range req.Entries {
+			if strings.TrimSpace(e.SQL) == "" {
+				continue
+			}
+			out = append(out, qlog.Entry{SQL: e.SQL, Client: e.Client})
+		}
+		return out, nil
+	}
+	l, err := qlog.Read(body)
+	if err != nil {
+		if _, isMax := err.(*http.MaxBytesError); isMax {
+			return nil, fmt.Errorf("request body too large")
+		}
+		return nil, fmt.Errorf("bad log text: %w", err)
+	}
+	return l.Entries, nil
+}
+
+// HealthInterface is one interface's health row.
+type HealthInterface struct {
+	ID           string        `json:"id"`
+	Epoch        uint64        `json:"epoch"`
+	Widgets      int           `json:"widgets"`
+	Queries      uint64        `json:"queries"`
+	CacheHitRate float64       `json:"cacheHitRate"`
+	PlanHitRate  float64       `json:"planHitRate"`
+	Ingest       *IngestStatus `json:"ingest,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string            `json:"status"`
+	GoVersion     string            `json:"goVersion"`
+	Revision      string            `json:"revision,omitempty"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Ingestion     bool              `json:"ingestion"`
+	Interfaces    []HealthInterface `json:"interfaces"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	health := Health{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ingestion:     s.ing != nil,
+		Interfaces:    []HealthInterface{},
+	}
+	statuser, _ := s.ing.(IngestStatuser)
+	for _, h := range s.reg.List() {
+		st := h.load()
+		row := HealthInterface{
+			ID:           h.ID,
+			Epoch:        st.epoch,
+			Widgets:      len(st.iface.Widgets),
+			Queries:      h.Queries(),
+			CacheHitRate: hitRate(st.cache.Stats()),
+			PlanHitRate:  hitRate(st.plans.Stats()),
+		}
+		if statuser != nil {
+			if is, ok := statuser.IngestStatus(h.ID); ok {
+				row.Ingest = &is
+			}
+		}
+		health.Interfaces = append(health.Interfaces, row)
+	}
+	writeJSON(w, http.StatusOK, health)
+}
+
+func hitRate(st CacheStats) float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
 }
 
 // DebugInfo is the body of GET /debug.
@@ -246,17 +479,22 @@ type DebugInfo struct {
 // DebugInterface is one interface's serving counters.
 type DebugInterface struct {
 	ID      string     `json:"id"`
+	Epoch   uint64     `json:"epoch"`
 	Queries uint64     `json:"queries"`
 	Cache   CacheStats `json:"cache"`
+	Plans   CacheStats `json:"plans"`
 }
 
 func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	info := DebugInfo{Interfaces: []DebugInterface{}}
 	for _, h := range s.reg.List() {
+		st := h.load()
 		info.Interfaces = append(info.Interfaces, DebugInterface{
 			ID:      h.ID,
+			Epoch:   st.epoch,
 			Queries: h.Queries(),
-			Cache:   h.Cache.Stats(),
+			Cache:   st.cache.Stats(),
+			Plans:   st.plans.Stats(),
 		})
 	}
 	writeJSON(w, http.StatusOK, info)

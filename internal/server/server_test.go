@@ -26,7 +26,7 @@ var fixture struct {
 	err   error
 }
 
-func minedOLAP(t *testing.T) (*core.Interface, *engine.DB) {
+func minedOLAP(t testing.TB) (*core.Interface, *engine.DB) {
 	t.Helper()
 	fixture.once.Do(func() {
 		log := workload.OLAPLog(150, 7)
@@ -90,7 +90,7 @@ func postQuery(t *testing.T, url string, req QueryRequest) (int, *QueryResponse,
 
 // sliderWidget returns a mined numeric-range widget to exercise
 // extrapolation.
-func sliderWidget(t *testing.T, iface *core.Interface) *mapper.MappedWidget {
+func sliderWidget(t testing.TB, iface *core.Interface) *mapper.MappedWidget {
 	t.Helper()
 	for _, w := range iface.Widgets {
 		if w.Domain.IsNumericRange() {
@@ -118,7 +118,7 @@ func TestGetInterfaceDetail(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/interfaces/olap", &d); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	if d.InitialSQL == "" || len(d.Widgets) != len(h.Iface.Widgets) {
+	if d.InitialSQL == "" || len(d.Widgets) != len(h.Iface().Widgets) {
 		t.Fatalf("detail = %+v", d)
 	}
 	for _, w := range d.Widgets {
@@ -169,13 +169,13 @@ func TestQueryInitial(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	want, err := engine.Exec(h.DB, h.Iface.Initial)
+	want, err := engine.Exec(h.DB(), h.Iface().Initial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.SQL != ast.SQL(h.Iface.Initial) || resp.RowCount != len(want.Rows) {
+	if resp.SQL != ast.SQL(h.Iface().Initial) || resp.RowCount != len(want.Rows) {
 		t.Fatalf("sql=%q rows=%d, want sql=%q rows=%d",
-			resp.SQL, resp.RowCount, ast.SQL(h.Iface.Initial), len(want.Rows))
+			resp.SQL, resp.RowCount, ast.SQL(h.Iface().Initial), len(want.Rows))
 	}
 }
 
@@ -184,7 +184,7 @@ func TestQueryInitial(t *testing.T) {
 // same rows direct engine execution yields.
 func TestQueryUnseenSliderValue(t *testing.T) {
 	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface)
+	w := sliderWidget(t, h.Iface())
 	lo, hi := w.Domain.Range()
 	unseen := float64(int(lo+hi) / 2)
 	for _, v := range w.Domain.Values() {
@@ -198,11 +198,11 @@ func TestQueryUnseenSliderValue(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status = %d (%s)", code, errMsg)
 	}
-	bound, err := Bind(h.Iface, []WidgetBinding{{Path: w.Path.String(), Number: &unseen}})
+	bound, err := Bind(h.Iface(), []WidgetBinding{{Path: w.Path.String(), Number: &unseen}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := engine.Exec(h.DB, bound)
+	want, err := engine.Exec(h.DB(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestQueryUnseenSliderValue(t *testing.T) {
 
 func TestQueryOutOfDomainIs4xx(t *testing.T) {
 	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface)
+	w := sliderWidget(t, h.Iface())
 	_, hi := w.Domain.Range()
 	outside := hi + 1000
 	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
@@ -259,7 +259,7 @@ func TestQueryMalformedBodyIs400(t *testing.T) {
 
 func TestQueryAmbiguousBindingIs4xx(t *testing.T) {
 	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface)
+	w := sliderWidget(t, h.Iface())
 	v, s := 3.0, "three"
 	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
 		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &v, Text: &s}},
@@ -274,7 +274,7 @@ func TestQueryAmbiguousBindingIs4xx(t *testing.T) {
 
 func TestRepeatedQueryHitsCache(t *testing.T) {
 	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface)
+	w := sliderWidget(t, h.Iface())
 	lo, _ := w.Domain.Range()
 	req := QueryRequest{Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &lo}}}
 
@@ -307,7 +307,7 @@ func TestRepeatedQueryHitsCache(t *testing.T) {
 // thread-safety check (shared immutable dataset, locked cache).
 func TestConcurrentQueries(t *testing.T) {
 	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface)
+	w := sliderWidget(t, h.Iface())
 	lo, hi := w.Domain.Range()
 
 	const goroutines = 8
@@ -347,7 +347,7 @@ func TestConcurrentQueries(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	stats := h.Cache.Stats()
+	stats := h.Cache().Stats()
 	if stats.Hits+stats.Misses == 0 {
 		t.Fatalf("cache saw no traffic: %+v", stats)
 	}

@@ -1,0 +1,66 @@
+package treediff
+
+import (
+	"repro/internal/ast"
+)
+
+// Comparer memoizes Compare/CompareLCA results across calls. Query-log
+// mining compares the same AST pairs repeatedly — an incremental miner
+// revisits window pairs on every fallback re-mine, and real logs repeat
+// whole statements — so a small identity-keyed memo turns the dominant
+// O(|q|²) tree matching into a map lookup for every repeated pair.
+//
+// Keys are node pointer pairs, not structural hashes: the miner keeps
+// parsed ASTs alive and immutable for the lifetime of a log, so pointer
+// identity is both collision-free and cheap. Structurally equal but
+// distinct pointers simply miss, which is only a performance question.
+//
+// A Comparer is NOT safe for concurrent use; each miner owns one.
+type Comparer struct {
+	cap  int
+	lca  map[[2]*ast.Node]Result
+	full map[[2]*ast.Node]Result
+}
+
+// DefaultComparerSize bounds each memo (LCA and full) of a Comparer
+// built with NewComparer(0).
+const DefaultComparerSize = 1 << 16
+
+// NewComparer returns a memoizing comparer holding at most capacity
+// entries per mode (<= 0 selects DefaultComparerSize).
+func NewComparer(capacity int) *Comparer {
+	if capacity <= 0 {
+		capacity = DefaultComparerSize
+	}
+	return &Comparer{
+		cap:  capacity,
+		lca:  make(map[[2]*ast.Node]Result),
+		full: make(map[[2]*ast.Node]Result),
+	}
+}
+
+// Compare is the memoized treediff.Compare.
+func (c *Comparer) Compare(left, right *ast.Node) Result {
+	return c.memo(c.full, left, right, Compare)
+}
+
+// CompareLCA is the memoized treediff.CompareLCA.
+func (c *Comparer) CompareLCA(left, right *ast.Node) Result {
+	return c.memo(c.lca, left, right, CompareLCA)
+}
+
+func (c *Comparer) memo(m map[[2]*ast.Node]Result, left, right *ast.Node, f func(a, b *ast.Node) Result) Result {
+	key := [2]*ast.Node{left, right}
+	if r, ok := m[key]; ok {
+		return r
+	}
+	r := f(left, right)
+	if len(m) >= c.cap {
+		// Full: drop the whole generation. Simpler than LRU bookkeeping
+		// and amortized-fine for a memo whose entries are all
+		// recomputable; mining working sets rarely reach the cap.
+		clear(m)
+	}
+	m[key] = r
+	return r
+}

@@ -24,13 +24,14 @@ type Domain struct {
 	hasNil bool // contains the "absent" option (added/removed subtree)
 
 	numeric  bool // all non-nil values are numeric terminals
+	allColl  bool // all values are collection nodes (checkbox lists)
 	numCount int
 	min, max float64
 }
 
 // NewDomain returns an empty domain.
 func NewDomain() *Domain {
-	return &Domain{set: ast.NewSet(), kind: ast.KindNumber, numeric: true}
+	return &Domain{set: ast.NewSet(), kind: ast.KindNumber, numeric: true, allColl: true}
 }
 
 // Add inserts a subtree (nil allowed: the absent option). It updates the
@@ -44,7 +45,11 @@ func (d *Domain) Add(n *ast.Node) {
 		d.hasNil = true
 		d.kind = ast.KindTree
 		d.numeric = false
+		d.allColl = false
 		return
+	}
+	if !ast.IsCollection(n.Type) {
+		d.allColl = false
 	}
 	k := ast.KindOf(n)
 	switch k {
@@ -95,6 +100,12 @@ func (d *Domain) Range() (min, max float64) { return d.min, d.max }
 
 // HasAbsent reports whether the domain includes the absent option.
 func (d *Domain) HasAbsent() bool { return d.hasNil }
+
+// AllCollections reports whether every member is a collection node
+// (Project, GroupBy, ...) — the acceptance rule of checkbox lists.
+// Tracked incrementally so widget-rule checks do not have to
+// materialize (and sort) the domain's values.
+func (d *Domain) AllCollections() bool { return d.allColl && !d.hasNil && d.set.Len() > 0 }
 
 // Contains reports whether the domain can express the subtree: exact
 // structural membership, or numeric-range membership for extrapolated

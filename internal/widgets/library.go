@@ -32,12 +32,8 @@ func (t *Type) Accepts(d *Domain) bool {
 	if t.Numeric && !d.IsNumericRange() {
 		return false
 	}
-	if t.CollectionOnly {
-		for _, v := range d.Values() {
-			if v == nil || !ast.IsCollection(v.Type) {
-				return false
-			}
-		}
+	if t.CollectionOnly && !d.AllCollections() {
+		return false
 	}
 	return d.Kind().CastableTo(t.Kind)
 }

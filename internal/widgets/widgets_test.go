@@ -355,3 +355,43 @@ func TestCostMonotone(t *testing.T) {
 		}
 	}
 }
+
+// TestAllCollectionsMatchesValuesLoop pins the CollectionOnly
+// acceptance refactor: the incrementally tracked AllCollections flag
+// must agree with the original Values()-materializing loop on every
+// domain shape, including domains with the absent option (which
+// Values() surfaces as a nil member).
+func TestAllCollectionsMatchesValuesLoop(t *testing.T) {
+	valuesLoop := func(d *Domain) bool {
+		for _, v := range d.Values() {
+			if v == nil || !ast.IsCollection(v.Type) {
+				return false
+			}
+		}
+		return d.Len() > 0
+	}
+	coll := func(col string) *ast.Node {
+		g := &ast.Node{Type: ast.TypeGroupBy}
+		g.Children = append(g.Children, ast.Leaf(ast.TypeColExpr, col))
+		return g
+	}
+	cases := []struct {
+		name string
+		add  []*ast.Node
+	}{
+		{"collections only", []*ast.Node{coll("a"), coll("b")}},
+		{"collection plus absent", []*ast.Node{coll("a"), nil}},
+		{"mixed kinds", []*ast.Node{coll("a"), ast.Leaf(ast.TypeNumExpr, "1")}},
+		{"scalar only", []*ast.Node{ast.Leaf(ast.TypeNumExpr, "1")}},
+		{"empty", nil},
+	}
+	for _, c := range cases {
+		d := NewDomain()
+		for _, n := range c.add {
+			d.Add(n)
+		}
+		if got, want := d.AllCollections(), valuesLoop(d); got != want {
+			t.Errorf("%s: AllCollections=%v, values loop=%v", c.name, got, want)
+		}
+	}
+}

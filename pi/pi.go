@@ -29,6 +29,7 @@ import (
 	"repro/internal/editor"
 	"repro/internal/engine"
 	"repro/internal/htmlgen"
+	"repro/internal/ingest"
 	"repro/internal/interaction"
 	"repro/internal/qlog"
 	"repro/internal/schema"
@@ -201,4 +202,66 @@ func Serve(addr string, reg *Registry) error {
 // live-page variant of CompileHTML.
 func CompileServedHTML(iface *Interface, title, endpoint string) (string, error) {
 	return htmlgen.CompileServed(iface, title, endpoint)
+}
+
+// --- Live ingestion (internal/ingest): stream query-log entries into
+// hosted interfaces, re-mine incrementally and hot-swap the result
+// under a bumped epoch, so dashboards improve as users keep querying.
+
+// Ingester buffers submitted log entries per interface and re-mines
+// incrementally; it also implements the server's Ingestor hook, which
+// enables POST /interfaces/{id}/log.
+type Ingester = ingest.Ingester
+
+// IngestOptions configure ingestion batching (batch size, buffer
+// bound, background flush interval).
+type IngestOptions = ingest.Options
+
+// IngestAck reports what happened to one batch of submitted entries.
+type IngestAck = server.IngestAck
+
+// LiveOptions are generation options plus the incremental-update
+// policy (structural-coverage threshold for the full re-mine
+// fallback).
+type LiveOptions = core.LiveOptions
+
+// LogEntry is one query-log entry (SQL plus optional client).
+type LogEntry = qlog.Entry
+
+// DefaultLiveOptions returns DefaultOptions plus the default
+// incremental policy.
+func DefaultLiveOptions() LiveOptions { return core.DefaultLiveOptions() }
+
+// NewIngester returns an ingester over the registry with default
+// batching. Wire it into a server (ServeLiveHandler or
+// server.SetIngestor) to expose HTTP ingestion, and run
+// Ingester.Run in a goroutine to flush trickle traffic.
+func NewIngester(reg *Registry, opts IngestOptions) *Ingester { return ingest.New(reg, opts) }
+
+// HostLive mines the log and hosts the interface with a live feed
+// attached: entries submitted later (Ingest, the HTTP log endpoint, or
+// Ingester.Tail) are re-mined incrementally and hot-swapped in while
+// the interface keeps its ID and epoch history.
+func HostLive(ing *Ingester, id, title string, log *Log, db *DB) (*Hosted, error) {
+	return ing.Host(id, title, log, db, core.DefaultLiveOptions())
+}
+
+// Ingest submits SQL statements to a live-hosted interface. Entries
+// buffer until a batch fills or the background flusher runs; use
+// ing.Flush(id) to force an immediate re-mine + swap.
+func Ingest(ing *Ingester, id string, sqls ...string) (IngestAck, error) {
+	entries := make([]qlog.Entry, len(sqls))
+	for i, s := range sqls {
+		entries[i] = qlog.Entry{SQL: s}
+	}
+	return ing.Submit(id, entries)
+}
+
+// ServeLiveHandler is ServeHandler with live ingestion enabled: the
+// returned handler additionally accepts POST /interfaces/{id}/log and
+// reports ingestion state in GET /healthz.
+func ServeLiveHandler(reg *Registry, ing *Ingester) http.Handler {
+	s := server.New(reg)
+	s.SetIngestor(ing)
+	return s.Handler()
 }

@@ -1,6 +1,9 @@
 package pi
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -154,5 +157,70 @@ func TestExecFacade(t *testing.T) {
 	}
 	if len(res.Rows) != 1 || res.Rows[0][0].Num != 7 {
 		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestLiveIngestFacade drives the live path end to end through the
+// facade: host with a feed, serve, ingest over HTTP, watch the epoch
+// bump and the widened domain answer a query the original mine could
+// not express.
+func TestLiveIngestFacade(t *testing.T) {
+	logq := LogFromSQL(
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2",
+		"SELECT a FROM t WHERE x = 3",
+	)
+	db := NewDB()
+	tbl := NewTable("t", "a", "x")
+	for i := 1; i <= 60; i++ {
+		tbl.MustAddRow(Num(float64(i)), Num(float64(i)))
+	}
+	db.AddTable(tbl)
+
+	reg := NewRegistry()
+	ing := NewIngester(reg, IngestOptions{BatchSize: 1})
+	h, err := HostLive(ing, "live", "Live demo", logq, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch() != 1 {
+		t.Fatalf("epoch = %d", h.Epoch())
+	}
+	ts := httptest.NewServer(ServeLiveHandler(reg, ing))
+	defer ts.Close()
+
+	// 50 is outside the mined [1,3] domain: a query for it must fail.
+	body := `{"widgets":[{"path":"` + h.Iface().Widgets[0].Path.String() + `","number":50}]}`
+	resp, err := http.Post(ts.URL+"/interfaces/live/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-domain query status = %d, want 422", resp.StatusCode)
+	}
+
+	// Ingest an entry that widens the domain to 50 (BatchSize 1 swaps
+	// immediately), then the same query succeeds at epoch 2.
+	if ack, err := Ingest(ing, "live", "SELECT a FROM t WHERE x = 50"); err != nil || !ack.Flushed || ack.Epoch != 2 {
+		t.Fatalf("ingest ack = %+v, %v", ack, err)
+	}
+	resp, err = http.Post(ts.URL+"/interfaces/live/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-ingest query status = %d", resp.StatusCode)
+	}
+	var out struct {
+		SQL   string `json:"sql"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 2 || !strings.Contains(out.SQL, "50") {
+		t.Fatalf("post-ingest answer = %+v", out)
 	}
 }
