@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench ingest-demo
+.PHONY: check fmt-check vet build test race bench ingest-demo api-smoke
 
 check: fmt-check vet build race
 
@@ -27,3 +27,9 @@ bench:
 # query it, stream new log entries in, watch the epoch bump.
 ingest-demo:
 	sh scripts/ingest_demo.sh
+
+# End-to-end smoke of the v1 API: start pi-serve with a bearer token,
+# exercise it through the pi/client SDK (pi-serve -check) and verify
+# the auth + error contracts with raw curl.
+api-smoke:
+	sh scripts/api_smoke.sh

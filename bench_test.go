@@ -17,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -236,14 +237,14 @@ func servingHandler(b *testing.B, cacheSize int) (http.Handler, string, float64,
 	if err != nil {
 		b.Fatal(err)
 	}
-	reg := server.NewRegistryWithCache(cacheSize)
+	reg := api.NewRegistryWithCache(cacheSize)
 	if _, err := reg.Add("olap", "bench", iface, engine.OnTimeDB(2000)); err != nil {
 		b.Fatal(err)
 	}
 	for _, w := range iface.Widgets {
 		if w.Domain.IsNumericRange() {
 			lo, hi := w.Domain.Range()
-			return server.New(reg).Handler(), w.Path.String(), lo, hi
+			return server.New(api.NewService(reg)).Handler(), w.Path.String(), lo, hi
 		}
 	}
 	b.Fatal("no numeric widget mined")
@@ -264,7 +265,7 @@ func benchServeQuery(b *testing.B, cacheSize, distinctStates int) {
 			v := lo + float64(i%span)
 			i++
 			body := fmt.Sprintf(`{"widgets":[{"path":%q,"number":%g}]}`, path, v)
-			req := httptest.NewRequest("POST", "/interfaces/olap/query", strings.NewReader(body))
+			req := httptest.NewRequest("POST", "/v1/interfaces/olap/query", strings.NewReader(body))
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, req)
 			if rec.Code != 200 {
@@ -277,7 +278,7 @@ func benchServeQuery(b *testing.B, cacheSize, distinctStates int) {
 // BenchmarkServeQueryCached is the hot serving path: concurrent clients
 // cycling through a handful of widget states, so nearly every request
 // is answered from the AST-hash LRU.
-func BenchmarkServeQueryCached(b *testing.B) { benchServeQuery(b, server.DefaultCacheSize, 4) }
+func BenchmarkServeQueryCached(b *testing.B) { benchServeQuery(b, api.DefaultCacheSize, 4) }
 
 // BenchmarkServeQueryUncached disables the result cache: every request
 // binds and executes against the engine — the serving layer's floor.
@@ -285,7 +286,7 @@ func BenchmarkServeQueryUncached(b *testing.B) { benchServeQuery(b, 0, 4) }
 
 // BenchmarkServeQueryMixed spreads clients over the slider's whole
 // extrapolated range, the realistic many-users mix of hits and misses.
-func BenchmarkServeQueryMixed(b *testing.B) { benchServeQuery(b, server.DefaultCacheSize, 1<<30) }
+func BenchmarkServeQueryMixed(b *testing.B) { benchServeQuery(b, api.DefaultCacheSize, 1<<30) }
 
 // BenchmarkParse measures the SQL parsing substrate on a mixed log.
 func BenchmarkParse(b *testing.B) {

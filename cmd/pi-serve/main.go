@@ -1,68 +1,98 @@
 // Command pi-serve mines interfaces from the paper's workloads and
-// serves them over HTTP: the generated pages become live dashboards
-// whose widget interactions execute against the in-memory engine, and
-// — with ingestion enabled — the dashboards keep improving as new
-// query-log entries stream in.
+// serves them over the versioned HTTP API: the generated pages become
+// live dashboards whose widget interactions execute against the
+// in-memory engine, and — with ingestion enabled — the dashboards keep
+// improving as new query-log entries stream in.
 //
 // Usage:
 //
 //	pi-serve [-addr :8080] [-workloads olap,adhoc,sdss] [-n 150] [-rows 2000]
 //	         [-seed 7] [-cache 256] [-ingest] [-batch 8] [-flush-every 2s]
-//	         [-tail id=path[,id=path...]]
+//	         [-tail id=path[,id=path...]] [-token T | -token-file F]
+//	pi-serve -check [-addr :8080] [-token T | -token-file F]
 //
-// Endpoints:
+// Endpoints (also mounted unversioned for legacy pages):
 //
-//	GET  /interfaces             list hosted interfaces
-//	GET  /interfaces/{id}        one interface's widgets and initial query
-//	GET  /interfaces/{id}/page   the live HTML dashboard (reloads on epoch bump)
-//	GET  /interfaces/{id}/epoch  the interface's current epoch
-//	POST /interfaces/{id}/query  bind widget state, execute, return rows
-//	POST /interfaces/{id}/log    ingest new query-log entries (text or JSON)
-//	GET  /healthz                build info, uptime, epochs, cache hit rates
-//	GET  /debug                  cache and traffic counters
+//	GET  /v1/interfaces             list hosted interfaces
+//	GET  /v1/interfaces/{id}        one interface's widgets and initial query
+//	GET  /v1/interfaces/{id}/page   the live HTML dashboard (reloads on epoch bump)
+//	GET  /v1/interfaces/{id}/epoch  the interface's current epoch
+//	POST /v1/interfaces/{id}/query  bind widget state, execute, return rows (auth)
+//	POST /v1/interfaces/{id}/log    ingest new query-log entries (auth)
+//	GET  /v1/healthz                build info, uptime, epochs, cache hit rates
+//	GET  /v1/debug                  cache and traffic counters
+//
+// With -token (or -token-file) the query and log endpoints require
+// "Authorization: Bearer <token>"; metadata GETs stay open. Served
+// pages pick the token up from their URL fragment: open
+// /v1/interfaces/olap/page#token=<token>.
+//
+// -check flips the binary into client mode: it probes a running
+// pi-serve at -addr through the pi/client SDK (health, list, a query
+// round-trip, and — when a token is set — an auth rejection check) and
+// exits non-zero on any failure. `make api-smoke` builds on it.
 //
 // Example:
 //
-//	pi-serve &
-//	curl -s localhost:8080/interfaces
-//	curl -s -X POST localhost:8080/interfaces/olap/query \
-//	     -d '{"widgets":[{"path":"3/0","value":{"type":"ColExpr","attrs":{"value":"uniquecarrier"}}}]}'
-//	curl -s -X POST 'localhost:8080/interfaces/olap/log?flush=1' \
-//	     --data-binary 'SELECT DestState, COUNT(Delay) FROM ontime WHERE Day = 28 GROUP BY DestState'
-//	curl -s localhost:8080/healthz
+//	pi-serve -token secret &
+//	pi-serve -check -token secret
+//	curl -s localhost:8080/v1/interfaces
+//	curl -s -X POST localhost:8080/v1/interfaces/olap/query \
+//	     -H 'Authorization: Bearer secret' \
+//	     -d '{"widgets":[],"limit":5}'
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/qlog"
 	"repro/internal/server"
 	"repro/internal/workload"
+	"repro/pi/client"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (serve) or target address (-check)")
 	workloads := flag.String("workloads", "olap,adhoc,sdss", "comma-separated workloads to mine and host")
 	n := flag.Int("n", 150, "queries per mined log")
 	rows := flag.Int("rows", 2000, "rows per synthetic dataset table")
 	seed := flag.Int64("seed", 7, "workload generator seed")
-	cache := flag.Int("cache", server.DefaultCacheSize, "per-interface result/plan-cache entries (0 disables)")
-	enableIngest := flag.Bool("ingest", true, "enable live log ingestion (POST /interfaces/{id}/log)")
+	cache := flag.Int("cache", api.DefaultCacheSize, "per-interface result/plan-cache entries (0 disables)")
+	enableIngest := flag.Bool("ingest", true, "enable live log ingestion (POST /v1/interfaces/{id}/log)")
 	batch := flag.Int("batch", 8, "ingested entries per incremental re-mine")
 	flushEvery := flag.Duration("flush-every", 2*time.Second, "background flush interval for partial batches")
 	tails := flag.String("tail", "", "comma-separated id=path log files to tail into hosted interfaces")
+	token := flag.String("token", "", "bearer token required on query/log endpoints (empty = open)")
+	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
+	check := flag.Bool("check", false, "probe a running pi-serve at -addr via the Go SDK and exit")
 	flag.Parse()
 
-	reg := server.NewRegistryWithCache(*cache)
+	tok, err := resolveToken(*token, *tokenFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *check {
+		if err := runCheck(*addr, tok); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	reg := api.NewRegistryWithCache(*cache)
 	ing := ingest.New(reg, ingest.Options{BatchSize: *batch, FlushInterval: *flushEvery})
 
 	for _, name := range strings.Split(*workloads, ",") {
@@ -74,7 +104,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var h *server.Hosted
+		var h *api.Hosted
 		if *enableIngest {
 			h, err = ing.Host(name, title, logq, db, core.DefaultLiveOptions())
 		} else {
@@ -88,17 +118,18 @@ func main() {
 			fatal(fmt.Errorf("host %s: %w", name, err))
 		}
 		iface := h.Iface()
-		log.Printf("hosted %-6s %d queries -> %d widgets (cost %.0f) at /interfaces/%s/page",
+		log.Printf("hosted %-6s %d queries -> %d widgets (cost %.0f) at /v1/interfaces/%s/page",
 			h.ID, logq.Len(), len(iface.Widgets), iface.Cost(), h.ID)
 	}
 	if reg.Len() == 0 {
 		fatal(fmt.Errorf("no workloads hosted"))
 	}
 
-	srv := server.New(reg)
-	ctx := context.Background()
+	svc := api.NewService(reg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	if *enableIngest {
-		srv.SetIngestor(ing)
+		svc.SetIngestor(ing)
 		go ing.Run(ctx)
 		for _, spec := range strings.Split(*tails, ",") {
 			spec = strings.TrimSpace(spec)
@@ -110,7 +141,7 @@ func main() {
 				fatal(fmt.Errorf("bad -tail spec %q (want id=path)", spec))
 			}
 			go func(id, path string) {
-				log.Printf("tailing %s into /interfaces/%s", path, id)
+				log.Printf("tailing %s into /v1/interfaces/%s", path, id)
 				if err := ing.Tail(ctx, id, path, time.Second); err != nil && ctx.Err() == nil {
 					log.Printf("tail %s: %v", path, err)
 				}
@@ -120,8 +151,107 @@ func main() {
 		fatal(fmt.Errorf("-tail needs -ingest"))
 	}
 
-	log.Printf("serving %d interface(s) on %s (ingestion %v)", reg.Len(), *addr, *enableIngest)
-	fatal(srv.ListenAndServe(*addr))
+	opts := []server.Option{server.WithLogger(log.Default())}
+	if tok != "" {
+		opts = append(opts, server.WithAuth(server.AuthConfig{Token: tok}))
+	}
+	hs := server.New(svc, opts...).HTTPServer(*addr)
+
+	log.Printf("serving %d interface(s) on %s (ingestion %v, auth %v)",
+		reg.Len(), *addr, *enableIngest, tok != "")
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests,
+		// give stragglers a bounded grace period.
+		log.Printf("signal received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+	}
+}
+
+// resolveToken loads the effective bearer token from the flags.
+func resolveToken(token, tokenFile string) (string, error) {
+	if tokenFile == "" {
+		return token, nil
+	}
+	if token != "" {
+		return "", fmt.Errorf("-token and -token-file are mutually exclusive")
+	}
+	b, err := os.ReadFile(tokenFile)
+	if err != nil {
+		return "", fmt.Errorf("read -token-file: %w", err)
+	}
+	tok := strings.TrimSpace(string(b))
+	if tok == "" {
+		return "", fmt.Errorf("-token-file %s is empty", tokenFile)
+	}
+	return tok, nil
+}
+
+// runCheck drives a running server through the pi/client SDK: health,
+// interface listing, a query round-trip against the first interface,
+// and — with auth configured — a rejected unauthenticated query.
+func runCheck(addr, tok string) error {
+	base := addr
+	if strings.HasPrefix(base, ":") {
+		base = "127.0.0.1" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	c, err := client.New(base, client.WithToken(tok))
+	if err != nil {
+		return err
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	fmt.Printf("health: %s (%s, up %.0fs, ingestion %v, %d interfaces)\n",
+		h.Status, h.GoVersion, h.UptimeSeconds, h.Ingestion, len(h.Interfaces))
+	list, err := c.ListInterfaces(ctx)
+	if err != nil {
+		return fmt.Errorf("list interfaces: %w", err)
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("server hosts no interfaces")
+	}
+	id := list[0].ID
+	detail, err := c.GetInterface(ctx, id)
+	if err != nil {
+		return fmt.Errorf("get %s: %w", id, err)
+	}
+	resp, err := c.Query(ctx, id, api.QueryRequest{Limit: 5})
+	if err != nil {
+		return fmt.Errorf("query %s: %w", id, err)
+	}
+	fmt.Printf("query %s: %d/%d rows at epoch %d (%d widgets, truncated %v)\n",
+		id, len(resp.Rows), resp.RowCount, resp.Epoch, len(detail.Widgets), resp.Truncated)
+
+	if tok != "" {
+		anon, err := client.New(base, client.WithRetries(0))
+		if err != nil {
+			return err
+		}
+		_, err = anon.Query(ctx, id, api.QueryRequest{Limit: 1})
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnauthorized {
+			return fmt.Errorf("unauthenticated query was not rejected with unauthorized: %v", err)
+		}
+		fmt.Printf("auth: unauthenticated query correctly rejected (%s)\n", apiErr.Code)
+	}
+	fmt.Println("check: ok")
+	return nil
 }
 
 // buildWorkload returns the query log and the dataset for one named

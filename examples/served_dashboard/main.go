@@ -13,8 +13,8 @@ import (
 	"net"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/engine"
-	"repro/internal/server"
 	"repro/internal/workload"
 	"repro/pi"
 )
@@ -40,8 +40,8 @@ func main() {
 	fmt.Println("serving on", base)
 
 	// 1. Discover the hosted interface and its widgets.
-	var detail server.InterfaceDetail
-	getJSON(base+"/interfaces/olap", &detail)
+	var detail api.InterfaceDetail
+	getJSON(base+"/v1/interfaces/olap", &detail)
 	fmt.Printf("\ninterface %q: %s\n", detail.ID, detail.InitialSQL)
 	for _, w := range detail.Widgets {
 		fmt.Printf("  %-13s at %-6s %q (%d options)\n", w.Kind, w.Path, w.Label, len(w.Options))
@@ -49,26 +49,26 @@ func main() {
 
 	// 2. Find a numeric (slider) widget and query with a value strictly
 	// between two mined options — a state no query in the log ever had.
-	var numeric *server.WidgetInfo
+	var numeric *api.WidgetInfo
 	for i := range detail.Widgets {
 		if detail.Widgets[i].Numeric {
 			numeric = &detail.Widgets[i]
 			break
 		}
 	}
-	var bindings []server.WidgetBinding
+	var bindings []api.WidgetBinding
 	if numeric != nil {
 		unseen := unseenInteger(numeric)
 		fmt.Printf("\nslider at %s spans [%g, %g]; querying unseen value %g\n",
 			numeric.Path, numeric.Min, numeric.Max, unseen)
-		bindings = []server.WidgetBinding{{Path: numeric.Path, Number: &unseen}}
+		bindings = []api.WidgetBinding{{Path: numeric.Path, Number: &unseen}}
 	} else {
 		// No slider mined for this seed: run the initial query unchanged.
 		fmt.Println("\nno numeric widget mined; running the initial query")
 	}
 
 	for i := 0; i < 2; i++ {
-		resp := postQuery(base+"/interfaces/olap/query", server.QueryRequest{
+		resp := postQuery(base+"/v1/interfaces/olap/query", api.QueryRequest{
 			Widgets: bindings,
 		})
 		fmt.Printf("\n#%d %s\n  %d rows, cache %s (hits=%d misses=%d)\n",
@@ -82,7 +82,7 @@ func main() {
 // unseenInteger picks an integer inside the slider's extrapolated range
 // that none of the log's queries used — the closure beyond the log that
 // range extrapolation (§4.3) buys.
-func unseenInteger(w *server.WidgetInfo) float64 {
+func unseenInteger(w *api.WidgetInfo) float64 {
 	mined := map[string]bool{}
 	for _, o := range w.Options {
 		mined[o] = true
@@ -106,7 +106,7 @@ func getJSON(url string, out any) {
 	}
 }
 
-func postQuery(url string, req server.QueryRequest) *server.QueryResponse {
+func postQuery(url string, req api.QueryRequest) *api.QueryResponse {
 	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
@@ -116,7 +116,7 @@ func postQuery(url string, req server.QueryRequest) *server.QueryResponse {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out server.QueryResponse
+	var out api.QueryResponse
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`

@@ -1,0 +1,92 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error is the service layer's structured error model: a stable
+// machine-readable Code (the contract clients switch on), the HTTP
+// status a REST transport should map it to, and a human-readable
+// Message. Every Service operation returns either nil or an *Error, so
+// transports never have to guess a status from error text.
+type Error struct {
+	Code    string `json:"code"`
+	Status  int    `json:"-"`
+	Message string `json:"error"`
+}
+
+// The v1 error codes. These are part of the versioned contract: codes
+// may be added, but existing codes keep their meaning.
+const (
+	// CodeBadRequest — the request body or parameters could not be
+	// decoded (malformed JSON, unknown fields, bad cursor syntax). 400.
+	CodeBadRequest = "bad_request"
+	// CodeUnauthorized — the operation needs a bearer token and none was
+	// presented. 401.
+	CodeUnauthorized = "unauthorized"
+	// CodeForbidden — a token was presented but it is not the one
+	// configured for this interface. 403.
+	CodeForbidden = "forbidden"
+	// CodeNotFound — no interface is hosted under the requested ID. 404.
+	CodeNotFound = "not_found"
+	// CodeCursorExpired — the pagination cursor was minted at an earlier
+	// epoch of the interface; the underlying result set is gone. Restart
+	// from the first page. 410.
+	CodeCursorExpired = "cursor_expired"
+	// CodePayloadTooLarge — the request body exceeded the endpoint's
+	// size cap. 413.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeBindRejected — the widget bindings are invalid against the
+	// mined interface (unknown path, out-of-domain value, ambiguous
+	// binding). 422.
+	CodeBindRejected = "bind_rejected"
+	// CodeExecFailed — the bindings were valid but the bound query
+	// cannot run against the dataset (e.g. a column the sample lacks) —
+	// a client-state problem, not a server fault. 422.
+	CodeExecFailed = "exec_failed"
+	// CodeIngestDisabled — the log endpoint was called on a server
+	// running without an ingestor. 501.
+	CodeIngestDisabled = "ingest_disabled"
+	// CodeIngestFailed — the entries were accepted for decoding but
+	// re-mining rejected them. 422.
+	CodeIngestFailed = "ingest_failed"
+	// CodeInternal — an unexpected server-side failure. 500.
+	CodeInternal = "internal"
+)
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// Errf builds an *Error with a formatted message.
+func Errf(code string, status int, format string, args ...any) *Error {
+	return &Error{Code: code, Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// Convenience constructors for the common codes.
+func errNotFound(id string) *Error {
+	return Errf(CodeNotFound, http.StatusNotFound, "unknown interface %q", id)
+}
+
+func errBadRequest(format string, args ...any) *Error {
+	return Errf(CodeBadRequest, http.StatusBadRequest, format, args...)
+}
+
+func errInternal(err error) *Error {
+	return Errf(CodeInternal, http.StatusInternalServerError, "%v", err)
+}
+
+// FromErr coerces any error into the structured model: an *Error passes
+// through (including one wrapped with fmt.Errorf %w); anything else
+// becomes CodeInternal.
+func FromErr(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return errInternal(err)
+}

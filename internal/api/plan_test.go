@@ -1,4 +1,4 @@
-package server
+package api
 
 import (
 	"testing"
@@ -84,20 +84,20 @@ func TestPlanCacheLRUAndStats(t *testing.T) {
 	}
 }
 
-// TestQueryPlanCacheViaHTTP: the second identical widget state reports
-// plan "hit" — the binding walk is skipped for repeated widget shapes.
-func TestQueryPlanCacheViaHTTP(t *testing.T) {
-	ts, h := newTestServer(t)
+// TestQueryPlanCache: the second identical widget state reports plan
+// "hit" — the binding walk is skipped for repeated widget shapes.
+func TestQueryPlanCache(t *testing.T) {
+	svc, h := newTestService(t)
 	w := sliderWidget(t, h.Iface())
 	lo, _ := w.Domain.Range()
 	req := QueryRequest{Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &lo}}}
-	code, first, _ := postQuery(t, ts.URL+"/interfaces/olap/query", req)
-	if code != 200 || first.Plan != "miss" {
-		t.Fatalf("first = %d %+v", code, first)
+	first, err := svc.Query("olap", req)
+	if err != nil || first.Plan != "miss" {
+		t.Fatalf("first = %+v (%v)", first, err)
 	}
-	code, second, _ := postQuery(t, ts.URL+"/interfaces/olap/query", req)
-	if code != 200 || second.Plan != "hit" {
-		t.Fatalf("second = %d plan=%q, want hit", code, second.Plan)
+	second, err := svc.Query("olap", req)
+	if err != nil || second.Plan != "hit" {
+		t.Fatalf("second = %+v (%v), want plan hit", second, err)
 	}
 	if second.SQL != first.SQL {
 		t.Fatalf("cached plan rendered different SQL: %q vs %q", second.SQL, first.SQL)

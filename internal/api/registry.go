@@ -1,10 +1,11 @@
-// Package server is the live serving layer: it hosts mined interfaces
-// over HTTP so the pages htmlgen compiles are backed by a real exec()
-// endpoint instead of a stub. The split follows the classic web-system
-// architecture — a stateless HTTP front binds widget state onto the
-// interface's query template (via internal/ast paths), a shared
-// immutable engine executes the bound query, and an LRU of results
-// keyed by canonical AST hash absorbs repeated widget states.
+// Package api is the transport-agnostic service layer of the serving
+// system: it owns the registry of hosted interfaces, the binding /
+// execution / caching logic, and a typed operation surface (Service)
+// with structured errors and pagination. Transports stay thin —
+// internal/server maps HTTP requests onto Service operations and
+// encodes the results; pi/client speaks the same contract from the
+// consumer side; future transports (gRPC, shard routers) plug into the
+// same seam.
 //
 // Concurrency model: a Registry is safe for concurrent use. Each
 // Hosted interface's mutable serving state (interface, dataset, result
@@ -16,7 +17,7 @@
 // wholesale, so a post-swap request can never observe a pre-swap
 // cached result — the epoch-based invalidation discipline of answering
 // queries under updates (Berkholz et al.).
-package server
+package api
 
 import (
 	"fmt"
@@ -106,7 +107,7 @@ func (h *Hosted) Queries() uint64 { return h.queries.Load() }
 // loaded; new requests see the new epoch. Returns the new epoch.
 func (h *Hosted) Swap(iface *core.Interface, db *engine.DB) (uint64, error) {
 	if iface == nil {
-		return 0, fmt.Errorf("server: swap on %q needs a non-nil interface", h.ID)
+		return 0, fmt.Errorf("api: swap on %q needs a non-nil interface", h.ID)
 	}
 	h.swapMu.Lock()
 	defer h.swapMu.Unlock()
@@ -149,15 +150,15 @@ func NewRegistryWithCache(cacheSize int) *Registry {
 // invalid ID or a nil interface/db is an error.
 func (r *Registry) Add(id, title string, iface *core.Interface, db *engine.DB) (*Hosted, error) {
 	if !validID(id) {
-		return nil, fmt.Errorf("server: invalid interface id %q (want [A-Za-z0-9._-]+)", id)
+		return nil, fmt.Errorf("api: invalid interface id %q (want [A-Za-z0-9._-]+)", id)
 	}
 	if iface == nil || db == nil {
-		return nil, fmt.Errorf("server: interface %q needs a non-nil interface and db", id)
+		return nil, fmt.Errorf("api: interface %q needs a non-nil interface and db", id)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.ifaces[id]; dup {
-		return nil, fmt.Errorf("server: duplicate interface id %q", id)
+		return nil, fmt.Errorf("api: duplicate interface id %q", id)
 	}
 	h := newHosted(id, title, iface, db, r.cacheSize)
 	r.ifaces[id] = h
@@ -169,7 +170,7 @@ func (r *Registry) Add(id, title string, iface *core.Interface, db *engine.DB) (
 func (r *Registry) Swap(id string, iface *core.Interface, db *engine.DB) (uint64, error) {
 	h, ok := r.Get(id)
 	if !ok {
-		return 0, fmt.Errorf("server: unknown interface %q", id)
+		return 0, fmt.Errorf("api: unknown interface %q", id)
 	}
 	return h.Swap(iface, db)
 }

@@ -1,0 +1,466 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/htmlgen"
+	"repro/internal/qlog"
+)
+
+// Default pagination bounds (see ServiceOptions).
+const (
+	// DefaultRowLimit is the page size used when a query request does
+	// not ask for one.
+	DefaultRowLimit = 1000
+	// MaxRowLimit is the hard server-side cap: requests asking for more
+	// rows per page are clamped to it and the response is marked
+	// truncated, so an unbounded result can never be serialized in one
+	// response.
+	MaxRowLimit = 10000
+)
+
+// ServiceOptions tune a Service.
+type ServiceOptions struct {
+	// DefaultRowLimit is the page size for query requests with Limit 0.
+	// 0 means DefaultRowLimit.
+	DefaultRowLimit int
+	// MaxRowLimit is the hard per-response row cap. 0 means MaxRowLimit.
+	MaxRowLimit int
+	// PageBase is the URL prefix compiled pages use to reach the query
+	// and epoch endpoints ("" means "/v1/interfaces"). Transports that
+	// mount the API elsewhere set it to match.
+	PageBase string
+}
+
+func (o ServiceOptions) withDefaults() ServiceOptions {
+	if o.DefaultRowLimit <= 0 {
+		o.DefaultRowLimit = DefaultRowLimit
+	}
+	if o.MaxRowLimit <= 0 {
+		o.MaxRowLimit = MaxRowLimit
+	}
+	if o.MaxRowLimit < o.DefaultRowLimit {
+		o.DefaultRowLimit = o.MaxRowLimit
+	}
+	if o.PageBase == "" {
+		o.PageBase = "/v1/interfaces"
+	}
+	return o
+}
+
+// Service is the transport-agnostic operation surface over a registry
+// of hosted interfaces (and, optionally, a live ingester). Every
+// operation validates its input, returns typed results and reports
+// failures as *Error values, so a transport's only job is decoding
+// requests and encoding responses. It is safe for concurrent use.
+type Service struct {
+	reg   *Registry
+	ing   Ingestor
+	opts  ServiceOptions
+	start time.Time
+}
+
+// NewService builds a service over the registry. Interfaces may still
+// be added to the registry after the service is built.
+func NewService(reg *Registry, opts ...ServiceOptions) *Service {
+	var o ServiceOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Service{reg: reg, opts: o.withDefaults(), start: time.Now()}
+}
+
+// SetIngestor wires live log ingestion into IngestLog. Call before
+// serving begins.
+func (s *Service) SetIngestor(ing Ingestor) { s.ing = ing }
+
+// Registry returns the underlying registry.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Ingestion reports whether an ingestor is wired in.
+func (s *Service) Ingestion() bool { return s.ing != nil }
+
+// hosted resolves an interface ID or returns a CodeNotFound error.
+func (s *Service) hosted(id string) (*Hosted, *Error) {
+	h, ok := s.reg.Get(id)
+	if !ok {
+		return nil, errNotFound(id)
+	}
+	return h, nil
+}
+
+// ListInterfaces returns a summary row per hosted interface, sorted by
+// ID.
+func (s *Service) ListInterfaces() []InterfaceSummary {
+	hosted := s.reg.List()
+	out := make([]InterfaceSummary, 0, len(hosted))
+	for _, h := range hosted {
+		st := h.load()
+		out = append(out, InterfaceSummary{
+			ID:      h.ID,
+			Title:   h.Title,
+			Widgets: len(st.iface.Widgets),
+			Cost:    st.iface.Cost(),
+			Queries: h.Queries(),
+			Epoch:   st.epoch,
+		})
+	}
+	return out
+}
+
+// GetInterface returns one interface's widgets and initial query.
+func (s *Service) GetInterface(id string) (*InterfaceDetail, error) {
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	st := h.load()
+	d := &InterfaceDetail{ID: h.ID, Title: h.Title, Epoch: st.epoch, InitialSQL: ast.SQL(st.iface.Initial)}
+	for _, wd := range st.iface.Widgets {
+		info := WidgetInfo{
+			Path:   wd.Path.String(),
+			Kind:   wd.Type.Name,
+			Label:  htmlgen.Label(wd),
+			Absent: wd.Domain.HasAbsent(),
+		}
+		for _, v := range wd.Domain.Values() {
+			if v == nil {
+				info.Options = append(info.Options, "(absent)")
+				continue
+			}
+			info.Options = append(info.Options, ast.SQL(v))
+		}
+		if wd.Domain.IsNumericRange() {
+			info.Numeric = true
+			info.Min, info.Max = wd.Domain.Range()
+		}
+		d.Widgets = append(d.Widgets, info)
+	}
+	return d, nil
+}
+
+// Epoch returns the interface's current epoch (pages poll it to detect
+// hot swaps).
+func (s *Service) Epoch(id string) (*EpochResponse, error) {
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return &EpochResponse{Epoch: h.Epoch()}, nil
+}
+
+// Page returns the compiled live HTML page for the interface, wired to
+// the configured PageBase endpoints. The page is compiled lazily once
+// per epoch and cached in the epoch snapshot.
+func (s *Service) Page(id string) (string, error) {
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return "", apiErr
+	}
+	st := h.load()
+	st.pageMu.RLock()
+	page := st.page
+	st.pageMu.RUnlock()
+	if page != "" {
+		return page, nil
+	}
+	st.pageMu.Lock()
+	defer st.pageMu.Unlock()
+	if st.page == "" {
+		base := s.opts.PageBase + "/" + h.ID
+		compiled, err := htmlgen.CompileServedLive(st.iface, h.Title, base+"/query", base+"/epoch", st.epoch)
+		if err != nil {
+			return "", errInternal(fmt.Errorf("compile page for %q: %w", h.ID, err))
+		}
+		st.page = compiled
+	}
+	return st.page, nil
+}
+
+// Query binds the requested widget state onto the interface's query
+// template, executes it (through the plan and result caches) and
+// returns one page of the result. Only accepted queries — requests
+// that bind and execute — advance the interface's query counter;
+// malformed or rejected requests do not inflate traffic stats.
+func (s *Service) Query(id string, req QueryRequest) (*QueryResponse, error) {
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	st := h.load()
+
+	limit, apiErr := s.pageLimit(req.Limit)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+
+	// Plan lookup first: a repeated widget-state shape skips binding,
+	// rendering and hashing even when its result has been evicted.
+	planKey := PlanKey(req.Widgets)
+	plan, planHit := st.plans.Get(planKey)
+	if !planHit {
+		q, err := Bind(st.iface, req.Widgets)
+		if err != nil {
+			return nil, bindToError(err)
+		}
+		plan = &Plan{Query: q, SQL: ast.SQL(q), Hash: ast.HashOf(q)}
+		st.plans.Put(planKey, plan)
+	}
+
+	// The cursor can only be validated once the plan is known: it is
+	// bound to the exact query that produced the first page, not just
+	// the epoch.
+	offset := 0
+	if req.Cursor != "" {
+		if offset, apiErr = parseCursor(req.Cursor, st.epoch, plan.Hash); apiErr != nil {
+			return nil, apiErr
+		}
+	}
+
+	res, hit := st.cache.Get(plan.Hash, plan.SQL)
+	if !hit {
+		var err error
+		res, err = engine.Exec(st.db, plan.Query)
+		if err != nil {
+			// The closure can contain queries the dataset cannot answer
+			// (e.g. a column the sample lacks); that is a client-state
+			// problem, not a server fault.
+			return nil, Errf(CodeExecFailed, http.StatusUnprocessableEntity, "exec: %v", err)
+		}
+		st.cache.Put(plan.Hash, plan.SQL, res)
+	}
+	h.queries.Add(1)
+
+	total := len(res.Rows)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	resp := &QueryResponse{
+		SQL:        plan.SQL,
+		Epoch:      st.epoch,
+		Cols:       res.Cols,
+		Rows:       rowsJSON(res, offset, end),
+		RowCount:   total,
+		Offset:     offset,
+		Truncated:  end < total,
+		Cache:      "miss",
+		Plan:       "miss",
+		CacheStats: st.cache.Stats(),
+	}
+	if resp.Truncated {
+		resp.NextCursor = encodeCursor(st.epoch, plan.Hash, end)
+	}
+	if hit {
+		resp.Cache = "hit"
+	}
+	if planHit {
+		resp.Plan = "hit"
+	}
+	return resp, nil
+}
+
+// pageLimit resolves the requested page size against the service caps.
+func (s *Service) pageLimit(limit int) (int, *Error) {
+	switch {
+	case limit < 0:
+		return 0, errBadRequest("limit must be non-negative, got %d", limit)
+	case limit == 0:
+		return s.opts.DefaultRowLimit, nil
+	case limit > s.opts.MaxRowLimit:
+		return s.opts.MaxRowLimit, nil
+	}
+	return limit, nil
+}
+
+// bindToError maps binding failures onto the error contract.
+func bindToError(err error) *Error {
+	if _, ok := err.(*BindError); ok {
+		return Errf(CodeBindRejected, http.StatusUnprocessableEntity, "%v", err)
+	}
+	return errBadRequest("%v", err)
+}
+
+// --- pagination cursors.
+//
+// A cursor is "<epoch>.<planhash>.<offset>": resuming is only sound
+// against the same immutable epoch snapshot AND the same bound query
+// that produced the first page, so both are part of the token — a hot
+// swap invalidates outstanding cursors (CodeCursorExpired), and a
+// cursor replayed with different widget bindings is rejected
+// (CodeBadRequest) instead of silently splicing pages from two
+// different result sets.
+
+func encodeCursor(epoch uint64, hash ast.Hash, offset int) string {
+	return strconv.FormatUint(epoch, 10) + "." +
+		strconv.FormatUint(uint64(hash), 16) + "." +
+		strconv.Itoa(offset)
+}
+
+func parseCursor(c string, epoch uint64, hash ast.Hash) (int, *Error) {
+	parts := strings.Split(c, ".")
+	if len(parts) != 3 {
+		return 0, errBadRequest("malformed cursor %q", c)
+	}
+	ce, err1 := strconv.ParseUint(parts[0], 10, 64)
+	ch, err2 := strconv.ParseUint(parts[1], 16, 64)
+	off, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || off < 0 {
+		return 0, errBadRequest("malformed cursor %q", c)
+	}
+	if ce != epoch {
+		return 0, Errf(CodeCursorExpired, http.StatusGone,
+			"cursor from epoch %d, interface is at epoch %d; restart from the first page", ce, epoch)
+	}
+	if ast.Hash(ch) != hash {
+		return 0, errBadRequest("cursor was minted for a different query; restart from the first page")
+	}
+	return off, nil
+}
+
+// IngestReady reports whether IngestLog can accept entries for the
+// interface: not_found when it is not hosted, ingest_disabled when no
+// ingestor is wired in. Transports call it before paying to decode a
+// potentially large log body.
+func (s *Service) IngestReady(id string) error {
+	if _, apiErr := s.hosted(id); apiErr != nil {
+		return apiErr
+	}
+	if s.ing == nil {
+		return Errf(CodeIngestDisabled, http.StatusNotImplemented,
+			"live ingestion is not enabled on this server")
+	}
+	return nil
+}
+
+// IngestLog submits query-log entries to the live ingester. With flush
+// set, buffered entries are re-mined before returning, so the ack's
+// epoch reflects the submitted entries.
+func (s *Service) IngestLog(id string, entries []qlog.Entry, flush bool) (*IngestAck, error) {
+	if err := s.IngestReady(id); err != nil {
+		return nil, err
+	}
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if len(entries) == 0 {
+		return nil, errBadRequest("no log entries in request body")
+	}
+	ack, err := s.ing.Submit(h.ID, entries)
+	if err != nil {
+		return nil, Errf(CodeIngestFailed, http.StatusUnprocessableEntity, "%v", err)
+	}
+	if flush && ack.Buffered > 0 {
+		if _, err := s.ing.Flush(h.ID); err != nil {
+			return nil, Errf(CodeIngestFailed, http.StatusUnprocessableEntity, "%v", err)
+		}
+		ack.Flushed = true
+		ack.Buffered = 0
+	}
+	ack.Epoch = h.Epoch()
+	return &ack, nil
+}
+
+// Health reports build info, uptime and a per-interface row with epoch,
+// traffic and cache hit rates (plus ingestion counters when wired).
+func (s *Service) Health() *Health {
+	health := &Health{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ingestion:     s.ing != nil,
+		Interfaces:    []HealthInterface{},
+	}
+	statuser, _ := s.ing.(IngestStatuser)
+	for _, h := range s.reg.List() {
+		st := h.load()
+		row := HealthInterface{
+			ID:           h.ID,
+			Epoch:        st.epoch,
+			Widgets:      len(st.iface.Widgets),
+			Queries:      h.Queries(),
+			CacheHitRate: hitRate(st.cache.Stats()),
+			PlanHitRate:  hitRate(st.plans.Stats()),
+		}
+		if statuser != nil {
+			if is, ok := statuser.IngestStatus(h.ID); ok {
+				row.Ingest = &is
+			}
+		}
+		health.Interfaces = append(health.Interfaces, row)
+	}
+	return health
+}
+
+// Debug returns the cache and traffic counters per interface.
+func (s *Service) Debug() *DebugInfo {
+	info := &DebugInfo{Interfaces: []DebugInterface{}}
+	for _, h := range s.reg.List() {
+		st := h.load()
+		info.Interfaces = append(info.Interfaces, DebugInterface{
+			ID:      h.ID,
+			Epoch:   st.epoch,
+			Queries: h.Queries(),
+			Cache:   st.cache.Stats(),
+			Plans:   st.plans.Stats(),
+		})
+	}
+	return info
+}
+
+func hitRate(st CacheStats) float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// rowsJSON converts engine values in [lo, hi) to JSON scalars (numbers,
+// strings, booleans, null).
+func rowsJSON(t *engine.Table, lo, hi int) [][]any {
+	out := make([][]any, 0, hi-lo)
+	for _, row := range t.Rows[lo:hi] {
+		jr := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case engine.KindNumber:
+				jr[j] = v.Num
+			case engine.KindString:
+				jr[j] = v.Str
+			case engine.KindBool:
+				jr[j] = v.Bool
+			default:
+				jr[j] = nil
+			}
+		}
+		out = append(out, jr)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package api
+
+import (
+	"strings"
+
+	"repro/internal/qlog"
+)
+
+// This file is the typed v1 operation contract: the request and
+// response shapes every transport (internal/server over HTTP,
+// pi/client from the consumer side) exchanges with the Service.
+// Field names are the JSON contract; see API.md.
+
+// InterfaceSummary is one row of ListInterfaces.
+type InterfaceSummary struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Widgets int     `json:"widgets"`
+	Cost    float64 `json:"cost"`
+	Queries uint64  `json:"queries"`
+	Epoch   uint64  `json:"epoch"`
+}
+
+// WidgetInfo describes one widget of GetInterface.
+type WidgetInfo struct {
+	Path    string   `json:"path"`
+	Kind    string   `json:"kind"`
+	Label   string   `json:"label"`
+	Options []string `json:"options"`
+	Absent  bool     `json:"absent,omitempty"`
+	Numeric bool     `json:"numeric,omitempty"`
+	// Min/Max are meaningful only when Numeric; no omitempty, since 0
+	// is a legitimate bound.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// InterfaceDetail is the body of GetInterface.
+type InterfaceDetail struct {
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	Epoch      uint64       `json:"epoch"`
+	InitialSQL string       `json:"initialSql"`
+	Widgets    []WidgetInfo `json:"widgets"`
+}
+
+// QueryRequest is the body of Query: the widget bindings plus result
+// pagination. Limit caps the rows returned (0 means the server
+// default; the server also enforces a hard cap). Cursor resumes a
+// previous truncated response at its NextCursor.
+type QueryRequest struct {
+	Widgets []WidgetBinding `json:"widgets"`
+	Limit   int             `json:"limit,omitempty"`
+	Cursor  string          `json:"cursor,omitempty"`
+}
+
+// QueryResponse is the body of a successful query: the bound SQL, one
+// page of the result relation, the epoch of the interface that
+// answered, and whether result and plan came from their caches.
+// RowCount is the size of the full result; Rows holds the requested
+// page ([Offset, Offset+len(Rows))). When Truncated, NextCursor
+// resumes at the next page (valid only for the same epoch).
+type QueryResponse struct {
+	SQL        string     `json:"sql"`
+	Epoch      uint64     `json:"epoch"`
+	Cols       []string   `json:"cols"`
+	Rows       [][]any    `json:"rows"`
+	RowCount   int        `json:"rowCount"`
+	Offset     int        `json:"offset,omitempty"`
+	Truncated  bool       `json:"truncated,omitempty"`
+	NextCursor string     `json:"nextCursor,omitempty"`
+	Cache      string     `json:"cache"` // "hit" | "miss"
+	Plan       string     `json:"plan"`  // "hit" | "miss"
+	CacheStats CacheStats `json:"cacheStats"`
+}
+
+// LogRequest is the JSON body of IngestLog (the HTTP endpoint also
+// accepts text/plain statements in the qlog text format).
+type LogRequest struct {
+	Entries []LogEntry `json:"entries"`
+}
+
+// LogEntry is one submitted query-log entry.
+type LogEntry struct {
+	SQL    string `json:"sql"`
+	Client string `json:"client,omitempty"`
+}
+
+// QlogEntries converts the request to qlog entries, dropping blank SQL.
+func (r *LogRequest) QlogEntries() []qlog.Entry {
+	out := make([]qlog.Entry, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		if strings.TrimSpace(e.SQL) == "" {
+			continue
+		}
+		out = append(out, qlog.Entry{SQL: e.SQL, Client: e.Client})
+	}
+	return out
+}
+
+// EpochResponse is the body of Epoch (pages poll it to detect swaps).
+type EpochResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// Ingestor accepts new query-log entries for a hosted interface —
+// internal/ingest implements it; the service stays decoupled from the
+// mining machinery. Submit buffers entries (and may flush when a batch
+// fills); Flush forces buffered entries through re-mining and returns
+// the resulting epoch.
+type Ingestor interface {
+	Submit(id string, entries []qlog.Entry) (IngestAck, error)
+	Flush(id string) (uint64, error)
+}
+
+// IngestStatuser is optionally implemented by an Ingestor to surface
+// per-interface ingestion counters in Health.
+type IngestStatuser interface {
+	IngestStatus(id string) (IngestStatus, bool)
+}
+
+// IngestStatus is one interface's ingestion counters.
+type IngestStatus struct {
+	Buffered    int    `json:"buffered"`
+	Accepted    uint64 `json:"accepted"`
+	Dropped     uint64 `json:"dropped"`
+	Flushes     uint64 `json:"flushes"`
+	FullRemines uint64 `json:"fullRemines"`
+	LastError   string `json:"lastError,omitempty"`
+}
+
+// IngestAck reports what happened to a Submit call.
+type IngestAck struct {
+	Accepted int    `json:"accepted"` // entries buffered by this call
+	Buffered int    `json:"buffered"` // entries still waiting after the call
+	Flushed  bool   `json:"flushed"`  // whether a re-mine ran
+	Dropped  int    `json:"dropped,omitempty"`
+	Epoch    uint64 `json:"epoch"` // interface epoch after the call
+}
+
+// HealthInterface is one interface's health row.
+type HealthInterface struct {
+	ID           string        `json:"id"`
+	Epoch        uint64        `json:"epoch"`
+	Widgets      int           `json:"widgets"`
+	Queries      uint64        `json:"queries"`
+	CacheHitRate float64       `json:"cacheHitRate"`
+	PlanHitRate  float64       `json:"planHitRate"`
+	Ingest       *IngestStatus `json:"ingest,omitempty"`
+}
+
+// Health is the body of the health operation.
+type Health struct {
+	Status        string            `json:"status"`
+	GoVersion     string            `json:"goVersion"`
+	Revision      string            `json:"revision,omitempty"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Ingestion     bool              `json:"ingestion"`
+	Interfaces    []HealthInterface `json:"interfaces"`
+}
+
+// DebugInfo is the body of the debug operation.
+type DebugInfo struct {
+	Interfaces []DebugInterface `json:"interfaces"`
+}
+
+// DebugInterface is one interface's serving counters.
+type DebugInterface struct {
+	ID      string     `json:"id"`
+	Epoch   uint64     `json:"epoch"`
+	Queries uint64     `json:"queries"`
+	Cache   CacheStats `json:"cache"`
+	Plans   CacheStats `json:"plans"`
+}

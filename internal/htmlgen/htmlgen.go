@@ -26,9 +26,27 @@ type Dependency struct {
 	ActiveOptions []int
 }
 
+// Served configures the live-page variants of Compile: where the
+// page's exec() hook POSTs widget bindings, which epoch endpoint it
+// polls for hot swaps, and an optional bearer token.
+//
+// Auth: a page served from an open GET endpoint must NOT embed the
+// token (anyone who can fetch the page would learn it) — leave Token
+// empty; the page script also picks a token up from the URL fragment
+// or query string (#token=... / ?token=...), so operators hand out
+// tokenized links while the page itself stays secret-free. Set Token
+// only when compiling a page for a trusted destination.
+type Served struct {
+	QueryEndpoint string       // where exec() POSTs widget bindings (required)
+	EpochEndpoint string       // epoch polling URL ("" disables the reload loop)
+	Epoch         uint64       // epoch the page was compiled at
+	Token         string       // optional bearer token embedded in the page
+	Deps          []Dependency // widget dependencies
+}
+
 // Compile renders the interface as a self-contained HTML document.
 func Compile(iface *core.Interface, title string) (string, error) {
-	return compile(iface, title, nil, "", "", 0)
+	return compile(iface, title, Served{})
 }
 
 // CompileWithDeps additionally embeds widget dependencies (§4.5 /
@@ -36,24 +54,32 @@ func Compile(iface *core.Interface, title string) (string, error) {
 // enabled"): the page disables a dependent widget's controls while its
 // controlling widget is in a non-supporting state.
 func CompileWithDeps(iface *core.Interface, title string, deps []Dependency) (string, error) {
-	return compile(iface, title, deps, "", "", 0)
+	return compile(iface, title, Served{Deps: deps})
 }
 
-// CompileServed renders the interface as a page whose exec() hook is
-// live: every interaction POSTs the current widget bindings to the
-// given API endpoint (the serving layer's POST /interfaces/{id}/query)
-// and renders the returned rows. This is the interaction hook that
-// turns the static §5.3 compilation into a working dashboard.
+// CompileServedPage renders the interface as a page whose exec() hook
+// is live: every interaction POSTs the current widget bindings to
+// cfg.QueryEndpoint (the serving layer's POST /v1/interfaces/{id}/query)
+// with the bearer token attached when one is known, and renders the
+// returned rows. With an EpochEndpoint the page also polls for hot
+// swaps and reloads itself when the epoch bumps.
+func CompileServedPage(iface *core.Interface, title string, cfg Served) (string, error) {
+	if cfg.QueryEndpoint == "" {
+		return "", fmt.Errorf("htmlgen: served page needs a query endpoint")
+	}
+	return compile(iface, title, cfg)
+}
+
+// CompileServed is CompileServedPage with only a query endpoint — the
+// interaction hook that turns the static §5.3 compilation into a
+// working dashboard.
 func CompileServed(iface *core.Interface, title, endpoint string) (string, error) {
-	return CompileServedWithDeps(iface, title, endpoint, nil)
+	return CompileServedPage(iface, title, Served{QueryEndpoint: endpoint})
 }
 
 // CompileServedWithDeps is CompileServed plus widget dependencies.
 func CompileServedWithDeps(iface *core.Interface, title, endpoint string, deps []Dependency) (string, error) {
-	if endpoint == "" {
-		return "", fmt.Errorf("htmlgen: served page needs a query endpoint")
-	}
-	return compile(iface, title, deps, endpoint, "", 0)
+	return CompileServedPage(iface, title, Served{QueryEndpoint: endpoint, Deps: deps})
 }
 
 // CompileServedLive is CompileServed for an interface that evolves
@@ -63,13 +89,12 @@ func CompileServedWithDeps(iface *core.Interface, title, endpoint string, deps [
 // epoch bumps and the page reloads itself, picking up the widened
 // widget domains while keeping the same URL.
 func CompileServedLive(iface *core.Interface, title, endpoint, epochEndpoint string, epoch uint64) (string, error) {
-	if endpoint == "" {
-		return "", fmt.Errorf("htmlgen: served page needs a query endpoint")
-	}
-	return compile(iface, title, nil, endpoint, epochEndpoint, epoch)
+	return CompileServedPage(iface, title, Served{
+		QueryEndpoint: endpoint, EpochEndpoint: epochEndpoint, Epoch: epoch,
+	})
 }
 
-func compile(iface *core.Interface, title string, deps []Dependency, endpoint, epochEndpoint string, epoch uint64) (string, error) {
+func compile(iface *core.Interface, title string, cfg Served) (string, error) {
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
 	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
@@ -87,7 +112,7 @@ func compile(iface *core.Interface, title string, deps []Dependency, endpoint, e
 	b.WriteString("</div>\n")
 	b.WriteString("<pre id=\"sql\"></pre>\n<div id=\"result\"></div>\n")
 
-	state, err := pageState(iface, deps, endpoint, epochEndpoint, epoch)
+	state, err := pageState(iface, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -99,7 +124,7 @@ func compile(iface *core.Interface, title string, deps []Dependency, endpoint, e
 // pageState serializes the initial query AST, each widget's path and
 // domain (as both AST JSON and rendered SQL fragments), and the widget
 // dependencies for the page script.
-func pageState(iface *core.Interface, deps []Dependency, endpoint, epochEndpoint string, epoch uint64) (string, error) {
+func pageState(iface *core.Interface, cfg Served) (string, error) {
 	type option struct {
 		Label string          `json:"label"`
 		AST   json.RawMessage `json:"ast"`
@@ -120,10 +145,11 @@ func pageState(iface *core.Interface, deps []Dependency, endpoint, epochEndpoint
 		Endpoint      string          `json:"endpoint,omitempty"`
 		EpochEndpoint string          `json:"epochEndpoint,omitempty"`
 		Epoch         uint64          `json:"epoch,omitempty"`
+		Token         string          `json:"token,omitempty"`
 	}
 	p := page{
-		InitSQL: ast.SQL(iface.Initial), Deps: deps, Endpoint: endpoint,
-		EpochEndpoint: epochEndpoint, Epoch: epoch,
+		InitSQL: ast.SQL(iface.Initial), Deps: cfg.Deps, Endpoint: cfg.QueryEndpoint,
+		EpochEndpoint: cfg.EpochEndpoint, Epoch: cfg.Epoch, Token: cfg.Token,
 	}
 	ini, err := json.Marshal(iface.Initial)
 	if err != nil {
@@ -259,6 +285,23 @@ body { font-family: sans-serif; margin: 2em; }
 // widget domains contain), plus exec() and render() hooks.
 const scriptBlock = `
 let current = JSON.parse(JSON.stringify(PI_STATE.initial));
+// Bearer token for the query API: an embedded one (trusted
+// compilations only) or one handed over in the page URL
+// (#token=... preferred — the fragment never leaves the browser —
+// or ?token=...). Kept in memory; never re-rendered into the DOM.
+const PI_TOKEN = (function () {
+  if (PI_STATE.token) return PI_STATE.token;
+  try {
+    const h = new URLSearchParams(location.hash.slice(1));
+    if (h.get("token")) return h.get("token");
+    return new URLSearchParams(location.search).get("token") || "";
+  } catch (err) { return ""; }
+})();
+function piHeaders(extra) {
+  const h = extra || {};
+  if (PI_TOKEN) h["Authorization"] = "Bearer " + PI_TOKEN;
+  return h;
+}
 // Widget bindings in request order: path -> last applied AST value
 // (null = absent). The served exec() sends these to the query API,
 // which re-binds them onto the template server-side.
@@ -375,11 +418,11 @@ async function exec(q) {
   try {
     const resp = await fetch(PI_STATE.endpoint, {
       method: "POST",
-      headers: {"Content-Type": "application/json"},
+      headers: piHeaders({"Content-Type": "application/json"}),
       body: JSON.stringify({widgets: widgets}),
     });
     const body = await resp.json();
-    if (!resp.ok) return {error: body.error || resp.statusText};
+    if (!resp.ok) return {error: (body.code ? body.code + ": " : "") + (body.error || resp.statusText)};
     return body;
   } catch (err) {
     return {error: String(err)};
@@ -429,7 +472,7 @@ async function refresh() {
 if (PI_STATE.epochEndpoint) {
   setInterval(async function () {
     try {
-      const resp = await fetch(PI_STATE.epochEndpoint);
+      const resp = await fetch(PI_STATE.epochEndpoint, {headers: piHeaders()});
       if (!resp.ok) return;
       const body = await resp.json();
       if (body.epoch && body.epoch !== PI_STATE.epoch) location.reload();

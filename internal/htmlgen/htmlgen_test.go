@@ -143,3 +143,42 @@ func TestCompileServedLiveEmbedsEpochPolling(t *testing.T) {
 		t.Error("static served page should not carry an epoch endpoint")
 	}
 }
+
+// TestServedPageToken: an explicitly embedded token lands in PI_STATE
+// and the script attaches it as a bearer header; a token-less page
+// carries no token field but still knows how to pick one up from its
+// URL (fragment or query string).
+func TestServedPageToken(t *testing.T) {
+	iface := buildIface(t,
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT a FROM t WHERE x = 2")
+	trusted, err := CompileServedPage(iface, "Trusted", Served{
+		QueryEndpoint: "/v1/interfaces/x/query", Token: "sesame",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`"token":"sesame"`,
+		`"Authorization"] = "Bearer " + PI_TOKEN`,
+	} {
+		if !strings.Contains(trusted, frag) {
+			t.Errorf("trusted page missing %s", frag)
+		}
+	}
+	open, err := CompileServedPage(iface, "Open", Served{QueryEndpoint: "/v1/interfaces/x/query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(open, `"token":"`) {
+		t.Error("open page embeds a token")
+	}
+	for _, frag := range []string{`location.hash`, `location.search`, `h.get("token")`} {
+		if !strings.Contains(open, frag) {
+			t.Errorf("open page cannot pick a token from the URL: missing %s", frag)
+		}
+	}
+	if _, err := CompileServedPage(iface, "Bad", Served{}); err == nil {
+		t.Error("served page without a query endpoint accepted")
+	}
+}

@@ -12,7 +12,7 @@
 // Entry points: HTTP (the server's POST /interfaces/{id}/log routes to
 // Submit), direct calls (pi.Ingest) and file tailing (Tail, which
 // follows a growing log file the way tail -f does). An Ingester
-// implements server.Ingestor and server.IngestStatuser, so wiring it
+// implements api.Ingestor and api.IngestStatuser, so wiring it
 // into a server enables the endpoint and the /healthz ingest rows.
 package ingest
 
@@ -22,10 +22,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/qlog"
-	"repro/internal/server"
 )
 
 // Options configure buffering and flushing.
@@ -59,7 +59,7 @@ func (o Options) withDefaults() Options {
 // entry buffer and the counters. feed.mu serializes mining and
 // swapping for the interface; query traffic never takes it.
 type feed struct {
-	hosted *server.Hosted
+	hosted *api.Hosted
 	mu     sync.Mutex
 	miner  *core.Miner
 	buf    []qlog.Entry
@@ -74,7 +74,7 @@ type feed struct {
 // Ingester routes submitted log entries to per-interface feeds. It is
 // safe for concurrent use.
 type Ingester struct {
-	reg  *server.Registry
+	reg  *api.Registry
 	opts Options
 
 	mu    sync.RWMutex
@@ -82,14 +82,14 @@ type Ingester struct {
 }
 
 // New returns an ingester over the registry.
-func New(reg *server.Registry, opts Options) *Ingester {
+func New(reg *api.Registry, opts Options) *Ingester {
 	return &Ingester{reg: reg, opts: opts.withDefaults(), feeds: make(map[string]*feed)}
 }
 
 // Host mines the log, registers the interface for serving AND attaches
 // a live feed, so subsequent Submit calls evolve it. This is the
 // live-path counterpart of mining once and calling Registry.Add.
-func (ing *Ingester) Host(id, title string, log *qlog.Log, db *engine.DB, opts core.LiveOptions) (*server.Hosted, error) {
+func (ing *Ingester) Host(id, title string, log *qlog.Log, db *engine.DB, opts core.LiveOptions) (*api.Hosted, error) {
 	m, err := core.NewMiner(log, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: mine %q: %w", id, err)
@@ -119,15 +119,15 @@ func (ing *Ingester) feed(id string) (*feed, error) {
 // buffer flushes mid-way and keeps going, so no entry is ever silently
 // discarded: Submit either accepts everything (Accepted == len(entries))
 // or returns the re-mining error that stopped it, with Accepted telling
-// how far it got. Implements server.Ingestor.
-func (ing *Ingester) Submit(id string, entries []qlog.Entry) (server.IngestAck, error) {
+// how far it got. Implements api.Ingestor.
+func (ing *Ingester) Submit(id string, entries []qlog.Entry) (api.IngestAck, error) {
 	f, err := ing.feed(id)
 	if err != nil {
-		return server.IngestAck{}, err
+		return api.IngestAck{}, err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var ack server.IngestAck
+	var ack api.IngestAck
 	for len(entries) > 0 {
 		room := ing.opts.MaxBuffer - len(f.buf)
 		if room <= 0 {
@@ -165,7 +165,7 @@ func (ing *Ingester) Submit(id string, entries []qlog.Entry) (server.IngestAck, 
 }
 
 // Flush re-mines any buffered entries for the interface immediately
-// and returns the current epoch. Implements server.Ingestor.
+// and returns the current epoch. Implements api.Ingestor.
 func (ing *Ingester) Flush(id string) (uint64, error) {
 	f, err := ing.feed(id)
 	if err != nil {
@@ -246,17 +246,17 @@ func (ing *Ingester) Run(ctx context.Context) {
 	}
 }
 
-// IngestStatus implements server.IngestStatuser for /healthz.
-func (ing *Ingester) IngestStatus(id string) (server.IngestStatus, bool) {
+// IngestStatus implements api.IngestStatuser for /healthz.
+func (ing *Ingester) IngestStatus(id string) (api.IngestStatus, bool) {
 	ing.mu.RLock()
 	f, ok := ing.feeds[id]
 	ing.mu.RUnlock()
 	if !ok {
-		return server.IngestStatus{}, false
+		return api.IngestStatus{}, false
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return server.IngestStatus{
+	return api.IngestStatus{
 		Buffered:    len(f.buf),
 		Accepted:    f.accepted,
 		Dropped:     f.dropped,

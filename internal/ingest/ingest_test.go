@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/qlog"
@@ -44,9 +45,9 @@ func fixtureLog(n int) *qlog.Log {
 
 func entry(sql string) qlog.Entry { return qlog.Entry{SQL: sql} }
 
-func newIngester(t *testing.T, opts Options) (*server.Registry, *Ingester, *server.Hosted) {
+func newIngester(t *testing.T, opts Options) (*api.Registry, *Ingester, *api.Hosted) {
 	t.Helper()
-	reg := server.NewRegistry()
+	reg := api.NewRegistry()
 	ing := New(reg, opts)
 	h, err := ing.Host("live", "live test", fixtureLog(4), fixtureDB(t), core.DefaultLiveOptions())
 	if err != nil {
@@ -138,7 +139,7 @@ func TestAllDroppedKeepsEpoch(t *testing.T) {
 }
 
 func TestSubmitUnknownFeed(t *testing.T) {
-	reg := server.NewRegistry()
+	reg := api.NewRegistry()
 	ing := New(reg, Options{})
 	if _, err := ing.Submit("nope", []qlog.Entry{entry("SELECT a FROM t")}); err == nil {
 		t.Fatal("unknown feed accepted")
@@ -204,14 +205,13 @@ func TestNoStaleCacheAcrossSwap(t *testing.T) {
 }
 
 // serveWith builds the HTTP handler the way cmd/pi-serve does.
-func serveWith(t *testing.T, ing *Ingester, h *server.Hosted) http.Handler {
-	reg := ing.reg
-	s := server.New(reg)
-	s.SetIngestor(ing)
-	return s.Handler()
+func serveWith(t *testing.T, ing *Ingester, h *api.Hosted) http.Handler {
+	svc := api.NewService(ing.reg)
+	svc.SetIngestor(ing)
+	return server.New(svc).Handler()
 }
 
-func postQuery(t *testing.T, base, body string) *server.QueryResponse {
+func postQuery(t *testing.T, base, body string) *api.QueryResponse {
 	t.Helper()
 	resp, err := http.Post(base+"/interfaces/live/query", "application/json", bytes.NewReader([]byte(body)))
 	if err != nil {
@@ -221,7 +221,7 @@ func postQuery(t *testing.T, base, body string) *server.QueryResponse {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query status = %d", resp.StatusCode)
 	}
-	var out server.QueryResponse
+	var out api.QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestIngestEndpointTextAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ack server.IngestAck
+	var ack api.IngestAck
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestIngestEndpointTextAndJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hresp.Body.Close()
-	var health server.Health
+	var health api.Health
 	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
@@ -285,12 +285,12 @@ func TestIngestEndpointTextAndJSON(t *testing.T) {
 }
 
 func TestIngestEndpointWithoutIngestorIs501(t *testing.T) {
-	reg := server.NewRegistry()
+	reg := api.NewRegistry()
 	ing := New(reg, Options{})
 	if _, err := ing.Host("live", "t", fixtureLog(3), fixtureDB(t), core.DefaultLiveOptions()); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(reg).Handler()) // no SetIngestor
+	ts := httptest.NewServer(server.New(api.NewService(reg)).Handler()) // no SetIngestor
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/interfaces/live/log", "text/plain",
 		bytes.NewReader([]byte("SELECT a FROM t WHERE x = 1\n")))
@@ -332,7 +332,7 @@ func TestHotSwapUnderConcurrentQueries(t *testing.T) {
 					errs <- err
 					return
 				}
-				var out server.QueryResponse
+				var out api.QueryResponse
 				err = json.NewDecoder(resp.Body).Decode(&out)
 				resp.Body.Close()
 				if err != nil {

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// AuthConfig is per-interface bearer-token access control for the
+// mutating endpoints (POST query, POST log). Metadata GETs (list,
+// detail, page, epoch, healthz, debug) stay open — discovering an
+// interface is harmless; executing queries against it and mutating it
+// through log ingestion are not.
+//
+// Token is the server-wide default; InterfaceTokens overrides it per
+// interface ID. An empty effective token leaves that interface open,
+// so a mixed deployment (public demo dashboard + protected production
+// interfaces) is one config.
+type AuthConfig struct {
+	Token           string
+	InterfaceTokens map[string]string
+}
+
+// Enabled reports whether any token is configured.
+func (a AuthConfig) Enabled() bool { return a.Token != "" || len(a.InterfaceTokens) > 0 }
+
+// tokenFor returns the effective token for the interface ("" = open).
+func (a AuthConfig) tokenFor(id string) string {
+	if t, ok := a.InterfaceTokens[id]; ok {
+		return t
+	}
+	return a.Token
+}
+
+// check validates the request's bearer token for the interface:
+// nil when the interface is open or the token matches, unauthorized
+// (401) when no token was presented, forbidden (403) when the wrong
+// one was.
+func (a AuthConfig) check(id string, r *http.Request) *api.Error {
+	want := a.tokenFor(id)
+	if want == "" {
+		return nil
+	}
+	got, ok := bearerToken(r)
+	if !ok {
+		return api.Errf(api.CodeUnauthorized, http.StatusUnauthorized,
+			"interface %q requires a bearer token", id)
+	}
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		return api.Errf(api.CodeForbidden, http.StatusForbidden,
+			"token is not valid for interface %q", id)
+	}
+	return nil
+}
+
+// bearerToken extracts the token from "Authorization: Bearer <tok>".
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(h[len(prefix):]), true
+}
+
+// protected enforces the auth config in front of a handler for routes
+// that carry an {id} path value.
+func (s *Server) protected(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if apiErr := s.auth.check(r.PathValue("id"), r); apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		next(w, r)
+	}
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"compress/gzip"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Middleware wraps an http.Handler with one cross-cutting concern.
+// The stack is composable: transports pick the layers they need.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies the middlewares so the first listed becomes the
+// innermost layer and the last listed the outermost:
+//
+//	Chain(h, Gzip, RequestLog(l), Recover(l))
+//
+// serves requests through Recover → RequestLog → Gzip → h.
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for _, mw := range mws {
+		if mw != nil {
+			h = mw(h)
+		}
+	}
+	return h
+}
+
+// Recover converts handler panics into a 500 internal envelope instead
+// of tearing down the connection, logging the stack when a logger is
+// configured. http.ErrAbortHandler passes through (it is the sanctioned
+// way to abort a response).
+func Recover(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				if logger != nil {
+					logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				writeError(w, api.Errf(api.CodeInternal, http.StatusInternalServerError,
+					"internal server error"))
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// RequestLog logs one line per request: method, path, status, duration.
+// A nil logger disables the layer entirely (Chain skips nil).
+func RequestLog(logger *log.Logger) Middleware {
+	if logger == nil {
+		return nil
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.Status(), time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// statusWriter records the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Status returns the recorded status (200 if the handler wrote a body
+// without an explicit WriteHeader, 0 if it wrote nothing at all).
+func (sw *statusWriter) Status() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+// Gzip compresses responses for clients that accept it. Query results
+// over a few thousand rows are highly repetitive JSON; compressing on
+// the way out is a large bandwidth win for dashboard traffic.
+func Gzip(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Add("Vary", "Accept-Encoding")
+		gw := &gzipWriter{ResponseWriter: w}
+		defer gw.close()
+		next.ServeHTTP(gw, r)
+	})
+}
+
+// gzipWriter lazily starts the gzip stream on the first header or body
+// write, so a handler that writes nothing produces no broken empty
+// gzip frame headers.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipWriter) start() {
+	if g.gz == nil {
+		g.Header().Del("Content-Length")
+		g.Header().Set("Content-Encoding", "gzip")
+		g.gz = gzip.NewWriter(g.ResponseWriter)
+	}
+}
+
+func (g *gzipWriter) WriteHeader(code int) {
+	g.start()
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipWriter) Write(b []byte) (int, error) {
+	g.start()
+	return g.gz.Write(b)
+}
+
+func (g *gzipWriter) close() {
+	if g.gz != nil {
+		_ = g.gz.Close()
+	}
+}

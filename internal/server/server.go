@@ -1,506 +1,246 @@
+// Package server is the versioned HTTP transport over the
+// internal/api service layer. Handlers are deliberately thin: they
+// decode the request, call one api.Service operation and encode the
+// typed result (or the structured error envelope) — all binding,
+// execution and caching logic lives behind the Service seam, which is
+// also what pi/client and future transports (gRPC, shard routers)
+// consume.
+//
+// The contract is versioned under /v1:
+//
+//	GET  /v1/interfaces             — list hosted interfaces
+//	GET  /v1/interfaces/{id}        — one interface's widgets and initial query
+//	GET  /v1/interfaces/{id}/page   — the compiled HTML page, wired to the API
+//	GET  /v1/interfaces/{id}/epoch  — the interface's current epoch (pages poll it)
+//	POST /v1/interfaces/{id}/query  — bind widget state, execute, return rows (auth)
+//	POST /v1/interfaces/{id}/log    — ingest new query-log entries (auth)
+//	GET  /v1/healthz                — build info, uptime, per-interface epoch + cache hit rate
+//	GET  /v1/debug                  — cache and traffic counters
+//
+// The same routes are also mounted unversioned (/interfaces, /healthz,
+// ...) as legacy aliases so pages compiled before the v1 surface keep
+// working. Errors are always the JSON envelope {"code": ..., "error":
+// ...} with the codes documented in internal/api and API.md. With
+// auth configured, the mutating endpoints (query, log) require a
+// bearer token; metadata GETs stay open.
 package server
 
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
+	"log"
 	"net/http"
-	"runtime"
-	"runtime/debug"
 	"strings"
 	"time"
 
-	"repro/internal/ast"
-	"repro/internal/engine"
-	"repro/internal/htmlgen"
+	"repro/internal/api"
 	"repro/internal/qlog"
 )
 
-// Server is the HTTP front over a registry of hosted interfaces.
-//
-//	GET  /interfaces             — list hosted interfaces
-//	GET  /interfaces/{id}        — one interface's widgets and initial query
-//	GET  /interfaces/{id}/page   — the compiled HTML page, wired to the API
-//	GET  /interfaces/{id}/epoch  — the interface's current epoch (pages poll it)
-//	POST /interfaces/{id}/query  — bind widget state, execute, return rows
-//	POST /interfaces/{id}/log    — ingest new query-log entries (needs an Ingestor)
-//	GET  /healthz                — build info, uptime, per-interface epoch + cache hit rate
-//	GET  /debug                  — cache and traffic counters
+// Body-size caps for the two decoding endpoints.
+const (
+	maxQueryBody = 1 << 20 // widget bindings
+	maxLogBody   = 8 << 20 // bulk log uploads
+)
+
+// Server is the HTTP front over an api.Service.
 type Server struct {
-	reg   *Registry
-	mux   *http.ServeMux
-	ing   Ingestor
-	start time.Time
+	svc    *api.Service
+	mux    *http.ServeMux
+	auth   AuthConfig
+	logger *log.Logger
 }
 
-// Ingestor accepts new query-log entries for a hosted interface —
-// internal/ingest implements it; the server stays decoupled from the
-// mining machinery. Submit buffers entries (and may flush when a batch
-// fills); Flush forces buffered entries through re-mining and returns
-// the resulting epoch.
-type Ingestor interface {
-	Submit(id string, entries []qlog.Entry) (IngestAck, error)
-	Flush(id string) (uint64, error)
-}
+// Option customizes a Server.
+type Option func(*Server)
 
-// IngestStatuser is optionally implemented by an Ingestor to surface
-// per-interface ingestion counters in /healthz.
-type IngestStatuser interface {
-	IngestStatus(id string) (IngestStatus, bool)
-}
+// WithAuth enables bearer-token auth on the query and log endpoints
+// (see AuthConfig).
+func WithAuth(a AuthConfig) Option { return func(s *Server) { s.auth = a } }
 
-// IngestStatus is one interface's ingestion counters.
-type IngestStatus struct {
-	Buffered    int    `json:"buffered"`
-	Accepted    uint64 `json:"accepted"`
-	Dropped     uint64 `json:"dropped"`
-	Flushes     uint64 `json:"flushes"`
-	FullRemines uint64 `json:"fullRemines"`
-	LastError   string `json:"lastError,omitempty"`
-}
+// WithLogger enables request logging (method, path, status, duration)
+// and directs panic reports to the logger.
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
 
-// IngestAck reports what happened to a Submit call.
-type IngestAck struct {
-	Accepted int    `json:"accepted"` // entries buffered by this call
-	Buffered int    `json:"buffered"` // entries still waiting after the call
-	Flushed  bool   `json:"flushed"`  // whether a re-mine ran
-	Dropped  int    `json:"dropped,omitempty"`
-	Epoch    uint64 `json:"epoch"` // interface epoch after the call
-}
-
-// New builds a server over the registry. Interfaces may still be added
-// to the registry after the server starts.
-func New(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("GET /interfaces", s.handleList)
-	s.mux.HandleFunc("GET /interfaces/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /interfaces/{id}/page", s.handlePage)
-	s.mux.HandleFunc("GET /interfaces/{id}/epoch", s.handleEpoch)
-	s.mux.HandleFunc("POST /interfaces/{id}/query", s.handleQuery)
-	s.mux.HandleFunc("POST /interfaces/{id}/log", s.handleLog)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /debug", s.handleDebug)
-	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+// New builds a transport over the service. Interfaces may still be
+// added to the service's registry after the server starts.
+func New(svc *api.Service, opts ...Option) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.routes()
 	return s
 }
 
-// SetIngestor wires live log ingestion into POST /interfaces/{id}/log.
-// Call before serving begins.
-func (s *Server) SetIngestor(ing Ingestor) { s.ing = ing }
+// routes mounts every operation under /v1 and, for compatibility with
+// pages compiled before the versioned surface, under the legacy
+// unversioned paths.
+func (s *Server) routes() {
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := strings.Cut(pattern, " ")
+		s.mux.HandleFunc(method+" /v1"+path, h)
+		s.mux.HandleFunc(method+" "+path, h)
+	}
+	handle("GET /interfaces", s.handleList)
+	handle("GET /interfaces/{id}", s.handleGet)
+	handle("GET /interfaces/{id}/page", s.handlePage)
+	handle("GET /interfaces/{id}/epoch", s.handleEpoch)
+	handle("POST /interfaces/{id}/query", s.protected(s.handleQuery))
+	handle("POST /interfaces/{id}/log", s.protected(s.handleLog))
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /debug", s.handleDebug)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+}
 
-// Handler returns the http.Handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the http.Handler serving the API, wrapped in the
+// middleware stack (outermost first): panic recovery, request logging
+// (when a logger is configured), gzip.
+func (s *Server) Handler() http.Handler {
+	return Chain(s.mux, Gzip, RequestLog(s.logger), Recover(s.logger))
+}
 
-// ListenAndServe serves the API on addr until the listener fails.
+// HTTPServer returns a production-configured http.Server for the API:
+// header/read/write/idle timeouts so a slow or stalled client cannot
+// pin a connection forever. Callers own Shutdown.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// ListenAndServe serves the API on addr with the configured timeouts
+// until the listener fails or Shutdown is called on the returned
+// error's server. For graceful shutdown, use HTTPServer directly.
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.Handler())
+	return s.HTTPServer(addr).ListenAndServe()
 }
 
-// --- response shapes (the JSON API contract).
-
-// InterfaceSummary is one row of GET /interfaces.
-type InterfaceSummary struct {
-	ID      string  `json:"id"`
-	Title   string  `json:"title"`
-	Widgets int     `json:"widgets"`
-	Cost    float64 `json:"cost"`
-	Queries uint64  `json:"queries"`
-	Epoch   uint64  `json:"epoch"`
-}
-
-// WidgetInfo describes one widget of GET /interfaces/{id}.
-type WidgetInfo struct {
-	Path    string   `json:"path"`
-	Kind    string   `json:"kind"`
-	Label   string   `json:"label"`
-	Options []string `json:"options"`
-	Absent  bool     `json:"absent,omitempty"`
-	Numeric bool     `json:"numeric,omitempty"`
-	// Min/Max are meaningful only when Numeric; no omitempty, since 0
-	// is a legitimate bound.
-	Min float64 `json:"min"`
-	Max float64 `json:"max"`
-}
-
-// InterfaceDetail is the body of GET /interfaces/{id}.
-type InterfaceDetail struct {
-	ID         string       `json:"id"`
-	Title      string       `json:"title"`
-	Epoch      uint64       `json:"epoch"`
-	InitialSQL string       `json:"initialSql"`
-	Widgets    []WidgetInfo `json:"widgets"`
-}
-
-// QueryRequest is the body of POST /interfaces/{id}/query.
-type QueryRequest struct {
-	Widgets []WidgetBinding `json:"widgets"`
-}
-
-// QueryResponse is the body of a successful query: the bound SQL, the
-// result relation, the epoch of the interface that answered, and
-// whether result and plan came from their caches.
-type QueryResponse struct {
-	SQL        string     `json:"sql"`
-	Epoch      uint64     `json:"epoch"`
-	Cols       []string   `json:"cols"`
-	Rows       [][]any    `json:"rows"`
-	RowCount   int        `json:"rowCount"`
-	Cache      string     `json:"cache"` // "hit" | "miss"
-	Plan       string     `json:"plan"`  // "hit" | "miss"
-	CacheStats CacheStats `json:"cacheStats"`
-}
-
-// LogRequest is the JSON body of POST /interfaces/{id}/log (the
-// endpoint also accepts text/plain statements in the qlog text format).
-type LogRequest struct {
-	Entries []LogEntry `json:"entries"`
-}
-
-// LogEntry is one submitted query-log entry.
-type LogEntry struct {
-	SQL    string `json:"sql"`
-	Client string `json:"client,omitempty"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// --- handlers.
+// --- handlers: decode, call the service, encode.
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	http.Redirect(w, r, "/interfaces", http.StatusFound)
+	http.Redirect(w, r, "/v1/interfaces", http.StatusFound)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	hosted := s.reg.List()
-	out := make([]InterfaceSummary, 0, len(hosted))
-	for _, h := range hosted {
-		st := h.load()
-		out = append(out, InterfaceSummary{
-			ID:      h.ID,
-			Title:   h.Title,
-			Widgets: len(st.iface.Widgets),
-			Cost:    st.iface.Cost(),
-			Queries: h.Queries(),
-			Epoch:   st.epoch,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) hosted(w http.ResponseWriter, r *http.Request) (*Hosted, bool) {
-	id := r.PathValue("id")
-	h, ok := s.reg.Get(id)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown interface %q", id)})
-		return nil, false
-	}
-	return h, true
+	writeJSON(w, http.StatusOK, s.svc.ListInterfaces())
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.hosted(w, r)
-	if !ok {
+	d, err := s.svc.GetInterface(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
 		return
-	}
-	st := h.load()
-	d := InterfaceDetail{ID: h.ID, Title: h.Title, Epoch: st.epoch, InitialSQL: ast.SQL(st.iface.Initial)}
-	for _, wd := range st.iface.Widgets {
-		info := WidgetInfo{
-			Path:   wd.Path.String(),
-			Kind:   wd.Type.Name,
-			Label:  htmlgen.Label(wd),
-			Absent: wd.Domain.HasAbsent(),
-		}
-		for _, v := range wd.Domain.Values() {
-			if v == nil {
-				info.Options = append(info.Options, "(absent)")
-				continue
-			}
-			info.Options = append(info.Options, ast.SQL(v))
-		}
-		if wd.Domain.IsNumericRange() {
-			info.Numeric = true
-			info.Min, info.Max = wd.Domain.Range()
-		}
-		d.Widgets = append(d.Widgets, info)
 	}
 	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.hosted(w, r)
-	if !ok {
+	e, err := s.svc.Epoch(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": h.Epoch()})
+	writeJSON(w, http.StatusOK, e)
 }
 
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.hosted(w, r)
-	if !ok {
+	page, err := s.svc.Page(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
 		return
-	}
-	st := h.load()
-	st.pageMu.RLock()
-	page := st.page
-	st.pageMu.RUnlock()
-	if page == "" {
-		st.pageMu.Lock()
-		if st.page == "" {
-			base := "/interfaces/" + h.ID
-			compiled, err := htmlgen.CompileServedLive(st.iface, h.Title, base+"/query", base+"/epoch", st.epoch)
-			if err != nil {
-				st.pageMu.Unlock()
-				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-				return
-			}
-			st.page = compiled
-		}
-		page = st.page
-		st.pageMu.Unlock()
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(page))
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.hosted(w, r)
-	if !ok {
+	var req api.QueryRequest
+	if apiErr := decodeJSON(w, r, maxQueryBody, &req); apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
-	h.queries.Add(1)
-	st := h.load()
-
-	var req QueryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+	resp, err := s.svc.Query(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, err)
 		return
-	}
-
-	// Plan lookup first: a repeated widget-state shape skips binding,
-	// rendering and hashing even when its result has been evicted.
-	planKey := PlanKey(req.Widgets)
-	plan, planHit := st.plans.Get(planKey)
-	if !planHit {
-		q, err := Bind(st.iface, req.Widgets)
-		if err != nil {
-			var be *BindError
-			if errors.As(err, &be) {
-				writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: be.Error()})
-				return
-			}
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-			return
-		}
-		plan = &Plan{Query: q, SQL: ast.SQL(q), Hash: ast.HashOf(q)}
-		st.plans.Put(planKey, plan)
-	}
-
-	res, hit := st.cache.Get(plan.Hash, plan.SQL)
-	if !hit {
-		var err error
-		res, err = engine.Exec(st.db, plan.Query)
-		if err != nil {
-			// The closure can contain queries the dataset cannot answer
-			// (e.g. a column the sample lacks); that is a client-state
-			// problem, not a server fault.
-			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: "exec: " + err.Error()})
-			return
-		}
-		st.cache.Put(plan.Hash, plan.SQL, res)
-	}
-
-	resp := QueryResponse{
-		SQL:        plan.SQL,
-		Epoch:      st.epoch,
-		Cols:       res.Cols,
-		Rows:       rowsJSON(res),
-		RowCount:   len(res.Rows),
-		Cache:      "miss",
-		Plan:       "miss",
-		CacheStats: st.cache.Stats(),
-	}
-	if hit {
-		resp.Cache = "hit"
-	}
-	if planHit {
-		resp.Plan = "hit"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.hosted(w, r)
-	if !ok {
+	// Cheap checks first: don't parse up to 8 MiB of log body just to
+	// answer 404 or 501.
+	if err := s.svc.IngestReady(r.PathValue("id")); err != nil {
+		writeError(w, err)
 		return
 	}
-	if s.ing == nil {
-		writeJSON(w, http.StatusNotImplemented,
-			errorResponse{Error: "live ingestion is not enabled on this server"})
+	entries, apiErr := readLogEntries(w, r)
+	if apiErr != nil {
+		writeError(w, apiErr)
 		return
 	}
-	entries, err := readLogEntries(r)
+	ack, err := s.svc.IngestLog(r.PathValue("id"), entries, r.URL.Query().Get("flush") != "")
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, err)
 		return
 	}
-	if len(entries) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no log entries in request body"})
-		return
-	}
-	ack, err := s.ing.Submit(h.ID, entries)
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-		return
-	}
-	if r.URL.Query().Get("flush") != "" && ack.Buffered > 0 {
-		if _, err := s.ing.Flush(h.ID); err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-			return
-		}
-		ack.Flushed = true
-		ack.Buffered = 0
-	}
-	ack.Epoch = h.Epoch()
 	writeJSON(w, http.StatusAccepted, ack)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Health())
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Debug())
 }
 
 // readLogEntries decodes the /log request body: JSON ({"entries":
 // [{"sql": ...}]}) or plain text in the qlog statement format.
-func readLogEntries(r *http.Request) ([]qlog.Entry, error) {
-	body := http.MaxBytesReader(nil, r.Body, 8<<20)
+func readLogEntries(w http.ResponseWriter, r *http.Request) ([]qlog.Entry, *api.Error) {
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
-		var req LogRequest
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			return nil, fmt.Errorf("bad request body: %w", err)
+		var req api.LogRequest
+		if apiErr := decodeJSON(w, r, maxLogBody, &req); apiErr != nil {
+			return nil, apiErr
 		}
-		out := make([]qlog.Entry, 0, len(req.Entries))
-		for _, e := range req.Entries {
-			if strings.TrimSpace(e.SQL) == "" {
-				continue
-			}
-			out = append(out, qlog.Entry{SQL: e.SQL, Client: e.Client})
-		}
-		return out, nil
+		return req.QlogEntries(), nil
 	}
-	l, err := qlog.Read(body)
+	l, err := qlog.Read(http.MaxBytesReader(w, r.Body, maxLogBody))
 	if err != nil {
-		if _, isMax := err.(*http.MaxBytesError); isMax {
-			return nil, fmt.Errorf("request body too large")
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, api.Errf(api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxErr.Limit)
 		}
-		return nil, fmt.Errorf("bad log text: %w", err)
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "bad log text: %v", err)
 	}
 	return l.Entries, nil
 }
 
-// HealthInterface is one interface's health row.
-type HealthInterface struct {
-	ID           string        `json:"id"`
-	Epoch        uint64        `json:"epoch"`
-	Widgets      int           `json:"widgets"`
-	Queries      uint64        `json:"queries"`
-	CacheHitRate float64       `json:"cacheHitRate"`
-	PlanHitRate  float64       `json:"planHitRate"`
-	Ingest       *IngestStatus `json:"ingest,omitempty"`
-}
+// --- encoding helpers.
 
-// Health is the body of GET /healthz.
-type Health struct {
-	Status        string            `json:"status"`
-	GoVersion     string            `json:"goVersion"`
-	Revision      string            `json:"revision,omitempty"`
-	UptimeSeconds float64           `json:"uptimeSeconds"`
-	Ingestion     bool              `json:"ingestion"`
-	Interfaces    []HealthInterface `json:"interfaces"`
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	health := Health{
-		Status:        "ok",
-		GoVersion:     runtime.Version(),
-		Revision:      buildRevision(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Ingestion:     s.ing != nil,
-		Interfaces:    []HealthInterface{},
-	}
-	statuser, _ := s.ing.(IngestStatuser)
-	for _, h := range s.reg.List() {
-		st := h.load()
-		row := HealthInterface{
-			ID:           h.ID,
-			Epoch:        st.epoch,
-			Widgets:      len(st.iface.Widgets),
-			Queries:      h.Queries(),
-			CacheHitRate: hitRate(st.cache.Stats()),
-			PlanHitRate:  hitRate(st.plans.Stats()),
+// decodeJSON decodes a size-capped JSON body, mapping failures onto
+// the error contract (payload_too_large / bad_request).
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) *api.Error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return api.Errf(api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxErr.Limit)
 		}
-		if statuser != nil {
-			if is, ok := statuser.IngestStatus(h.ID); ok {
-				row.Ingest = &is
-			}
-		}
-		health.Interfaces = append(health.Interfaces, row)
+		return api.Errf(api.CodeBadRequest, http.StatusBadRequest, "bad request body: %v", err)
 	}
-	writeJSON(w, http.StatusOK, health)
+	return nil
 }
-
-func hitRate(st CacheStats) float64 {
-	total := st.Hits + st.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(st.Hits) / float64(total)
-}
-
-func buildRevision() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	for _, kv := range info.Settings {
-		if kv.Key == "vcs.revision" {
-			return kv.Value
-		}
-	}
-	return ""
-}
-
-// DebugInfo is the body of GET /debug.
-type DebugInfo struct {
-	Interfaces []DebugInterface `json:"interfaces"`
-}
-
-// DebugInterface is one interface's serving counters.
-type DebugInterface struct {
-	ID      string     `json:"id"`
-	Epoch   uint64     `json:"epoch"`
-	Queries uint64     `json:"queries"`
-	Cache   CacheStats `json:"cache"`
-	Plans   CacheStats `json:"plans"`
-}
-
-func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
-	info := DebugInfo{Interfaces: []DebugInterface{}}
-	for _, h := range s.reg.List() {
-		st := h.load()
-		info.Interfaces = append(info.Interfaces, DebugInterface{
-			ID:      h.ID,
-			Epoch:   st.epoch,
-			Queries: h.Queries(),
-			Cache:   st.cache.Stats(),
-			Plans:   st.plans.Stats(),
-		})
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-// --- helpers.
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -508,25 +248,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// rowsJSON converts engine values to JSON scalars (numbers, strings,
-// booleans, null).
-func rowsJSON(t *engine.Table) [][]any {
-	out := make([][]any, len(t.Rows))
-	for i, row := range t.Rows {
-		jr := make([]any, len(row))
-		for j, v := range row {
-			switch v.Kind {
-			case engine.KindNumber:
-				jr[j] = v.Num
-			case engine.KindString:
-				jr[j] = v.Str
-			case engine.KindBool:
-				jr[j] = v.Bool
-			default:
-				jr[j] = nil
-			}
-		}
-		out[i] = jr
+// writeError encodes any error as the v1 envelope {"code", "error"}
+// with the status the service layer chose.
+func writeError(w http.ResponseWriter, err error) {
+	e := api.FromErr(err)
+	if e.Code == api.CodeUnauthorized {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="pi"`)
 	}
-	return out
+	writeJSON(w, e.Status, e)
 }

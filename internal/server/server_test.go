@@ -2,14 +2,18 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -39,15 +43,15 @@ func minedOLAP(t testing.TB) (*core.Interface, *engine.DB) {
 	return fixture.iface, fixture.db
 }
 
-func newTestServer(t *testing.T) (*httptest.Server, *Hosted) {
+func newTestServer(t *testing.T, opts ...Option) (*httptest.Server, *api.Hosted) {
 	t.Helper()
 	iface, db := minedOLAP(t)
-	reg := NewRegistry()
+	reg := api.NewRegistry()
 	h, err := reg.Add("olap", "OnTime OLAP dashboard", iface, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(reg).Handler())
+	ts := httptest.NewServer(New(api.NewService(reg), opts...).Handler())
 	t.Cleanup(ts.Close)
 	return ts, h
 }
@@ -65,7 +69,9 @@ func getJSON(t *testing.T, url string, out any) int {
 	return resp.StatusCode
 }
 
-func postQuery(t *testing.T, url string, req QueryRequest) (int, *QueryResponse, string) {
+// postQuery POSTs a query request; on non-200 it returns the decoded
+// error envelope.
+func postQuery(t *testing.T, url string, req api.QueryRequest) (int, *api.QueryResponse, *api.Error) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -77,15 +83,17 @@ func postQuery(t *testing.T, url string, req QueryRequest) (int, *QueryResponse,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return resp.StatusCode, nil, e.Error
+		var e api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("non-200 without a decodable envelope: %v", err)
+		}
+		return resp.StatusCode, nil, &e
 	}
-	var out QueryResponse
+	var out api.QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, &out, ""
+	return resp.StatusCode, &out, nil
 }
 
 // sliderWidget returns a mined numeric-range widget to exercise
@@ -103,19 +111,21 @@ func sliderWidget(t testing.TB, iface *core.Interface) *mapper.MappedWidget {
 
 func TestListInterfaces(t *testing.T) {
 	ts, _ := newTestServer(t)
-	var list []InterfaceSummary
-	if code := getJSON(t, ts.URL+"/interfaces", &list); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
-	}
-	if len(list) != 1 || list[0].ID != "olap" || list[0].Widgets == 0 {
-		t.Fatalf("list = %+v", list)
+	for _, path := range []string{"/v1/interfaces", "/interfaces"} {
+		var list []api.InterfaceSummary
+		if code := getJSON(t, ts.URL+path, &list); code != http.StatusOK {
+			t.Fatalf("GET %s status = %d", path, code)
+		}
+		if len(list) != 1 || list[0].ID != "olap" || list[0].Widgets == 0 {
+			t.Fatalf("GET %s list = %+v", path, list)
+		}
 	}
 }
 
 func TestGetInterfaceDetail(t *testing.T) {
 	ts, h := newTestServer(t)
-	var d InterfaceDetail
-	if code := getJSON(t, ts.URL+"/interfaces/olap", &d); code != http.StatusOK {
+	var d api.InterfaceDetail
+	if code := getJSON(t, ts.URL+"/v1/interfaces/olap", &d); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if d.InitialSQL == "" || len(d.Widgets) != len(h.Iface().Widgets) {
@@ -128,44 +138,131 @@ func TestGetInterfaceDetail(t *testing.T) {
 	}
 }
 
-func TestUnknownInterfaceIs404(t *testing.T) {
-	ts, _ := newTestServer(t)
-	var e errorResponse
-	if code := getJSON(t, ts.URL+"/interfaces/nope", &e); code != http.StatusNotFound {
-		t.Fatalf("status = %d, want 404", code)
+// TestErrorEnvelopeContract: every endpoint's failure modes return the
+// documented {code, error} envelope with the right code and status.
+func TestErrorEnvelopeContract(t *testing.T) {
+	ts, h := newTestServer(t)
+	w := sliderWidget(t, h.Iface())
+	_, hi := w.Domain.Range()
+	outside := hi + 1000
+
+	envelope := func(t *testing.T, resp *http.Response) api.Error {
+		t.Helper()
+		defer resp.Body.Close()
+		var e api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("response is not the error envelope: %v", err)
+		}
+		if e.Code == "" || e.Message == "" {
+			t.Fatalf("envelope incomplete: %+v", e)
+		}
+		return e
 	}
-	code, _, _ := postQuery(t, ts.URL+"/interfaces/nope/query", QueryRequest{})
-	if code != http.StatusNotFound {
-		t.Fatalf("POST status = %d, want 404", code)
-	}
+
+	t.Run("not found", func(t *testing.T) {
+		for _, path := range []string{
+			"/v1/interfaces/nope", "/v1/interfaces/nope/epoch", "/v1/interfaces/nope/page",
+			"/interfaces/nope",
+		} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := envelope(t, resp)
+			if resp.StatusCode != http.StatusNotFound || e.Code != api.CodeNotFound {
+				t.Fatalf("GET %s = %d %q, want 404 not_found", path, resp.StatusCode, e.Code)
+			}
+		}
+		resp, err := http.Post(ts.URL+"/v1/interfaces/nope/query", "application/json",
+			strings.NewReader(`{"widgets":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := envelope(t, resp); resp.StatusCode != http.StatusNotFound || e.Code != api.CodeNotFound {
+			t.Fatalf("POST query = %d %q, want 404 not_found", resp.StatusCode, e.Code)
+		}
+	})
+
+	t.Run("bad body", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/interfaces/olap/query", "application/json",
+			strings.NewReader(`{"widgets": [`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := envelope(t, resp); resp.StatusCode != http.StatusBadRequest || e.Code != api.CodeBadRequest {
+			t.Fatalf("= %d %q, want 400 bad_request", resp.StatusCode, e.Code)
+		}
+	})
+
+	t.Run("bind rejected", func(t *testing.T) {
+		code, _, e := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{
+			Widgets: []api.WidgetBinding{{Path: w.Path.String(), Number: &outside}},
+		})
+		if code != http.StatusUnprocessableEntity || e.Code != api.CodeBindRejected {
+			t.Fatalf("= %d %q, want 422 bind_rejected", code, e.Code)
+		}
+		if !strings.Contains(e.Message, "domain") {
+			t.Fatalf("error %q does not mention the domain", e.Message)
+		}
+	})
+
+	t.Run("oversized body", func(t *testing.T) {
+		big := `{"widgets":[{"path":"` + strings.Repeat("x", maxQueryBody) + `"}]}`
+		resp, err := http.Post(ts.URL+"/v1/interfaces/olap/query", "application/json",
+			strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := envelope(t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge ||
+			e.Code != api.CodePayloadTooLarge {
+			t.Fatalf("= %d %q, want 413 payload_too_large", resp.StatusCode, e.Code)
+		}
+	})
+
+	t.Run("ingest disabled", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/interfaces/olap/log", "text/plain",
+			strings.NewReader("SELECT 1\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := envelope(t, resp); resp.StatusCode != http.StatusNotImplemented ||
+			e.Code != api.CodeIngestDisabled {
+			t.Fatalf("= %d %q, want 501 ingest_disabled", resp.StatusCode, e.Code)
+		}
+	})
 }
 
 func TestServedPage(t *testing.T) {
 	ts, _ := newTestServer(t)
-	resp, err := http.Get(ts.URL + "/interfaces/olap/page")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
-		t.Fatalf("content-type = %q", ct)
-	}
-	var b bytes.Buffer
-	if _, err := b.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	page := b.String()
-	if !strings.Contains(page, `"endpoint":"/interfaces/olap/query"`) {
-		t.Fatalf("page not wired to the query endpoint:\n%.400s", page)
+	for _, path := range []string{"/v1/interfaces/olap/page", "/interfaces/olap/page"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+			t.Fatalf("content-type = %q", ct)
+		}
+		page := string(b)
+		if !strings.Contains(page, `"endpoint":"/v1/interfaces/olap/query"`) {
+			t.Fatalf("page not wired to the v1 query endpoint:\n%.400s", page)
+		}
+		if strings.Contains(page, `"token":"`) {
+			t.Fatal("open page embeds a token")
+		}
 	}
 }
 
 func TestQueryInitial(t *testing.T) {
 	ts, h := newTestServer(t)
-	code, resp, _ := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{})
+	code, resp, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{})
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -192,13 +289,13 @@ func TestQueryUnseenSliderValue(t *testing.T) {
 			unseen += 0.5 // collide with a mined option? shift off-grid
 		}
 	}
-	code, resp, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
-		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &unseen}},
+	code, resp, errEnv := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{
+		Widgets: []api.WidgetBinding{{Path: w.Path.String(), Number: &unseen}},
 	})
 	if code != http.StatusOK {
-		t.Fatalf("status = %d (%s)", code, errMsg)
+		t.Fatalf("status = %d (%v)", code, errEnv)
 	}
-	bound, err := Bind(h.Iface(), []WidgetBinding{{Path: w.Path.String(), Number: &unseen}})
+	bound, err := api.Bind(h.Iface(), []api.WidgetBinding{{Path: w.Path.String(), Number: &unseen}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,93 +311,263 @@ func TestQueryUnseenSliderValue(t *testing.T) {
 	}
 }
 
-func TestQueryOutOfDomainIs4xx(t *testing.T) {
-	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface())
-	_, hi := w.Domain.Range()
-	outside := hi + 1000
-	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
-		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &outside}},
-	})
-	if code < 400 || code >= 500 {
-		t.Fatalf("status = %d, want 4xx", code)
-	}
-	if !strings.Contains(errMsg, "domain") {
-		t.Fatalf("error %q does not mention the domain", errMsg)
-	}
-}
-
-func TestQueryUnknownWidgetPathIs4xx(t *testing.T) {
-	ts, _ := newTestServer(t)
-	v := 1.0
-	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
-		Widgets: []WidgetBinding{{Path: "9/9/9", Number: &v}},
-	})
-	if code < 400 || code >= 500 {
-		t.Fatalf("status = %d, want 4xx", code)
-	}
-	if !strings.Contains(errMsg, "no widget") {
-		t.Fatalf("unexpected error %q", errMsg)
-	}
-}
-
-func TestQueryMalformedBodyIs400(t *testing.T) {
-	ts, _ := newTestServer(t)
-	resp, err := http.Post(ts.URL+"/interfaces/olap/query", "application/json",
-		strings.NewReader(`{"widgets": [`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("status = %d, want 400", resp.StatusCode)
-	}
-}
-
-func TestQueryAmbiguousBindingIs4xx(t *testing.T) {
+func TestQueryAmbiguousBindingIs422(t *testing.T) {
 	ts, h := newTestServer(t)
 	w := sliderWidget(t, h.Iface())
 	v, s := 3.0, "three"
-	code, _, errMsg := postQuery(t, ts.URL+"/interfaces/olap/query", QueryRequest{
-		Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &v, Text: &s}},
+	code, _, e := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{
+		Widgets: []api.WidgetBinding{{Path: w.Path.String(), Number: &v, Text: &s}},
 	})
-	if code < 400 || code >= 500 {
-		t.Fatalf("status = %d, want 4xx", code)
+	if code != http.StatusUnprocessableEntity || e.Code != api.CodeBindRejected {
+		t.Fatalf("= %d %v, want 422 bind_rejected", code, e)
 	}
-	if !strings.Contains(errMsg, "exactly one") {
-		t.Fatalf("unexpected error %q", errMsg)
+	if !strings.Contains(e.Message, "exactly one") {
+		t.Fatalf("unexpected error %q", e.Message)
+	}
+}
+
+// TestQueryPaginationOverHTTP drives Limit/Cursor through the wire
+// format.
+func TestQueryPaginationOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, full, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if full.RowCount < 2 {
+		t.Skipf("fixture initial query returns %d rows; need >= 2", full.RowCount)
+	}
+	code, first, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{Limit: 1})
+	if code != http.StatusOK || len(first.Rows) != 1 || !first.Truncated || first.NextCursor == "" {
+		t.Fatalf("first page = %d %+v", code, first)
+	}
+	code, second, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query",
+		api.QueryRequest{Limit: 1, Cursor: first.NextCursor})
+	if code != http.StatusOK || second.Offset != 1 {
+		t.Fatalf("second page = %d %+v", code, second)
 	}
 }
 
 func TestRepeatedQueryHitsCache(t *testing.T) {
-	ts, h := newTestServer(t)
-	w := sliderWidget(t, h.Iface())
+	ts, _ := newTestServer(t)
+	iface, _ := minedOLAP(t)
+	w := sliderWidget(t, iface)
 	lo, _ := w.Domain.Range()
-	req := QueryRequest{Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &lo}}}
+	req := api.QueryRequest{Widgets: []api.WidgetBinding{{Path: w.Path.String(), Number: &lo}}}
 
-	code, first, _ := postQuery(t, ts.URL+"/interfaces/olap/query", req)
+	code, first, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query", req)
 	if code != http.StatusOK || first.Cache != "miss" {
 		t.Fatalf("first request: status=%d cache=%q", code, first.Cache)
 	}
-	code, second, _ := postQuery(t, ts.URL+"/interfaces/olap/query", req)
+	code, second, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query", req)
 	if code != http.StatusOK || second.Cache != "hit" {
 		t.Fatalf("second request: status=%d cache=%q", code, second.Cache)
-	}
-	if second.CacheStats.Hits == 0 {
-		t.Fatalf("cache stats did not record the hit: %+v", second.CacheStats)
 	}
 	if second.RowCount != first.RowCount || second.SQL != first.SQL {
 		t.Fatalf("cached result differs: %+v vs %+v", second, first)
 	}
 
-	var dbg DebugInfo
-	if codeDbg := getJSON(t, ts.URL+"/debug", &dbg); codeDbg != http.StatusOK {
+	var dbg api.DebugInfo
+	if codeDbg := getJSON(t, ts.URL+"/v1/debug", &dbg); codeDbg != http.StatusOK {
 		t.Fatalf("debug status = %d", codeDbg)
 	}
 	if len(dbg.Interfaces) != 1 || dbg.Interfaces[0].Cache.Hits == 0 || dbg.Interfaces[0].Queries < 2 {
 		t.Fatalf("debug = %+v", dbg)
 	}
 }
+
+// --- auth.
+
+func authedServer(t *testing.T) (*httptest.Server, *api.Hosted) {
+	return newTestServer(t, WithAuth(AuthConfig{Token: "sesame"}))
+}
+
+func doReq(t *testing.T, method, url, token, body string) (*http.Response, api.Error) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e api.Error
+	raw, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(raw, &e)
+	return resp, e
+}
+
+// TestAuthContract is the acceptance check: with a token configured,
+// unauthenticated POSTs to query and log return 401 (missing) / 403
+// (wrong), while metadata GETs stay open.
+func TestAuthContract(t *testing.T) {
+	ts, _ := authedServer(t)
+
+	for _, path := range []string{"/v1/interfaces/olap/query", "/interfaces/olap/query",
+		"/v1/interfaces/olap/log"} {
+		resp, e := doReq(t, "POST", ts.URL+path, "", `{"widgets":[]}`)
+		if resp.StatusCode != http.StatusUnauthorized || e.Code != api.CodeUnauthorized {
+			t.Fatalf("POST %s no-token = %d %q, want 401 unauthorized", path, resp.StatusCode, e.Code)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Fatalf("POST %s 401 without WWW-Authenticate", path)
+		}
+	}
+
+	resp, e := doReq(t, "POST", ts.URL+"/v1/interfaces/olap/query", "wrong", `{"widgets":[]}`)
+	if resp.StatusCode != http.StatusForbidden || e.Code != api.CodeForbidden {
+		t.Fatalf("wrong token = %d %q, want 403 forbidden", resp.StatusCode, e.Code)
+	}
+
+	resp, _ = doReq(t, "POST", ts.URL+"/v1/interfaces/olap/query", "sesame", `{"widgets":[]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("right token = %d, want 200", resp.StatusCode)
+	}
+
+	// Metadata stays open without any token.
+	for _, path := range []string{"/v1/interfaces", "/v1/interfaces/olap",
+		"/v1/interfaces/olap/epoch", "/v1/interfaces/olap/page", "/v1/healthz", "/v1/debug"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want open 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestAuthPerInterfaceOverride: interface tokens override the global
+// one, and an interface with an empty override stays open.
+func TestAuthPerInterfaceOverride(t *testing.T) {
+	iface, db := minedOLAP(t)
+	reg := api.NewRegistry()
+	for _, id := range []string{"locked", "open"} {
+		if _, err := reg.Add(id, id, iface, db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(api.NewService(reg), WithAuth(AuthConfig{
+		Token:           "global",
+		InterfaceTokens: map[string]string{"locked": "special", "open": ""},
+	})).Handler())
+	t.Cleanup(ts.Close)
+
+	if resp, _ := doReq(t, "POST", ts.URL+"/v1/interfaces/locked/query", "global", `{"widgets":[]}`); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("global token on overridden interface = %d, want 403", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, "POST", ts.URL+"/v1/interfaces/locked/query", "special", `{"widgets":[]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("special token = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, "POST", ts.URL+"/v1/interfaces/open/query", "", `{"widgets":[]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("open interface = %d, want 200 without token", resp.StatusCode)
+	}
+}
+
+// TestHealthzQueryCounter: malformed and unauthorized requests must not
+// inflate the per-interface query counter.
+func TestHealthzQueryCounter(t *testing.T) {
+	ts, h := authedServer(t)
+	// Unauthorized, then malformed-but-authorized, then accepted.
+	doReq(t, "POST", ts.URL+"/v1/interfaces/olap/query", "", `{"widgets":[]}`)
+	doReq(t, "POST", ts.URL+"/v1/interfaces/olap/query", "sesame", `{"widgets": [`)
+	if got := h.Queries(); got != 0 {
+		t.Fatalf("rejected requests advanced the counter to %d", got)
+	}
+	if resp, _ := doReq(t, "POST", ts.URL+"/v1/interfaces/olap/query", "sesame", `{"widgets":[]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("accepted query = %d", resp.StatusCode)
+	}
+	var health api.Health
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if len(health.Interfaces) != 1 || health.Interfaces[0].Queries != 1 {
+		t.Fatalf("healthz queries = %+v, want exactly 1", health.Interfaces)
+	}
+}
+
+// --- middleware.
+
+func TestGzipResponses(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/interfaces", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	tr := &http.Transport{DisableCompression: true} // see the raw encoding
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []api.InterfaceSummary
+	if err := json.NewDecoder(gz).Decode(&list); err != nil {
+		t.Fatalf("gunzip+decode: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != "olap" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	ts := httptest.NewServer(Chain(mux, Recover(log.New(io.Discard, "", 0))))
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError || e.Code != api.CodeInternal {
+		t.Fatalf("= %d %q, want 500 internal", resp.StatusCode, e.Code)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), "", 0)
+	ts, _ := newTestServer(t, WithLogger(logger))
+	if _, err := http.Get(ts.URL + "/v1/interfaces"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(buf.String(), "GET /v1/interfaces 200") {
+		t.Fatalf("request log missing: %q", buf.String())
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 // TestConcurrentQueries hammers POST /query from many goroutines with a
 // mix of widget states; run under -race this is the serving layer's
@@ -320,15 +587,15 @@ func TestConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				v := lo + float64((g*perG+i)%int(hi-lo+1))
-				body, _ := json.Marshal(QueryRequest{
-					Widgets: []WidgetBinding{{Path: w.Path.String(), Number: &v}},
+				body, _ := json.Marshal(api.QueryRequest{
+					Widgets: []api.WidgetBinding{{Path: w.Path.String(), Number: &v}},
 				})
-				resp, err := http.Post(ts.URL+"/interfaces/olap/query", "application/json", bytes.NewReader(body))
+				resp, err := http.Post(ts.URL+"/v1/interfaces/olap/query", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs <- err
 					return
 				}
-				var out QueryResponse
+				var out api.QueryResponse
 				err = json.NewDecoder(resp.Body).Decode(&out)
 				resp.Body.Close()
 				if err != nil {
@@ -358,7 +625,7 @@ func TestConcurrentQueries(t *testing.T) {
 
 func TestRegistryDuplicateAndNil(t *testing.T) {
 	iface, db := minedOLAP(t)
-	reg := NewRegistry()
+	reg := api.NewRegistry()
 	if _, err := reg.Add("x", "t", iface, db); err != nil {
 		t.Fatal(err)
 	}

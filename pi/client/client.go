@@ -1,0 +1,290 @@
+// Package client is the Go SDK for the v1 serving API: a typed client
+// for every operation the service layer exposes (list, detail, epoch,
+// query with pagination, log ingestion, health, debug), speaking the
+// same request/response structs as the server (repro/internal/api), so
+// the contract is compiled on both sides.
+//
+// The client attaches a bearer token when configured, retries
+// idempotent operations on transient failures (5xx responses and
+// transport errors) with capped exponential backoff — ingestion is
+// never retried, since a replay would duplicate entries — and
+// surfaces structured server errors as *api.Error values:
+//
+//	c, _ := client.New("http://localhost:8080", client.WithToken(tok))
+//	resp, err := c.Query(ctx, "olap", api.QueryRequest{Limit: 100})
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeBindRejected { ... }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Client speaks the v1 API. It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	token   string
+	retries int
+	backoff time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithToken attaches "Authorization: Bearer <token>" to every request.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times an idempotent request is retried
+// after a 5xx response or a transport error (default 2; 0 disables).
+// 4xx responses are never retried — they are contract errors, not
+// transients — and neither is IngestLog: a lost response after the
+// server already buffered the entries would duplicate them on replay.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base backoff between retries (default 100ms,
+// doubled per attempt).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a client for the API at baseURL (e.g.
+// "http://localhost:8080"). The client always calls the versioned /v1
+// surface.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs scheme and host", baseURL)
+	}
+	c := &Client{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// ListInterfaces returns a summary row per hosted interface.
+func (c *Client) ListInterfaces(ctx context.Context) ([]api.InterfaceSummary, error) {
+	var out []api.InterfaceSummary
+	return out, c.do(ctx, http.MethodGet, "/v1/interfaces", nil, &out)
+}
+
+// GetInterface returns one interface's widgets and initial query.
+func (c *Client) GetInterface(ctx context.Context, id string) (*api.InterfaceDetail, error) {
+	var out api.InterfaceDetail
+	return &out, c.do(ctx, http.MethodGet, "/v1/interfaces/"+url.PathEscape(id), nil, &out)
+}
+
+// Epoch returns the interface's current epoch.
+func (c *Client) Epoch(ctx context.Context, id string) (uint64, error) {
+	var out api.EpochResponse
+	err := c.do(ctx, http.MethodGet, "/v1/interfaces/"+url.PathEscape(id)+"/epoch", nil, &out)
+	return out.Epoch, err
+}
+
+// Query binds widget state, executes and returns one page of rows.
+func (c *Client) Query(ctx context.Context, id string, req api.QueryRequest) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/interfaces/"+url.PathEscape(id)+"/query", req, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryAll follows NextCursor until the result is complete and returns
+// the final response with all pages' rows concatenated. The page size
+// is req.Limit (or the server default). maxRows is a hard bound on the
+// total rows returned (0 = no bound): the final page is requested at
+// exactly the remaining budget, so the bound is never overshot and the
+// response's Truncated/NextCursor stay accurate.
+func (c *Client) QueryAll(ctx context.Context, id string, req api.QueryRequest, maxRows int) (*api.QueryResponse, error) {
+	pageLimit := req.Limit
+	clamp := func(have int) {
+		req.Limit = pageLimit
+		if maxRows > 0 {
+			if want := maxRows - have; pageLimit <= 0 || pageLimit > want {
+				req.Limit = want
+			}
+		}
+	}
+	clamp(0)
+	first, err := c.Query(ctx, id, req)
+	if err != nil {
+		return nil, err
+	}
+	out := *first
+	for out.Truncated && out.NextCursor != "" && (maxRows <= 0 || len(out.Rows) < maxRows) {
+		clamp(len(out.Rows))
+		req.Cursor = out.NextCursor
+		page, err := c.Query(ctx, id, req)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, page.Rows...)
+		out.Truncated = page.Truncated
+		out.NextCursor = page.NextCursor
+	}
+	out.Offset = 0
+	return &out, nil
+}
+
+// IngestLog submits query-log entries to a live-hosted interface. With
+// flush set the server re-mines before acking, so the returned epoch
+// reflects the entries.
+func (c *Client) IngestLog(ctx context.Context, id string, entries []api.LogEntry, flush bool) (*api.IngestAck, error) {
+	p := "/v1/interfaces/" + url.PathEscape(id) + "/log"
+	if flush {
+		p += "?flush=1"
+	}
+	var out api.IngestAck
+	// Ingestion is not idempotent: a retry after a lost response would
+	// submit (and re-mine) the same entries twice.
+	err := c.doOnce(ctx, http.MethodPost, p, api.LogRequest{Entries: entries}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestSQL is IngestLog for bare SQL statements.
+func (c *Client) IngestSQL(ctx context.Context, id string, flush bool, sqls ...string) (*api.IngestAck, error) {
+	entries := make([]api.LogEntry, len(sqls))
+	for i, s := range sqls {
+		entries[i] = api.LogEntry{SQL: s}
+	}
+	return c.IngestLog(ctx, id, entries, flush)
+}
+
+// Health returns the server's health report.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Debug returns the server's cache and traffic counters.
+func (c *Client) Debug(ctx context.Context) (*api.DebugInfo, error) {
+	var out api.DebugInfo
+	err := c.do(ctx, http.MethodGet, "/v1/debug", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do runs one idempotent operation: marshal, send (with retries),
+// decode the typed response or the structured error envelope.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.run(ctx, method, path, in, out, c.retries)
+}
+
+// doOnce is do without retries, for non-idempotent operations.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
+	return c.run(ctx, method, path, in, out, 0)
+}
+
+func (c *Client) run(ctx context.Context, method, path string, in, out any, retries int) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff << (attempt - 1)):
+			}
+		}
+		retry, err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once sends the request a single time. The bool reports whether the
+// failure is retryable (transport error or 5xx).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return ctx.Err() == nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return false, nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+		return false, nil
+	}
+	apiErr := decodeError(resp)
+	return resp.StatusCode >= 500, apiErr
+}
+
+// decodeError turns a non-2xx response into an *api.Error — the
+// structured envelope when the server sent one, a synthesized internal
+// error otherwise (e.g. a proxy in the path).
+func decodeError(resp *http.Response) *api.Error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e api.Error
+	if json.Unmarshal(raw, &e) == nil && e.Code != "" {
+		e.Status = resp.StatusCode
+		return &e
+	}
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &api.Error{Code: api.CodeInternal, Status: resp.StatusCode, Message: msg}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/editor"
@@ -165,19 +166,37 @@ func NewEditor(iface *Interface) *editor.Session {
 	return editor.NewSession(iface, widgets.DefaultLibrary())
 }
 
-// --- Serving layer (internal/server): host mined interfaces over HTTP
-// so the compiled pages are backed by a live exec() endpoint.
+// --- Serving layer (internal/api + internal/server): host mined
+// interfaces behind the transport-agnostic service layer and expose
+// them over the versioned HTTP API. pi/client is the matching Go SDK.
 
 // Registry holds interfaces registered for serving; it is safe for
 // concurrent use.
-type Registry = server.Registry
+type Registry = api.Registry
 
 // Hosted is one interface registered for serving.
-type Hosted = server.Hosted
+type Hosted = api.Hosted
+
+// Service is the typed, transport-agnostic operation surface over a
+// registry (ListInterfaces, GetInterface, Query with pagination,
+// IngestLog, Epoch, Health, Debug) with the structured api.Error
+// model. HTTP serving, pi/client and future transports all speak it.
+type Service = api.Service
+
+// APIError is the structured service error: a stable machine-readable
+// Code, the HTTP status transports map it to, and a message.
+type APIError = api.Error
+
+// AuthConfig is per-interface bearer-token access control for the
+// mutating endpoints (query, log); metadata GETs stay open.
+type AuthConfig = server.AuthConfig
 
 // NewRegistry returns an empty serving registry with the default
 // per-interface result-cache size.
-func NewRegistry() *Registry { return server.NewRegistry() }
+func NewRegistry() *Registry { return api.NewRegistry() }
+
+// NewService builds the service layer over a registry.
+func NewService(reg *Registry) *Service { return api.NewService(reg) }
 
 // Host mines nothing — it registers an already generated interface and
 // the dataset its queries run against under the given ID. The DB must
@@ -186,15 +205,24 @@ func Host(reg *Registry, id, title string, iface *Interface, db *DB) (*Hosted, e
 	return reg.Add(id, title, iface, db)
 }
 
-// ServeHandler returns the HTTP handler exposing the registry's JSON
-// API and served pages (GET /interfaces, GET /interfaces/{id},
-// GET /interfaces/{id}/page, POST /interfaces/{id}/query, GET /debug).
-func ServeHandler(reg *Registry) http.Handler { return server.New(reg).Handler() }
+// ServeHandler returns the HTTP handler exposing the registry's
+// versioned JSON API and served pages (GET /v1/interfaces,
+// GET /v1/interfaces/{id}[/page|/epoch], POST /v1/interfaces/{id}/query,
+// GET /v1/healthz, GET /v1/debug — plus legacy unversioned aliases).
+func ServeHandler(reg *Registry) http.Handler {
+	return server.New(api.NewService(reg)).Handler()
+}
+
+// ServeHandlerWithAuth is ServeHandler with bearer-token auth enforced
+// on the query and log endpoints.
+func ServeHandlerWithAuth(svc *Service, auth AuthConfig) http.Handler {
+	return server.New(svc, server.WithAuth(auth)).Handler()
+}
 
 // Serve hosts the registry's interfaces on addr until the listener
-// fails; it is http.ListenAndServe over ServeHandler.
+// fails, using production timeouts (see internal/server.HTTPServer).
 func Serve(addr string, reg *Registry) error {
-	return server.New(reg).ListenAndServe(addr)
+	return server.New(api.NewService(reg)).ListenAndServe(addr)
 }
 
 // CompileServedHTML compiles an interface into a page whose
@@ -218,7 +246,7 @@ type Ingester = ingest.Ingester
 type IngestOptions = ingest.Options
 
 // IngestAck reports what happened to one batch of submitted entries.
-type IngestAck = server.IngestAck
+type IngestAck = api.IngestAck
 
 // LiveOptions are generation options plus the incremental-update
 // policy (structural-coverage threshold for the full re-mine
@@ -258,10 +286,10 @@ func Ingest(ing *Ingester, id string, sqls ...string) (IngestAck, error) {
 }
 
 // ServeLiveHandler is ServeHandler with live ingestion enabled: the
-// returned handler additionally accepts POST /interfaces/{id}/log and
-// reports ingestion state in GET /healthz.
+// returned handler additionally accepts POST /v1/interfaces/{id}/log
+// and reports ingestion state in GET /v1/healthz.
 func ServeLiveHandler(reg *Registry, ing *Ingester) http.Handler {
-	s := server.New(reg)
-	s.SetIngestor(ing)
-	return s.Handler()
+	svc := api.NewService(reg)
+	svc.SetIngestor(ing)
+	return server.New(svc).Handler()
 }
