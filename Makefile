@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench ingest-demo api-smoke
+.PHONY: check fmt-check vet build test race bench ingest-demo api-smoke persist-smoke
 
 check: fmt-check vet build race
 
@@ -33,3 +33,9 @@ ingest-demo:
 # the auth + error contracts with raw curl.
 api-smoke:
 	sh scripts/api_smoke.sh
+
+# End-to-end smoke of the versioned storage layer: pi-serve with
+# -data-dir, append rows + ingest log entries, snapshot, SIGKILL,
+# restart on the same dir, verify epoch/rows/queries survived.
+persist-smoke:
+	sh scripts/persist_smoke.sh

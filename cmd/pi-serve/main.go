@@ -9,6 +9,7 @@
 //	pi-serve [-addr :8080] [-workloads olap,adhoc,sdss] [-n 150] [-rows 2000]
 //	         [-seed 7] [-cache 256] [-ingest] [-batch 8] [-flush-every 2s]
 //	         [-tail id=path[,id=path...]] [-token T | -token-file F]
+//	         [-data-dir DIR] [-snapshot-every 30s]
 //	pi-serve -check [-addr :8080] [-token T | -token-file F]
 //
 // Endpoints (also mounted unversioned for legacy pages):
@@ -19,6 +20,8 @@
 //	GET  /v1/interfaces/{id}/epoch  the interface's current epoch
 //	POST /v1/interfaces/{id}/query  bind widget state, execute, return rows (auth)
 //	POST /v1/interfaces/{id}/log    ingest new query-log entries (auth)
+//	POST /v1/interfaces/{id}/rows   append dataset rows to one table (auth)
+//	POST /v1/snapshot               persist every interface to the data dir (auth)
 //	GET  /v1/healthz                build info, uptime, epochs, cache hit rates
 //	GET  /v1/debug                  cache and traffic counters
 //
@@ -26,6 +29,14 @@
 // "Authorization: Bearer <token>"; metadata GETs stay open. Served
 // pages pick the token up from their URL fragment: open
 // /v1/interfaces/olap/page#token=<token>.
+//
+// With -data-dir the server is durable: on boot it restores every
+// interface saved under the dir (same-or-later epoch, identical
+// dataset row counts, no access to the original logs needed) and only
+// mines workloads that have no snapshot; while running it persists on
+// POST /v1/snapshot, every -snapshot-every interval (when set), and on
+// graceful shutdown. Kill it with SIGKILL and restart it with the same
+// -data-dir: the dashboards come back.
 //
 // -check flips the binary into client mode: it probes a running
 // pi-serve at -addr through the pi/client SDK (health, list, a query
@@ -60,6 +71,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/qlog"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/workload"
 	"repro/pi/client"
 )
@@ -74,7 +86,9 @@ func main() {
 	enableIngest := flag.Bool("ingest", true, "enable live log ingestion (POST /v1/interfaces/{id}/log)")
 	batch := flag.Int("batch", 8, "ingested entries per incremental re-mine")
 	flushEvery := flag.Duration("flush-every", 2*time.Second, "background flush interval for partial batches")
-	tails := flag.String("tail", "", "comma-separated id=path log files to tail into hosted interfaces")
+	tails := flag.String("tail", "", "comma-separated id=path log files (or globs like 'logs/*.log') to tail into hosted interfaces")
+	dataDir := flag.String("data-dir", "", "directory for durable snapshots (enables restore-on-boot and POST /v1/snapshot)")
+	snapEvery := flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 = only on demand/shutdown; needs -data-dir)")
 	token := flag.String("token", "", "bearer token required on query/log endpoints (empty = open)")
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
 	check := flag.Bool("check", false, "probe a running pi-serve at -addr via the Go SDK and exit")
@@ -95,10 +109,42 @@ func main() {
 	reg := api.NewRegistryWithCache(*cache)
 	ing := ingest.New(reg, ingest.Options{BatchSize: *batch, FlushInterval: *flushEvery})
 
+	// With a data dir, the service restores saved interfaces before
+	// anything is mined; workloads that came back from disk are not
+	// re-hosted (that is the whole point: the accumulated log and the
+	// appended rows survive, the original workload generator is not
+	// consulted).
+	var svc *api.Service
+	var persister *ingest.Persister
+	if *dataDir != "" {
+		if !*enableIngest {
+			fatal(fmt.Errorf("-data-dir needs -ingest (snapshots cover live-hosted interfaces)"))
+		}
+		persister = ingest.NewPersister(*dataDir, ing, ingest.PersistOptions{Funcs: attachWorkloadFuncs})
+		var restored *api.RestoreResult
+		var rerr error
+		svc, restored, rerr = api.NewPersistentService(reg, persister)
+		if rerr != nil {
+			fatal(fmt.Errorf("restore from %s: %w", *dataDir, rerr))
+		}
+		for _, row := range restored.Interfaces {
+			log.Printf("restored %-6s epoch %d, %d log entries, %d dataset rows from %s",
+				row.ID, row.Epoch, row.LogEntries, row.Rows, *dataDir)
+		}
+	} else {
+		svc = api.NewService(reg)
+	}
+	if *snapEvery > 0 && persister == nil {
+		fatal(fmt.Errorf("-snapshot-every needs -data-dir"))
+	}
+
 	for _, name := range strings.Split(*workloads, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
+		}
+		if _, ok := reg.Get(name); ok {
+			continue // restored from the data dir
 		}
 		logq, db, title, err := buildWorkload(name, *n, *rows, *seed)
 		if err != nil {
@@ -125,9 +171,27 @@ func main() {
 		fatal(fmt.Errorf("no workloads hosted"))
 	}
 
-	svc := api.NewService(reg)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if persister != nil && *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if res, err := svc.Snapshot(); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else {
+						log.Printf("snapshot: %d interface(s) persisted to %s in %.1fms",
+							len(res.Interfaces), res.Dir, res.ElapsedMS)
+					}
+				}
+			}
+		}()
+	}
 	if *enableIngest {
 		svc.SetIngestor(ing)
 		go ing.Run(ctx)
@@ -173,6 +237,24 @@ func main() {
 		if err := hs.Shutdown(sctx); err != nil {
 			fatal(fmt.Errorf("shutdown: %w", err))
 		}
+		// A final snapshot so a graceful stop never loses ingested state
+		// (a SIGKILL loses only what arrived since the last snapshot).
+		if persister != nil {
+			if res, err := svc.Snapshot(); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot: %d interface(s) persisted to %s", len(res.Interfaces), res.Dir)
+			}
+		}
+	}
+}
+
+// attachWorkloadFuncs re-binds table-valued functions a snapshot file
+// cannot carry: the synthetic SDSS spatial UDF re-attaches to the
+// restored Galaxy table.
+func attachWorkloadFuncs(id string, st *store.Store) {
+	if gal, ok := st.Snapshot().Table("Galaxy"); ok {
+		st.AddFunc("dbo.fGetNearbyObjEq", engine.FGetNearbyObjEq(gal))
 	}
 }
 

@@ -52,6 +52,19 @@ const (
 	// CodeIngestFailed — the entries were accepted for decoding but
 	// re-mining rejected them. 422.
 	CodeIngestFailed = "ingest_failed"
+	// CodeRowsRejected — submitted rows name an unknown table, mismatch
+	// its column count, or carry values the engine cannot represent
+	// (nested arrays/objects). 422.
+	CodeRowsRejected = "rows_rejected"
+	// CodePersistenceDisabled — the snapshot endpoint was called on a
+	// server running without a data dir. 501.
+	CodePersistenceDisabled = "persistence_disabled"
+	// CodeSnapshotFailed — writing the durable snapshot failed
+	// (disk full, permission, ...). 500.
+	CodeSnapshotFailed = "snapshot_failed"
+	// CodeRestoreFailed — restoring from the data dir at construction
+	// failed (corrupt or unreadable snapshot file). 500.
+	CodeRestoreFailed = "restore_failed"
 	// CodeInternal — an unexpected server-side failure. 500.
 	CodeInternal = "internal"
 )

@@ -36,7 +36,7 @@ import (
 type epochState struct {
 	epoch uint64
 	iface *core.Interface
-	db    *engine.DB
+	db    engine.Catalog
 	cache *Cache     // result LRU keyed by canonical AST hash
 	plans *PlanCache // bound-query plans keyed by widget-state shape
 
@@ -58,14 +58,16 @@ type Hosted struct {
 	state  atomic.Pointer[epochState]
 }
 
-// newHosted builds a hosted interface at epoch 1.
-func newHosted(id, title string, iface *core.Interface, db *engine.DB, cacheSize int) *Hosted {
+// newHosted builds a hosted interface at the given starting epoch
+// (1 for a fresh host; a restored interface resumes at its saved
+// epoch).
+func newHosted(id, title string, iface *core.Interface, db engine.Catalog, cacheSize int, epoch uint64) *Hosted {
 	h := &Hosted{ID: id, Title: title, cacheSize: cacheSize}
-	h.state.Store(h.newEpoch(1, iface, db))
+	h.state.Store(h.newEpoch(epoch, iface, db))
 	return h
 }
 
-func (h *Hosted) newEpoch(epoch uint64, iface *core.Interface, db *engine.DB) *epochState {
+func (h *Hosted) newEpoch(epoch uint64, iface *core.Interface, db engine.Catalog) *epochState {
 	return &epochState{
 		epoch: epoch,
 		iface: iface,
@@ -83,8 +85,9 @@ func (h *Hosted) load() *epochState { return h.state.Load() }
 // replaces rather than mutates it, so holders stay consistent).
 func (h *Hosted) Iface() *core.Interface { return h.load().iface }
 
-// DB returns the dataset the current interface executes against.
-func (h *Hosted) DB() *engine.DB { return h.load().db }
+// Catalog returns the read-only dataset view the current interface
+// executes against (a frozen *engine.DB or a store snapshot).
+func (h *Hosted) Catalog() engine.Catalog { return h.load().db }
 
 // Cache returns the current epoch's result cache (exposed for stats).
 func (h *Hosted) Cache() *Cache { return h.load().cache }
@@ -103,9 +106,12 @@ func (h *Hosted) Queries() uint64 { return h.queries.Load() }
 // domains widen (or change arbitrarily), the result and plan caches
 // start empty, and the compiled page is recompiled on next request — a
 // dashboard that keeps its URL while its log grows. A nil db keeps the
-// current dataset. In-flight requests finish against the snapshot they
-// loaded; new requests see the new epoch. Returns the new epoch.
-func (h *Hosted) Swap(iface *core.Interface, db *engine.DB) (uint64, error) {
+// current dataset; a non-nil one (typically a fresh store snapshot
+// after row appends) replaces it, so data updates ride the same
+// epoch-bump cache discipline as interface updates. In-flight requests
+// finish against the snapshot they loaded; new requests see the new
+// epoch. Returns the new epoch.
+func (h *Hosted) Swap(iface *core.Interface, db engine.Catalog) (uint64, error) {
 	if iface == nil {
 		return 0, fmt.Errorf("api: swap on %q needs a non-nil interface", h.ID)
 	}
@@ -148,7 +154,15 @@ func NewRegistryWithCache(cacheSize int) *Registry {
 // digits, '_', '-' and '.'. The database is shared, not copied: callers
 // must stop mutating it before serving begins. Adding a duplicate or
 // invalid ID or a nil interface/db is an error.
-func (r *Registry) Add(id, title string, iface *core.Interface, db *engine.DB) (*Hosted, error) {
+func (r *Registry) Add(id, title string, iface *core.Interface, db engine.Catalog) (*Hosted, error) {
+	return r.AddAt(id, title, iface, db, 1)
+}
+
+// AddAt is Add with an explicit starting epoch — the restore path
+// brings an interface back at (or after) the epoch it was saved at, so
+// clients comparing epochs across the restart never observe time
+// running backwards.
+func (r *Registry) AddAt(id, title string, iface *core.Interface, db engine.Catalog, epoch uint64) (*Hosted, error) {
 	if !validID(id) {
 		return nil, fmt.Errorf("api: invalid interface id %q (want [A-Za-z0-9._-]+)", id)
 	}
@@ -160,14 +174,17 @@ func (r *Registry) Add(id, title string, iface *core.Interface, db *engine.DB) (
 	if _, dup := r.ifaces[id]; dup {
 		return nil, fmt.Errorf("api: duplicate interface id %q", id)
 	}
-	h := newHosted(id, title, iface, db, r.cacheSize)
+	if epoch == 0 {
+		epoch = 1
+	}
+	h := newHosted(id, title, iface, db, r.cacheSize, epoch)
 	r.ifaces[id] = h
 	return h, nil
 }
 
 // Swap replaces the interface hosted under id (see Hosted.Swap) and
 // returns the new epoch.
-func (r *Registry) Swap(id string, iface *core.Interface, db *engine.DB) (uint64, error) {
+func (r *Registry) Swap(id string, iface *core.Interface, db engine.Catalog) (uint64, error) {
 	h, ok := r.Get(id)
 	if !ok {
 		return 0, fmt.Errorf("api: unknown interface %q", id)

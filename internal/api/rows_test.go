@@ -1,0 +1,178 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/qlog"
+)
+
+// fakeRowIngestor implements Ingestor + RowIngestor, recording the
+// last rows submission.
+type fakeRowIngestor struct {
+	lastID    string
+	lastTable string
+	lastRows  [][]engine.Value
+	lastFlush bool
+	fail      bool
+}
+
+func (f *fakeRowIngestor) Submit(id string, entries []qlog.Entry) (IngestAck, error) {
+	return IngestAck{Accepted: len(entries)}, nil
+}
+
+func (f *fakeRowIngestor) Flush(id string) (uint64, error) { return 1, nil }
+
+func (f *fakeRowIngestor) SubmitRows(id, table string, rows [][]engine.Value, flush bool) (RowsAck, error) {
+	f.lastID, f.lastTable, f.lastRows, f.lastFlush = id, table, rows, flush
+	if f.fail {
+		return RowsAck{}, errors.New("store says no")
+	}
+	return RowsAck{Table: table, Accepted: len(rows), Flushed: flush, Epoch: 2, DataEpoch: 2, RowCount: 7}, nil
+}
+
+// fakePersister implements Persister in-memory.
+type fakePersister struct {
+	saves       int
+	restores    int
+	saveErr     error
+	restoreErr  error
+	restoreRows []SnapshotInterface
+}
+
+func (p *fakePersister) SaveAll() (*SnapshotResult, error) {
+	p.saves++
+	if p.saveErr != nil {
+		return nil, p.saveErr
+	}
+	return &SnapshotResult{Dir: "mem", Interfaces: []SnapshotInterface{{ID: "olap", Epoch: 3}}}, nil
+}
+
+func (p *fakePersister) Restore() (*RestoreResult, error) {
+	p.restores++
+	if p.restoreErr != nil {
+		return nil, p.restoreErr
+	}
+	return &RestoreResult{Dir: "mem", Interfaces: p.restoreRows}, nil
+}
+
+func TestServiceAppendRowsWithoutRowIngestor(t *testing.T) {
+	svc, _ := newTestService(t)
+	req := RowsRequest{Table: "ontime", Rows: [][]any{{1.0}}}
+	// No ingestor at all.
+	if _, err := svc.AppendRows("olap", req, false); errCode(t, err) != CodeIngestDisabled {
+		t.Fatalf("no-ingestor code = %v", err)
+	}
+	// An ingestor that cannot do rows (log-only) is the same contract.
+	svc.SetIngestor(logOnlyIngestor{})
+	if _, err := svc.AppendRows("olap", req, false); errCode(t, err) != CodeIngestDisabled {
+		t.Fatalf("log-only ingestor code = %v", err)
+	}
+	if _, err := svc.AppendRows("nope", req, false); errCode(t, err) != CodeNotFound {
+		t.Fatalf("unknown interface code = %v", err)
+	}
+}
+
+type logOnlyIngestor struct{}
+
+func (logOnlyIngestor) Submit(id string, entries []qlog.Entry) (IngestAck, error) {
+	return IngestAck{}, nil
+}
+func (logOnlyIngestor) Flush(id string) (uint64, error) { return 1, nil }
+
+func TestServiceAppendRowsValidationAndConversion(t *testing.T) {
+	svc, _ := newTestService(t)
+	ri := &fakeRowIngestor{}
+	svc.SetIngestor(ri)
+
+	if _, err := svc.AppendRows("olap", RowsRequest{Rows: [][]any{{1.0}}}, false); errCode(t, err) != CodeBadRequest {
+		t.Fatalf("missing table code = %v", err)
+	}
+	if _, err := svc.AppendRows("olap", RowsRequest{Table: "ontime"}, false); errCode(t, err) != CodeBadRequest {
+		t.Fatalf("no rows code = %v", err)
+	}
+	// Nested values are not SQL scalars.
+	_, err := svc.AppendRows("olap", RowsRequest{Table: "ontime", Rows: [][]any{{[]any{1.0}}}}, false)
+	if errCode(t, err) != CodeRowsRejected {
+		t.Fatalf("nested value code = %v", err)
+	}
+
+	ack, err := svc.AppendRows("olap", RowsRequest{
+		Table: "ontime",
+		Rows:  [][]any{{1.5, "AA", true, nil}},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 1 || !ack.Flushed || ack.RowCount != 7 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if ri.lastID != "olap" || ri.lastTable != "ontime" || !ri.lastFlush {
+		t.Fatalf("ingestor saw %q %q flush=%v", ri.lastID, ri.lastTable, ri.lastFlush)
+	}
+	want := []engine.Value{engine.Num(1.5), engine.Str("AA"), engine.Boolean(true), engine.Null()}
+	if len(ri.lastRows) != 1 || fmt.Sprint(ri.lastRows[0]) != fmt.Sprint(want) {
+		t.Fatalf("converted rows = %v, want %v", ri.lastRows, want)
+	}
+
+	// A store rejection surfaces as rows_rejected.
+	ri.fail = true
+	if _, err := svc.AppendRows("olap", RowsRequest{Table: "ontime", Rows: [][]any{{1.0}}}, false); errCode(t, err) != CodeRowsRejected {
+		t.Fatalf("store rejection code = %v", err)
+	}
+}
+
+func TestServiceSnapshotContract(t *testing.T) {
+	svc, _ := newTestService(t)
+	if _, err := svc.Snapshot(); errCode(t, err) != CodePersistenceDisabled {
+		t.Fatalf("no-persister code = %v", err)
+	}
+	if svc.Persistence() {
+		t.Fatal("Persistence() true without a persister")
+	}
+
+	p := &fakePersister{}
+	svc.SetPersister(p)
+	if !svc.Persistence() {
+		t.Fatal("Persistence() false with a persister")
+	}
+	res, err := svc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.saves != 1 || len(res.Interfaces) != 1 || res.Interfaces[0].ID != "olap" {
+		t.Fatalf("snapshot = %+v (saves %d)", res, p.saves)
+	}
+	if !svc.Health().Persistence {
+		t.Fatal("health does not report persistence")
+	}
+
+	p.saveErr = errors.New("disk full")
+	if _, err := svc.Snapshot(); errCode(t, err) != CodeSnapshotFailed {
+		t.Fatalf("save failure code = %v", err)
+	}
+}
+
+func TestNewPersistentServiceRestores(t *testing.T) {
+	reg := NewRegistry()
+	p := &fakePersister{restoreRows: []SnapshotInterface{{ID: "back", Epoch: 5}}}
+	svc, res, err := NewPersistentService(reg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.restores != 1 || len(res.Interfaces) != 1 || res.Interfaces[0].ID != "back" {
+		t.Fatalf("restore result = %+v (restores %d)", res, p.restores)
+	}
+	if !svc.Persistence() {
+		t.Fatal("persister not wired after restore")
+	}
+
+	p2 := &fakePersister{restoreErr: errors.New("checksum mismatch")}
+	_, _, err = NewPersistentService(reg, p2)
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeRestoreFailed {
+		t.Fatalf("restore failure = %v", err)
+	}
+}

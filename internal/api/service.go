@@ -64,6 +64,7 @@ func (o ServiceOptions) withDefaults() ServiceOptions {
 type Service struct {
 	reg   *Registry
 	ing   Ingestor
+	per   Persister
 	opts  ServiceOptions
 	start time.Time
 }
@@ -78,9 +79,33 @@ func NewService(reg *Registry, opts ...ServiceOptions) *Service {
 	return &Service{reg: reg, opts: o.withDefaults(), start: time.Now()}
 }
 
+// NewPersistentService is NewService with durable storage wired in:
+// it restores hosted interfaces from the persister's data dir before
+// returning (so a killed server comes back serving what it was serving)
+// and enables the Snapshot operation. A restore failure is returned as
+// a CodeRestoreFailed *Error — a data dir that exists but cannot be
+// read is a deployment fault, not something to silently serve past.
+func NewPersistentService(reg *Registry, p Persister, opts ...ServiceOptions) (*Service, *RestoreResult, error) {
+	s := NewService(reg, opts...)
+	res, err := p.Restore()
+	if err != nil {
+		return nil, nil, Errf(CodeRestoreFailed, http.StatusInternalServerError, "restore: %v", err)
+	}
+	s.per = p
+	return s, res, nil
+}
+
 // SetIngestor wires live log ingestion into IngestLog. Call before
 // serving begins.
 func (s *Service) SetIngestor(ing Ingestor) { s.ing = ing }
+
+// SetPersister wires durable snapshots into Snapshot without the
+// restore-on-construct step (tests, or a first boot into an empty
+// dir). Call before serving begins.
+func (s *Service) SetPersister(p Persister) { s.per = p }
+
+// Persistence reports whether a persister is wired in.
+func (s *Service) Persistence() bool { return s.per != nil }
 
 // Registry returns the underlying registry.
 func (s *Service) Registry() *Registry { return s.reg }
@@ -373,6 +398,82 @@ func (s *Service) IngestLog(id string, entries []qlog.Entry, flush bool) (*Inges
 	return &ack, nil
 }
 
+// AppendRows submits new dataset rows for one table of the
+// interface's store. Rows buffer in the ingestion layer and are
+// published copy-on-write under a bumped epoch when a batch fills (or
+// immediately with flush set), so queries accepted after the ack with
+// Flushed=true can never be answered from a pre-append cache. Requires
+// an ingestor that supports row ingestion (a store-backed one).
+func (s *Service) AppendRows(id string, req RowsRequest, flush bool) (*RowsAck, error) {
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ri, ok := s.ing.(RowIngestor)
+	if !ok {
+		return nil, Errf(CodeIngestDisabled, http.StatusNotImplemented,
+			"row ingestion is not enabled on this server")
+	}
+	if strings.TrimSpace(req.Table) == "" {
+		return nil, errBadRequest("rows request needs a table name")
+	}
+	if len(req.Rows) == 0 {
+		return nil, errBadRequest("no rows in request body")
+	}
+	rows, apiErr := decodeRows(req.Rows)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	ack, err := ri.SubmitRows(h.ID, req.Table, rows, flush)
+	if err != nil {
+		return nil, Errf(CodeRowsRejected, http.StatusUnprocessableEntity, "%v", err)
+	}
+	return &ack, nil
+}
+
+// decodeRows converts JSON row values into engine values. Only scalars
+// are representable; a nested array or object is a client error.
+// Numbers arrive as float64 — the engine's only numeric representation
+// — so integers beyond 2^53 round like they would in any query result.
+func decodeRows(in [][]any) ([][]engine.Value, *Error) {
+	out := make([][]engine.Value, len(in))
+	for i, row := range in {
+		vals := make([]engine.Value, len(row))
+		for j, v := range row {
+			switch x := v.(type) {
+			case nil:
+				vals[j] = engine.Null()
+			case float64:
+				vals[j] = engine.Num(x)
+			case string:
+				vals[j] = engine.Str(x)
+			case bool:
+				vals[j] = engine.Boolean(x)
+			default:
+				return nil, Errf(CodeRowsRejected, http.StatusUnprocessableEntity,
+					"row %d col %d: value %T is not a SQL scalar", i, j, v)
+			}
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// Snapshot persists every hosted interface's (log, dataset, epoch) to
+// the data dir through the wired persister — the durable counterpart
+// of the in-memory epoch snapshots every query already runs against.
+func (s *Service) Snapshot() (*SnapshotResult, error) {
+	if s.per == nil {
+		return nil, Errf(CodePersistenceDisabled, http.StatusNotImplemented,
+			"persistence is not enabled on this server (start with a data dir)")
+	}
+	res, err := s.per.SaveAll()
+	if err != nil {
+		return nil, Errf(CodeSnapshotFailed, http.StatusInternalServerError, "snapshot: %v", err)
+	}
+	return res, nil
+}
+
 // Health reports build info, uptime and a per-interface row with epoch,
 // traffic and cache hit rates (plus ingestion counters when wired).
 func (s *Service) Health() *Health {
@@ -382,6 +483,7 @@ func (s *Service) Health() *Health {
 		Revision:      buildRevision(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Ingestion:     s.ing != nil,
+		Persistence:   s.per != nil,
 		Interfaces:    []HealthInterface{},
 	}
 	statuser, _ := s.ing.(IngestStatuser)

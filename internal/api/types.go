@@ -3,6 +3,7 @@ package api
 import (
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/qlog"
 )
 
@@ -103,6 +104,53 @@ type EpochResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+// RowsRequest is the body of AppendRows: new rows for one table of the
+// interface's dataset. Values are JSON scalars (number, string, bool,
+// null) positionally matching the table's columns.
+type RowsRequest struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+}
+
+// RowsAck reports what happened to one AppendRows call. DataEpoch is
+// the storage layer's version counter; Epoch is the interface's
+// serving epoch (bumped when the appended rows were hot-swapped in, so
+// post-append queries never see pre-append cached results). RowCount
+// is the table's total rows after any flush this call performed.
+type RowsAck struct {
+	Table     string `json:"table"`
+	Accepted  int    `json:"accepted"`           // rows buffered by this call
+	Buffered  int    `json:"buffered"`           // rows still waiting after the call
+	Flushed   bool   `json:"flushed"`            // whether the store published a new version
+	Epoch     uint64 `json:"epoch"`              // interface epoch after the call
+	DataEpoch uint64 `json:"dataEpoch"`          // store version after the call
+	RowCount  int    `json:"rowCount,omitempty"` // table rows visible to queries
+}
+
+// SnapshotInterface is one interface's row in a snapshot result.
+type SnapshotInterface struct {
+	ID         string `json:"id"`
+	Epoch      uint64 `json:"epoch"`
+	DataEpoch  uint64 `json:"dataEpoch"`
+	LogEntries int    `json:"logEntries"`
+	Rows       int    `json:"rows"` // dataset rows across all tables
+	Bytes      int64  `json:"bytes"`
+}
+
+// SnapshotResult is the body of the Snapshot operation: what was
+// persisted, where, and how long it took.
+type SnapshotResult struct {
+	Dir        string              `json:"dir"`
+	Interfaces []SnapshotInterface `json:"interfaces"`
+	ElapsedMS  float64             `json:"elapsedMs"`
+}
+
+// RestoreResult reports what a restore-on-construct brought back.
+type RestoreResult struct {
+	Dir        string              `json:"dir"`
+	Interfaces []SnapshotInterface `json:"interfaces"`
+}
+
 // Ingestor accepts new query-log entries for a hosted interface —
 // internal/ingest implements it; the service stays decoupled from the
 // mining machinery. Submit buffers entries (and may flush when a batch
@@ -119,14 +167,36 @@ type IngestStatuser interface {
 	IngestStatus(id string) (IngestStatus, bool)
 }
 
+// RowIngestor is optionally implemented by an Ingestor whose hosted
+// interfaces sit on a versioned store: SubmitRows buffers (and, when a
+// batch fills or flush is set, publishes) new dataset rows under the
+// same hot-swap discipline as interface re-mining — the bumped epoch
+// makes every pre-append cached result unreachable.
+type RowIngestor interface {
+	SubmitRows(id, table string, rows [][]engine.Value, flush bool) (RowsAck, error)
+}
+
+// Persister is the durable snapshot/restore seam the service exposes
+// through Snapshot and restore-on-construct; internal/ingest
+// implements it over the data dir. SaveAll persists every hosted
+// interface's (log, dataset, epoch); Restore rebuilds hosted
+// interfaces from the newest snapshot files.
+type Persister interface {
+	SaveAll() (*SnapshotResult, error)
+	Restore() (*RestoreResult, error)
+}
+
 // IngestStatus is one interface's ingestion counters.
 type IngestStatus struct {
-	Buffered    int    `json:"buffered"`
-	Accepted    uint64 `json:"accepted"`
-	Dropped     uint64 `json:"dropped"`
-	Flushes     uint64 `json:"flushes"`
-	FullRemines uint64 `json:"fullRemines"`
-	LastError   string `json:"lastError,omitempty"`
+	Buffered     int    `json:"buffered"`
+	Accepted     uint64 `json:"accepted"`
+	Dropped      uint64 `json:"dropped"`
+	Flushes      uint64 `json:"flushes"`
+	FullRemines  uint64 `json:"fullRemines"`
+	RowsAppended uint64 `json:"rowsAppended,omitempty"`
+	RowsBuffered int    `json:"rowsBuffered,omitempty"`
+	RowFlushes   uint64 `json:"rowFlushes,omitempty"`
+	LastError    string `json:"lastError,omitempty"`
 }
 
 // IngestAck reports what happened to a Submit call.
@@ -156,6 +226,7 @@ type Health struct {
 	Revision      string            `json:"revision,omitempty"`
 	UptimeSeconds float64           `json:"uptimeSeconds"`
 	Ingestion     bool              `json:"ingestion"`
+	Persistence   bool              `json:"persistence"`
 	Interfaces    []HealthInterface `json:"interfaces"`
 }
 

@@ -85,11 +85,19 @@ func SDSSDB(rowsPerTable int) *DB {
 	}
 	db.AddTable(photo)
 
-	// fGetNearbyObjEq(ra, dec, radius_arcmin): the SDSS spatial UDF. The
-	// synthetic version returns a deterministic cone of objects whose
-	// count scales with the radius — enough to exercise the table-
-	// function code path that Listing 6's queries rely on.
-	db.AddFunc("dbo.fGetNearbyObjEq", func(args []Value) (*Table, error) {
+	db.AddFunc("dbo.fGetNearbyObjEq", FGetNearbyObjEq(gal))
+	return db
+}
+
+// FGetNearbyObjEq builds the synthetic SDSS spatial UDF
+// fGetNearbyObjEq(ra, dec, radius_arcmin) over the given Galaxy table:
+// a deterministic cone of objects whose count scales with the radius —
+// enough to exercise the table-function code path that Listing 6's
+// queries rely on. It is exported separately from SDSSDB so a catalog
+// restored from a persisted snapshot (which cannot serialize function
+// values) can re-attach the UDF against its restored Galaxy table.
+func FGetNearbyObjEq(gal *Table) TableFunc {
+	return func(args []Value) (*Table, error) {
 		if len(args) != 3 {
 			return nil, fmt.Errorf("engine: fGetNearbyObjEq expects 3 args, got %d", len(args))
 		}
@@ -99,10 +107,13 @@ func SDSSDB(rowsPerTable int) *DB {
 		if !ok1 || !ok2 || !ok3 {
 			return nil, fmt.Errorf("engine: fGetNearbyObjEq needs numeric args")
 		}
+		if gal.NumRows() == 0 {
+			return NewTable("nearby", "objID", "distance"), nil
+		}
 		out := NewTable("nearby", "objID", "distance")
 		n := int(rad*10) + 1
-		if n > rowsPerTable {
-			n = rowsPerTable
+		if n > gal.NumRows() {
+			n = gal.NumRows()
 		}
 		rr := rand.New(rand.NewSource(int64(ra*1e3) ^ int64(dec*1e3)))
 		for i := 0; i < n; i++ {
@@ -111,8 +122,7 @@ func SDSSDB(rowsPerTable int) *DB {
 			out.MustAddRow(row[0], Num(rr.Float64()*rad))
 		}
 		return out, nil
-	})
-	return db
+	}
 }
 
 // TinyDB builds the toy tables (t, u, T, ontime) that the paper's

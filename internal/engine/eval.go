@@ -17,10 +17,10 @@ type binding struct {
 
 // evalCtx carries everything expression evaluation needs: the column
 // bindings, the current row, the current group (non-nil only while
-// evaluating aggregate projections/HAVING), and the database for
-// subqueries.
+// evaluating aggregate projections/HAVING), and the read-only catalog
+// for subqueries.
 type evalCtx struct {
-	db       *DB
+	cat      Catalog
 	bindings []binding
 	row      []Value
 	group    [][]Value
@@ -456,7 +456,7 @@ func (c *evalCtx) evalIn(n *ast.Node) (Value, error) {
 	neg := n.Attr("not") == "true"
 	found := false
 	if n.NumChildren() == 2 && n.Child(1).Type == ast.TypeSubQuery {
-		tbl, err := Exec(c.db, n.Child(1).Child(0))
+		tbl, err := Exec(c.cat, n.Child(1).Child(0))
 		if err != nil {
 			return Value{}, err
 		}
@@ -505,7 +505,7 @@ func (c *evalCtx) evalBetween(n *ast.Node) (Value, error) {
 }
 
 func (c *evalCtx) evalScalarSubquery(n *ast.Node) (Value, error) {
-	tbl, err := Exec(c.db, n.Child(0))
+	tbl, err := Exec(c.cat, n.Child(0))
 	if err != nil {
 		return Value{}, err
 	}

@@ -12,22 +12,24 @@ import (
 // result relation. This is the exec() function the paper assumes is
 // provided (§3.3); generated interfaces call it on every interaction.
 //
-// Exec never mutates db or its tables: filtering and grouping only read
-// source rows, ORDER BY sorts through a fresh index slice, and every
-// result row is newly allocated by the projection. It is therefore safe
-// to call concurrently from many goroutines against a shared DB, as
-// long as no goroutine concurrently mutates the DB (AddTable/AddFunc/
-// AddRow must happen-before serving begins) — the contract the serving
-// layer relies on. Registered TableFuncs must uphold the same property.
-func Exec(db *DB, sel *ast.Node) (*Table, error) {
+// Exec consumes only the read-only Catalog interface: filtering and
+// grouping only read source rows, ORDER BY sorts through a fresh index
+// slice, and every result row is newly allocated by the projection, so
+// nothing the catalog hands out is ever mutated. It is therefore safe
+// to call concurrently from many goroutines against a shared catalog,
+// as long as the catalog itself is immutable while serving — a *DB
+// built before serving begins, or a copy-on-write store snapshot
+// (internal/store), which is immutable by construction. Registered
+// TableFuncs must uphold the same property.
+func Exec(cat Catalog, sel *ast.Node) (*Table, error) {
 	if sel == nil || sel.Type != ast.TypeSelect {
 		return nil, fmt.Errorf("engine: not a SELECT ast (%v)", sel)
 	}
-	src, err := evalFrom(db, sel.Child(ast.SlotFrom))
+	src, err := evalFrom(cat, sel.Child(ast.SlotFrom))
 	if err != nil {
 		return nil, err
 	}
-	ctx := &evalCtx{db: db, bindings: src.bindings}
+	ctx := &evalCtx{cat: cat, bindings: src.bindings}
 
 	// WHERE.
 	rows := src.rows
@@ -86,7 +88,7 @@ func Exec(db *DB, sel *ast.Node) (*Table, error) {
 		}
 		for _, key := range order {
 			g := groups[key]
-			gctx := &evalCtx{db: db, bindings: src.bindings, group: g}
+			gctx := &evalCtx{cat: cat, bindings: src.bindings, group: g}
 			if len(g) > 0 {
 				gctx.row = g[0]
 			} else {
@@ -199,13 +201,13 @@ type source struct {
 
 // evalFrom resolves the FROM clause into a single cross-joined source.
 // An empty FROM produces a single empty row so SELECT 1+1 works.
-func evalFrom(db *DB, from *ast.Node) (*source, error) {
+func evalFrom(cat Catalog, from *ast.Node) (*source, error) {
 	if ast.IsEmptyClause(from) {
 		return &source{rows: [][]Value{{}}}, nil
 	}
 	total := &source{rows: [][]Value{{}}}
 	for _, fc := range from.Children {
-		s, err := resolveSource(db, fc)
+		s, err := resolveSource(cat, fc)
 		if err != nil {
 			return nil, err
 		}
@@ -232,11 +234,11 @@ func crossJoin(a, b *source) *source {
 
 // resolveSource materializes one FROM clause, including JOIN ... ON
 // chains, into a source.
-func resolveSource(db *DB, fc *ast.Node) (*source, error) {
+func resolveSource(cat Catalog, fc *ast.Node) (*source, error) {
 	if rel := fc.Child(0); rel != nil && rel.Type == ast.TypeJoin {
-		return resolveJoin(db, rel)
+		return resolveJoin(cat, rel)
 	}
-	rel, alias, err := resolveRelation(db, fc)
+	rel, alias, err := resolveRelation(cat, fc)
 	if err != nil {
 		return nil, err
 	}
@@ -251,12 +253,12 @@ func resolveSource(db *DB, fc *ast.Node) (*source, error) {
 // resolveJoin evaluates an inner or left join: the cross product
 // filtered by the ON condition, plus (for LEFT JOIN) unmatched left
 // rows padded with NULLs.
-func resolveJoin(db *DB, j *ast.Node) (*source, error) {
-	left, err := resolveSource(db, j.Child(0))
+func resolveJoin(cat Catalog, j *ast.Node) (*source, error) {
+	left, err := resolveSource(cat, j.Child(0))
 	if err != nil {
 		return nil, err
 	}
-	right, err := resolveSource(db, j.Child(1))
+	right, err := resolveSource(cat, j.Child(1))
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +266,7 @@ func resolveJoin(db *DB, j *ast.Node) (*source, error) {
 	out := &source{}
 	out.bindings = append(out.bindings, left.bindings...)
 	out.bindings = append(out.bindings, right.bindings...)
-	ctx := &evalCtx{db: db, bindings: out.bindings}
+	ctx := &evalCtx{cat: cat, bindings: out.bindings}
 	leftJoin := j.Attr("kind") == "left"
 	nulls := make([]Value, len(right.bindings))
 	for i := range nulls {
@@ -297,12 +299,12 @@ func resolveJoin(db *DB, j *ast.Node) (*source, error) {
 
 // resolveRelation materializes one FROM item (table, subquery or
 // table-valued function) and returns it with its binding alias.
-func resolveRelation(db *DB, fc *ast.Node) (*Table, string, error) {
+func resolveRelation(cat Catalog, fc *ast.Node) (*Table, string, error) {
 	rel := fc.Child(0)
 	alias := fc.Attr("alias")
 	switch rel.Type {
 	case ast.TypeTabExpr:
-		t, ok := db.Table(rel.Value())
+		t, ok := cat.Table(rel.Value())
 		if !ok {
 			return nil, "", fmt.Errorf("engine: unknown table %q", rel.Value())
 		}
@@ -311,18 +313,18 @@ func resolveRelation(db *DB, fc *ast.Node) (*Table, string, error) {
 		}
 		return t, alias, nil
 	case ast.TypeSubQuery:
-		t, err := Exec(db, rel.Child(0))
+		t, err := Exec(cat, rel.Child(0))
 		if err != nil {
 			return nil, "", err
 		}
 		return t, alias, nil
 	case ast.TypeTabFunc:
-		fn, ok := db.Func(rel.Child(0).Value())
+		fn, ok := cat.Func(rel.Child(0).Value())
 		if !ok {
 			return nil, "", fmt.Errorf("engine: unknown table function %q", rel.Child(0).Value())
 		}
 		args := make([]Value, 0, rel.NumChildren()-1)
-		ctx := &evalCtx{db: db}
+		ctx := &evalCtx{cat: cat}
 		for _, a := range rel.Children[1:] {
 			v, err := ctx.eval(a)
 			if err != nil {
@@ -434,10 +436,10 @@ func rowKey(row []Value) string {
 
 // ExecSQL is a convenience wrapper: parse-then-exec is what generated
 // web interfaces do on every widget interaction.
-func ExecSQL(db *DB, parse func(string) (*ast.Node, error), sql string) (*Table, error) {
+func ExecSQL(cat Catalog, parse func(string) (*ast.Node, error), sql string) (*Table, error) {
 	n, err := parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return Exec(db, n)
+	return Exec(cat, n)
 }

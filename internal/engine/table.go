@@ -68,6 +68,21 @@ func (t *Table) ColIndex(name string) int {
 // UDF): it maps argument values to a relation.
 type TableFunc func(args []Value) (*Table, error)
 
+// Catalog is the read-only view the executor compiles against: table
+// and table-valued-function lookup by (possibly qualified) name. Exec
+// and expression evaluation consume only this interface, so any
+// immutable snapshot — a *DB built once, or a copy-on-write store
+// version — is a drop-in execution target. Implementations must be
+// safe for concurrent lookups and must return tables the caller can
+// treat as immutable.
+type Catalog interface {
+	// Table looks up a table; matching is case-insensitive and accepts
+	// the final component of qualified names (dbo.X).
+	Table(name string) (*Table, bool)
+	// Func looks up a table-valued function under the same name rules.
+	Func(name string) (TableFunc, bool)
+}
+
 // DB is the catalog: named tables and table-valued functions.
 //
 // Concurrency contract: a DB is built single-threaded (AddTable,
@@ -124,6 +139,52 @@ func (db *DB) TableNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// FuncNames lists registered table-valued functions in sorted order.
+func (db *DB) FuncNames() []string {
+	var out []string
+	for n := range db.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clone copies the catalog maps (sharing the tables and functions
+// themselves) — the common step of the copy-on-write primitives.
+func (db *DB) clone() *DB {
+	cp := &DB{
+		tables: make(map[string]*Table, len(db.tables)+1),
+		funcs:  make(map[string]TableFunc, len(db.funcs)+1),
+	}
+	for k, v := range db.tables {
+		cp.tables[k] = v
+	}
+	for k, v := range db.funcs {
+		cp.funcs[k] = v
+	}
+	return cp
+}
+
+// WithTable returns a new DB sharing every table and function of the
+// receiver except the given table, which replaces (or adds to) its
+// name slot. The receiver is not modified — this is the copy-on-write
+// primitive the versioned store builds on: concurrent readers of the
+// old catalog stay untouched while the new catalog sees the new table
+// version.
+func (db *DB) WithTable(t *Table) *DB {
+	cp := db.clone()
+	cp.tables[strings.ToLower(t.Name)] = t
+	return cp
+}
+
+// WithFunc is WithTable for table-valued functions: a new DB with fn
+// registered, sharing everything else with the receiver.
+func (db *DB) WithFunc(name string, fn TableFunc) *DB {
+	cp := db.clone()
+	cp.funcs[strings.ToLower(name)] = fn
+	return cp
 }
 
 // Render returns the table as an aligned ASCII grid — the render()

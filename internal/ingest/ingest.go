@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/qlog"
+	"repro/internal/store"
 )
 
 // Options configure buffering and flushing.
@@ -40,6 +41,12 @@ type Options struct {
 	// FlushInterval is the background cadence at which Run flushes
 	// buffers that never filled a batch. Default 2s.
 	FlushInterval time.Duration
+	// RowBatchSize is the buffered dataset-row count that triggers an
+	// inline store publish + hot swap during SubmitRows. Default 256.
+	RowBatchSize int
+	// MaxRowBuffer bounds the per-interface row buffer; a submission
+	// that would overflow it publishes inline. Default 65536.
+	MaxRowBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +59,12 @@ func (o Options) withDefaults() Options {
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = 2 * time.Second
 	}
+	if o.RowBatchSize <= 0 {
+		o.RowBatchSize = 256
+	}
+	if o.MaxRowBuffer <= 0 {
+		o.MaxRowBuffer = 65536
+	}
 	return o
 }
 
@@ -62,13 +75,21 @@ type feed struct {
 	hosted *api.Hosted
 	mu     sync.Mutex
 	miner  *core.Miner
+	store  *store.Store
 	buf    []qlog.Entry
 
-	accepted    uint64
-	dropped     uint64
-	flushes     uint64
-	fullRemines uint64
-	lastError   string
+	// rowBuf holds dataset rows waiting for the next store publish,
+	// keyed by the submitted table name; rowBuffered is their total.
+	rowBuf      map[string][][]engine.Value
+	rowBuffered int
+
+	accepted     uint64
+	dropped      uint64
+	flushes      uint64
+	fullRemines  uint64
+	rowsAppended uint64
+	rowFlushes   uint64
+	lastError    string
 }
 
 // Ingester routes submitted log entries to per-interface feeds. It is
@@ -88,20 +109,40 @@ func New(reg *api.Registry, opts Options) *Ingester {
 
 // Host mines the log, registers the interface for serving AND attaches
 // a live feed, so subsequent Submit calls evolve it. This is the
-// live-path counterpart of mining once and calling Registry.Add.
+// live-path counterpart of mining once and calling Registry.Add. The
+// dataset is wrapped in a copy-on-write store (internal/store): the
+// interface serves immutable store snapshots, and SubmitRows grows the
+// dataset under the same epoch discipline that Submit applies to the
+// interface. The caller must not mutate db after handing it over.
 func (ing *Ingester) Host(id, title string, log *qlog.Log, db *engine.DB, opts core.LiveOptions) (*api.Hosted, error) {
 	m, err := core.NewMiner(log, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: mine %q: %w", id, err)
 	}
-	h, err := ing.reg.Add(id, title, m.Interface(), db)
+	return ing.host(id, title, m, store.FromDB(db), 1)
+}
+
+// host registers a mined interface backed by a store at the given
+// starting epoch — shared by Host (fresh, epoch 1) and the restore
+// path (saved epoch).
+func (ing *Ingester) host(id, title string, m *core.Miner, st *store.Store, epoch uint64) (*api.Hosted, error) {
+	h, err := ing.reg.AddAt(id, title, m.Interface(), st.Snapshot(), epoch)
 	if err != nil {
 		return nil, err
 	}
 	ing.mu.Lock()
-	ing.feeds[id] = &feed{hosted: h, miner: m}
+	ing.feeds[id] = &feed{hosted: h, miner: m, store: st, rowBuf: map[string][][]engine.Value{}}
 	ing.mu.Unlock()
 	return h, nil
+}
+
+// Store returns the versioned store backing a live-hosted interface.
+func (ing *Ingester) Store(id string) (*store.Store, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.store, nil
 }
 
 func (ing *Ingester) feed(id string) (*feed, error) {
@@ -164,8 +205,9 @@ func (ing *Ingester) Submit(id string, entries []qlog.Entry) (api.IngestAck, err
 	return ack, nil
 }
 
-// Flush re-mines any buffered entries for the interface immediately
-// and returns the current epoch. Implements api.Ingestor.
+// Flush re-mines any buffered entries and publishes any buffered rows
+// for the interface immediately, returning the current epoch.
+// Implements api.Ingestor.
 func (ing *Ingester) Flush(id string) (uint64, error) {
 	f, err := ing.feed(id)
 	if err != nil {
@@ -173,6 +215,9 @@ func (ing *Ingester) Flush(id string) (uint64, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := ing.flushRowsLocked(f); err != nil {
+		return f.hosted.Epoch(), err
+	}
 	if _, err := ing.flushLocked(f); err != nil {
 		return f.hosted.Epoch(), err
 	}
@@ -257,12 +302,15 @@ func (ing *Ingester) IngestStatus(id string) (api.IngestStatus, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return api.IngestStatus{
-		Buffered:    len(f.buf),
-		Accepted:    f.accepted,
-		Dropped:     f.dropped,
-		Flushes:     f.flushes,
-		FullRemines: f.fullRemines,
-		LastError:   f.lastError,
+		Buffered:     len(f.buf),
+		Accepted:     f.accepted,
+		Dropped:      f.dropped,
+		Flushes:      f.flushes,
+		FullRemines:  f.fullRemines,
+		RowsAppended: f.rowsAppended,
+		RowsBuffered: f.rowBuffered,
+		RowFlushes:   f.rowFlushes,
+		LastError:    f.lastError,
 	}, true
 }
 

@@ -1,0 +1,169 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// PersistOptions configure a Persister.
+type PersistOptions struct {
+	// Live are the mining options used when restoring (the saved log is
+	// mined once at boot to rebuild the interface and the incremental
+	// miner state). Zero value selects core.DefaultLiveOptions.
+	Live core.LiveOptions
+	// Funcs, when set, is called for every restored interface so the
+	// caller can re-attach table-valued functions — code that a
+	// snapshot file cannot carry (pi-serve re-binds the synthetic SDSS
+	// UDF to the restored Galaxy table here).
+	Funcs func(id string, st *store.Store)
+}
+
+// Persister is the durable snapshot/restore coordinator over an
+// ingester's feeds: SaveAll serializes every live-hosted interface's
+// (log, dataset, epoch) into the data dir through internal/store's
+// checksummed atomic writer, and Restore re-hosts whatever the dir
+// holds — the saved log re-mines to exactly the interface that was
+// serving, the dataset rows load instead of being regenerated, and
+// the interface resumes at its saved epoch, so a SIGKILLed server
+// comes back without the original log or workload generator.
+// Implements api.Persister.
+type Persister struct {
+	dir  string
+	ing  *Ingester
+	opts PersistOptions
+
+	// saveMu serializes SaveAll: the periodic ticker, the HTTP snapshot
+	// endpoint and the shutdown snapshot can all fire concurrently, and
+	// interleaved saves would waste IO for no fresher result.
+	saveMu sync.Mutex
+}
+
+// NewPersister returns a persister writing snapshots under dir.
+func NewPersister(dir string, ing *Ingester, opts PersistOptions) *Persister {
+	if opts.Live.Generate.Library == nil {
+		opts.Live = core.DefaultLiveOptions()
+	}
+	return &Persister{dir: dir, ing: ing, opts: opts}
+}
+
+// Dir returns the data directory.
+func (p *Persister) Dir() string { return p.dir }
+
+// SaveAll persists every live feed. Buffered log entries and rows are
+// flushed first, so the snapshot reflects everything acknowledged to
+// clients. Implements api.Persister.
+func (p *Persister) SaveAll() (*api.SnapshotResult, error) {
+	p.saveMu.Lock()
+	defer p.saveMu.Unlock()
+	start := time.Now()
+	p.ing.FlushAll()
+
+	p.ing.mu.RLock()
+	ids := make([]string, 0, len(p.ing.feeds))
+	for id := range p.ing.feeds {
+		ids = append(ids, id)
+	}
+	p.ing.mu.RUnlock()
+	sort.Strings(ids)
+
+	res := &api.SnapshotResult{Dir: p.dir, Interfaces: []api.SnapshotInterface{}}
+	for _, id := range ids {
+		row, err := p.saveOne(id)
+		if err != nil {
+			return nil, err
+		}
+		res.Interfaces = append(res.Interfaces, row)
+	}
+	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return res, nil
+}
+
+// saveOne captures one feed's state under its lock, then writes the
+// snapshot file with the lock released — the capture only shares
+// immutable data (a log copy and published table versions), so the
+// disk write never blocks ingestion or serving.
+func (p *Persister) saveOne(id string) (api.SnapshotInterface, error) {
+	f, err := p.ing.feed(id)
+	if err != nil {
+		return api.SnapshotInterface{}, err
+	}
+	f.mu.Lock()
+	snap := &store.Snapshot{
+		ID:        f.hosted.ID,
+		Title:     f.hosted.Title,
+		Epoch:     f.hosted.Epoch(),
+		DataEpoch: f.store.Epoch(),
+		Log:       f.miner.Log().Entries,
+		Tables:    f.store.CaptureTables(),
+	}
+	f.mu.Unlock()
+
+	bytes, err := store.Save(p.dir, snap)
+	if err != nil {
+		return api.SnapshotInterface{}, fmt.Errorf("ingest: save %q: %w", id, err)
+	}
+	return snapshotRow(snap, bytes), nil
+}
+
+// Restore re-hosts every snapshot in the data dir onto the ingester's
+// registry. Returns what came back; a missing or empty dir restores
+// nothing (first boot). A snapshot that fails its checksum or decode
+// is an error — serving silently without an interface the operator
+// expects is worse than failing loudly. Implements api.Persister.
+func (p *Persister) Restore() (*api.RestoreResult, error) {
+	files, err := store.List(p.dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &api.RestoreResult{Dir: p.dir, Interfaces: []api.SnapshotInterface{}}
+	for _, path := range files {
+		snap, err := store.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.restoreOne(snap); err != nil {
+			return nil, err
+		}
+		res.Interfaces = append(res.Interfaces, snapshotRow(snap, 0))
+	}
+	return res, nil
+}
+
+// restoreOne rebuilds one interface: store from the saved tables,
+// miner from the saved log, hosted at the saved epoch.
+func (p *Persister) restoreOne(snap *store.Snapshot) error {
+	st := snap.Restore()
+	if p.opts.Funcs != nil {
+		p.opts.Funcs(snap.ID, st)
+	}
+	m, err := core.NewMiner(snap.RestoredLog(), p.opts.Live)
+	if err != nil {
+		return fmt.Errorf("ingest: restore %q: mine saved log: %w", snap.ID, err)
+	}
+	if _, err := p.ing.host(snap.ID, snap.Title, m, st, snap.Epoch); err != nil {
+		return fmt.Errorf("ingest: restore %q: %w", snap.ID, err)
+	}
+	return nil
+}
+
+// snapshotRow summarizes a snapshot for results.
+func snapshotRow(snap *store.Snapshot, bytes int64) api.SnapshotInterface {
+	rows := 0
+	for _, t := range snap.Tables {
+		rows += len(t.Rows)
+	}
+	return api.SnapshotInterface{
+		ID:         snap.ID,
+		Epoch:      snap.Epoch,
+		DataEpoch:  snap.DataEpoch,
+		LogEntries: len(snap.Log),
+		Rows:       rows,
+		Bytes:      bytes,
+	}
+}

@@ -1,0 +1,304 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/qlog"
+	"repro/internal/store"
+)
+
+// TestKillRestoreRoundTrip is the storage tentpole end to end, minus
+// the actual SIGKILL (scripts/persist_smoke.sh covers the real
+// process): host live, evolve the interface through log ingestion AND
+// the dataset through row appends, snapshot, throw everything away,
+// restore into a fresh registry, and assert the survivor serves the
+// same state.
+func TestKillRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- first life.
+	reg1 := api.NewRegistry()
+	ing1 := New(reg1, Options{BatchSize: 2, RowBatchSize: 2})
+	h1, err := ing1.Host("live", "round trip", fixtureLog(4), fixtureDB(t), core.DefaultLiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing1.Submit("live", []qlog.Entry{
+		entry("SELECT a FROM t WHERE x = 30"),
+		entry("SELECT a FROM t WHERE x = 31"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing1.SubmitRows("live", "t", [][]engine.Value{numRow(777, 30), numRow(778, 31)}, true); err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewPersister(dir, ing1, PersistOptions{})
+	res, err := p1.SaveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Interfaces) != 1 || res.Interfaces[0].ID != "live" {
+		t.Fatalf("snapshot result = %+v", res)
+	}
+	savedEpoch := h1.Epoch()
+	savedWidgets := len(h1.Iface().Widgets)
+	savedMined, _ := ing1.MinedLen("live")
+	if res.Interfaces[0].Epoch != savedEpoch {
+		t.Fatalf("snapshot epoch %d, live epoch %d", res.Interfaces[0].Epoch, savedEpoch)
+	}
+	if res.Interfaces[0].Rows != 52 {
+		t.Fatalf("snapshot rows = %d, want 52", res.Interfaces[0].Rows)
+	}
+
+	// --- second life: nothing survives but the data dir.
+	reg2 := api.NewRegistry()
+	ing2 := New(reg2, Options{})
+	p2 := NewPersister(dir, ing2, PersistOptions{})
+	svc, restored, err := api.NewPersistentService(reg2, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Interfaces) != 1 || restored.Interfaces[0].ID != "live" {
+		t.Fatalf("restore result = %+v", restored)
+	}
+
+	h2, ok := reg2.Get("live")
+	if !ok {
+		t.Fatal("restored interface not hosted")
+	}
+	if h2.Epoch() < savedEpoch {
+		t.Fatalf("restored epoch %d went backwards from %d", h2.Epoch(), savedEpoch)
+	}
+	if h2.Title != "round trip" {
+		t.Fatalf("restored title %q", h2.Title)
+	}
+	if got := len(h2.Iface().Widgets); got != savedWidgets {
+		t.Fatalf("restored widgets = %d, want %d", got, savedWidgets)
+	}
+	if got, _ := ing2.MinedLen("live"); got != savedMined {
+		t.Fatalf("restored mined log = %d entries, want %d", got, savedMined)
+	}
+	st2, err := ing2.Store("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st2.RowCount("t"); n != 52 {
+		t.Fatalf("restored table rows = %d, want 52", n)
+	}
+
+	// The restored interface answers queries — including over the rows
+	// appended in the first life.
+	resp, err := svc.Query("live", api.QueryRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowCount == 0 {
+		t.Fatal("restored interface returned no rows")
+	}
+
+	// And it keeps evolving: ingestion continues from the restored
+	// miner state.
+	if _, err := ing2.Submit("live", []qlog.Entry{entry("SELECT a FROM t WHERE x = 40")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing2.Flush("live"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ing2.MinedLen("live"); got != savedMined+1 {
+		t.Fatalf("post-restore ingestion mined %d, want %d", got, savedMined+1)
+	}
+	if _, err := ing2.SubmitRows("live", "t", [][]engine.Value{numRow(900, 40)}, true); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st2.RowCount("t"); n != 53 {
+		t.Fatalf("post-restore append rows = %d, want 53", n)
+	}
+}
+
+// TestRestoreReattachesFuncs: snapshot files cannot carry function
+// values; the Funcs hook re-binds them to the restored tables.
+func TestRestoreReattachesFuncs(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := api.NewRegistry()
+	ing1 := New(reg1, Options{})
+	if _, err := ing1.Host("live", "udf", fixtureLog(4), fixtureDB(t), core.DefaultLiveOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersister(dir, ing1, PersistOptions{}).SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	called := ""
+	reg2 := api.NewRegistry()
+	ing2 := New(reg2, Options{})
+	p2 := NewPersister(dir, ing2, PersistOptions{
+		Funcs: func(id string, st *store.Store) {
+			called = id
+			st.AddFunc("now_count", func(args []engine.Value) (*engine.Table, error) {
+				return engine.NewTable("r", "x"), nil
+			})
+		},
+	})
+	if _, err := p2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if called != "live" {
+		t.Fatalf("Funcs hook called for %q", called)
+	}
+	st2, err := ing2.Store("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Snapshot().Func("now_count"); !ok {
+		t.Fatal("re-attached func missing from restored catalog")
+	}
+}
+
+// TestRestoreFailsLoudlyOnCorruption: a snapshot that fails its
+// checksum must abort the restore, not silently skip the interface.
+func TestRestoreFailsLoudlyOnCorruption(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := api.NewRegistry()
+	ing1 := New(reg1, Options{})
+	if _, err := ing1.Host("live", "x", fixtureLog(4), fixtureDB(t), core.DefaultLiveOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersister(dir, ing1, PersistOptions{}).SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	path := store.SnapFile(dir, "live")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := api.NewRegistry()
+	p2 := NewPersister(dir, New(reg2, Options{}), PersistOptions{})
+	if _, _, err := api.NewPersistentService(reg2, p2); err == nil {
+		t.Fatal("restore from a corrupt snapshot succeeded")
+	}
+}
+
+// TestSaveAllFlushesBuffered: entries and rows acknowledged but still
+// buffered must be part of the snapshot.
+func TestSaveAllFlushesBuffered(t *testing.T) {
+	dir := t.TempDir()
+	reg := api.NewRegistry()
+	ing := New(reg, Options{BatchSize: 1000, RowBatchSize: 1000})
+	if _, err := ing.Host("live", "buf", fixtureLog(4), fixtureDB(t), core.DefaultLiveOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.Submit("live", []qlog.Entry{entry("SELECT a FROM t WHERE x = 44")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.SubmitRows("live", "t", [][]engine.Value{numRow(1, 1)}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersister(dir, ing, PersistOptions{}).SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load(store.SnapFile(dir, "live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Log) != 5 {
+		t.Fatalf("snapshot log = %d entries, want 5 (buffered entry flushed)", len(snap.Log))
+	}
+	rows := 0
+	for _, td := range snap.Tables {
+		rows += len(td.Rows)
+	}
+	if rows != 51 {
+		t.Fatalf("snapshot rows = %d, want 51 (buffered row flushed)", rows)
+	}
+}
+
+// TestTailGlob: a glob pattern follows files that existed at start
+// (from their end) and picks up files created afterwards (from their
+// beginning).
+func TestTailGlob(t *testing.T) {
+	dir := t.TempDir()
+	pre := filepath.Join(dir, "pre.log")
+	// Pre-existing content must NOT be ingested (it is the batch log).
+	if err := os.WriteFile(pre, []byte("SELECT a FROM t WHERE x = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ing, h := newIngester(t, Options{BatchSize: 1, FlushInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- ing.Tail(ctx, "live", filepath.Join(dir, "*.log"), 5*time.Millisecond)
+	}()
+
+	// Give the tailer a poll to seed its file set, then grow the
+	// pre-existing file and create a brand new one.
+	time.Sleep(25 * time.Millisecond)
+	f, err := os.OpenFile(pre, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "SELECT a FROM t WHERE x = 21;")
+	f.Close()
+	late := filepath.Join(dir, "late.log")
+	if err := os.WriteFile(late, []byte("SELECT a FROM t WHERE x = 22;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A file outside the pattern stays invisible.
+	if err := os.WriteFile(filepath.Join(dir, "ignored.txt"), []byte("SELECT a FROM t WHERE x = 99;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, _ := ing.MinedLen("live"); n == 6 { // 4 initial + 2 tailed
+			break
+		}
+		if time.Now().After(deadline) {
+			n, _ := ing.MinedLen("live")
+			t.Fatalf("mined %d entries, want 6", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("tail returned %v", err)
+	}
+
+	// Both tailed values are inside a mined widget domain; 99 is not.
+	hit21, hit22, hit99 := false, false, false
+	for _, w := range h.Iface().Widgets {
+		if !w.Domain.IsNumericRange() {
+			continue
+		}
+		lo, hi := w.Domain.Range()
+		if lo <= 21 && 21 <= hi {
+			hit21 = true
+		}
+		if lo <= 22 && 22 <= hi {
+			hit22 = true
+		}
+		if hi >= 99 {
+			hit99 = true
+		}
+	}
+	if !hit21 || !hit22 {
+		t.Fatalf("tailed entries not mined (21=%v 22=%v)", hit21, hit22)
+	}
+	if hit99 {
+		t.Fatal("file outside the glob was ingested")
+	}
+}

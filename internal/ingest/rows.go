@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+// SubmitRows buffers new dataset rows for one table of the
+// interface's store and publishes them when the row batch fills (or
+// immediately with flush set). Publishing is copy-on-write in the
+// store followed by a hot swap of the hosted interface onto the fresh
+// snapshot under a bumped epoch — the same discipline Submit applies
+// to interface updates, so a query accepted after the swap can never
+// be answered from a cache that predates the appended rows.
+//
+// Rows are validated against the table's column count before they are
+// buffered, so SubmitRows either accepts the whole batch or rejects it
+// without side effects. The caller must not mutate rows afterwards.
+// Implements api.RowIngestor.
+func (ing *Ingester) SubmitRows(id, table string, rows [][]engine.Value, flush bool) (api.RowsAck, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return api.RowsAck{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ack := api.RowsAck{Table: table}
+	if err := f.store.ValidateRows(table, rows); err != nil {
+		f.lastError = err.Error()
+		return ack, err
+	}
+	key := strings.ToLower(table)
+	f.rowBuf[key] = append(f.rowBuf[key], rows...)
+	f.rowBuffered += len(rows)
+	ack.Accepted = len(rows)
+
+	if flush || f.rowBuffered >= ing.opts.RowBatchSize || f.rowBuffered >= ing.opts.MaxRowBuffer {
+		if err := ing.flushRowsLocked(f); err != nil {
+			ack.Buffered = f.rowBuffered
+			ack.Epoch = f.hosted.Epoch()
+			ack.DataEpoch = f.store.Epoch()
+			return ack, err
+		}
+		ack.Flushed = true
+	}
+	ack.Buffered = f.rowBuffered
+	ack.Epoch = f.hosted.Epoch()
+	ack.DataEpoch = f.store.Epoch()
+	if n, ok := f.store.RowCount(table); ok {
+		ack.RowCount = n
+	}
+	return ack, nil
+}
+
+// FlushRows publishes any buffered rows for the interface and returns
+// the interface epoch.
+func (ing *Ingester) FlushRows(id string) (uint64, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := ing.flushRowsLocked(f); err != nil {
+		return f.hosted.Epoch(), err
+	}
+	return f.hosted.Epoch(), nil
+}
+
+// flushRowsLocked appends every buffered row batch to the store and
+// hot-swaps the hosted interface onto the resulting snapshot. Caller
+// holds f.mu. One swap covers all tables flushed together, so a flush
+// costs a single epoch bump regardless of how many tables grew.
+//
+// A failing table (validation at submit time makes this unreachable
+// short of the table being replaced under the buffer) stops the loop
+// but does not lose what already published: the buffered counters only
+// cover tables still waiting, the failed table's rows stay buffered
+// for retry, and the swap still runs so rows the store already
+// accepted become visible instead of floating unreferenced.
+func (ing *Ingester) flushRowsLocked(f *feed) error {
+	if f.rowBuffered == 0 {
+		return nil
+	}
+	appended := 0
+	var failErr error
+	for table, rows := range f.rowBuf {
+		if len(rows) == 0 {
+			delete(f.rowBuf, table)
+			continue
+		}
+		if _, err := f.store.AppendRows(table, rows); err != nil {
+			f.lastError = err.Error()
+			failErr = fmt.Errorf("ingest: append %d rows to %q: %w", len(rows), table, err)
+			break
+		}
+		appended += len(rows)
+		f.rowBuffered -= len(rows)
+		delete(f.rowBuf, table)
+	}
+	if appended > 0 {
+		f.rowsAppended += uint64(appended)
+		f.rowFlushes++
+		if _, err := f.hosted.Swap(f.hosted.Iface(), f.store.Snapshot()); err != nil {
+			f.lastError = err.Error()
+			return fmt.Errorf("ingest: swap %q after row append: %w", f.hosted.ID, err)
+		}
+	}
+	return failErr
+}

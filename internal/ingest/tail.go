@@ -5,42 +5,49 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/qlog"
 )
 
-// Tail follows a growing query-log file (tail -f style) and submits
+// Tail follows growing query-log files (tail -f style) and submits
 // every statement appended after the call to the interface's feed.
-// Statements are assembled with the qlog statement scanner, so
-// multi-line ';'-terminated SQL and "--" comments are handled. A
+// pathOrGlob is either one file path or a glob pattern
+// (filepath.Match syntax, e.g. "logs/*.log"): with a pattern, every
+// matching file is tailed, and files created after the call are picked
+// up on the next poll — their whole content is new by definition, so
+// they are read from the beginning, while files that already existed
+// start at their current end, exactly like the single-file case.
+//
+// Statements are assembled per file with the qlog statement scanner,
+// so multi-line ';'-terminated SQL and "--" comments are handled. A
 // statement still open at the end of a poll (mid-write) is held, not
 // submitted half-finished; only after two consecutive polls with no
-// new bytes is the held state force-completed — a writer that pauses
-// longer than 2x the interval in the middle of an unterminated
-// multi-line statement can still get it split, so slow writers should
-// ';'-terminate (the terminator completes a statement regardless of
-// timing). Truncation or rotation (file shrinks) restarts from the
-// beginning of the new file. Tail blocks until ctx is done; run it in
-// a goroutine.
+// new bytes in that file is the held state force-completed — a writer
+// that pauses longer than 2x the interval in the middle of an
+// unterminated multi-line statement can still get it split, so slow
+// writers should ';'-terminate (the terminator completes a statement
+// regardless of timing). Truncation or rotation (a file shrinks)
+// restarts that file from the beginning. A file that disappears from
+// the glob drops its held state. Tail blocks until ctx is done; run it
+// in a goroutine.
 //
 // The poll interval doubles as the liveness budget: entries appear in
 // the served interface after at most interval (poll) + FlushInterval
 // (background flush) once a batch hasn't filled earlier.
-func (ing *Ingester) Tail(ctx context.Context, id, path string, interval time.Duration) error {
+func (ing *Ingester) Tail(ctx context.Context, id, pathOrGlob string, interval time.Duration) error {
 	if _, err := ing.feed(id); err != nil {
 		return err
 	}
 	if interval <= 0 {
 		interval = time.Second
 	}
-	offset, err := initialOffset(path)
-	if err != nil {
-		return fmt.Errorf("ingest: tail %q: %w", path, err)
+	tl := &tailer{ing: ing, id: id, pattern: pathOrGlob, files: map[string]*fileTail{}}
+	if err := tl.init(); err != nil {
+		return fmt.Errorf("ingest: tail %q: %w", pathOrGlob, err)
 	}
-	sc := qlog.NewStatementScanner()
-	var partial []byte
-	quiet := 0
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -48,31 +55,119 @@ func (ing *Ingester) Tail(ctx context.Context, id, path string, interval time.Du
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-t.C:
-			newOffset, newPartial, err := ing.poll(id, path, offset, partial, sc)
-			if err != nil {
-				// Transient (file rotated away, fs hiccup): keep tailing.
-				continue
-			}
-			if newOffset != offset {
-				quiet = 0
-			} else if quiet++; quiet >= 2 {
-				// Quiescent for two polls: what we hold is complete —
-				// a final line without a trailing newline (the
-				// partial) and a statement the scanner still keeps
-				// open (legacy one-per-line logs never ';'-terminate
-				// their last line). Feed and flush both.
-				if len(newPartial) > 0 {
-					sc.Line(string(newPartial))
-					newPartial = nil
-				}
-				sc.Flush()
-				if entries := sc.Drain(); len(entries) > 0 {
-					_, _ = ing.Submit(id, entries)
-				}
-			}
-			offset, partial = newOffset, newPartial
+			tl.pollAll()
 		}
 	}
+}
+
+// tailer tracks every file a Tail call follows.
+type tailer struct {
+	ing     *Ingester
+	id      string
+	pattern string
+	isGlob  bool
+	files   map[string]*fileTail
+}
+
+// fileTail is the per-file tail state: byte offset, the trailing bytes
+// of an incomplete final line, the statement scanner holding a
+// possibly multi-line statement, and the quiescence counter that
+// force-completes held state.
+type fileTail struct {
+	offset  int64
+	partial []byte
+	sc      *qlog.StatementScanner
+	quiet   int
+}
+
+// hasGlobMeta reports whether the pattern contains filepath.Match
+// metacharacters.
+func hasGlobMeta(p string) bool { return strings.ContainsAny(p, "*?[") }
+
+// init seeds the file set: files that exist now start at their end
+// (their contents are the batch log the interface was mined from); a
+// single missing path starts at 0 and is read in full when it appears.
+func (tl *tailer) init() error {
+	tl.isGlob = hasGlobMeta(tl.pattern)
+	if !tl.isGlob {
+		off, err := initialOffset(tl.pattern)
+		if err != nil {
+			return err
+		}
+		tl.files[tl.pattern] = &fileTail{offset: off, sc: qlog.NewStatementScanner()}
+		return nil
+	}
+	if _, err := filepath.Match(tl.pattern, ""); err != nil {
+		return err // malformed pattern: fail now, not on every poll
+	}
+	matches, err := filepath.Glob(tl.pattern)
+	if err != nil {
+		return err
+	}
+	for _, path := range matches {
+		off, err := initialOffset(path)
+		if err != nil {
+			// Fail like the single-file path: skipping here would make
+			// the next poll treat the file as newly created and ingest
+			// its whole pre-existing content as fresh entries.
+			return err
+		}
+		tl.files[path] = &fileTail{offset: off, sc: qlog.NewStatementScanner()}
+	}
+	return nil
+}
+
+// pollAll refreshes the glob (picking up files created after start at
+// offset 0 and dropping files that vanished) and polls every tracked
+// file.
+func (tl *tailer) pollAll() {
+	if tl.isGlob {
+		matches, err := filepath.Glob(tl.pattern)
+		if err == nil {
+			seen := make(map[string]bool, len(matches))
+			for _, path := range matches {
+				seen[path] = true
+				if _, ok := tl.files[path]; !ok {
+					// Created after start: everything in it is new.
+					tl.files[path] = &fileTail{sc: qlog.NewStatementScanner()}
+				}
+			}
+			for path := range tl.files {
+				if !seen[path] {
+					delete(tl.files, path)
+				}
+			}
+		}
+	}
+	for path, ft := range tl.files {
+		tl.pollFile(path, ft)
+	}
+}
+
+// pollFile reads one file's appended bytes and handles quiescence.
+func (tl *tailer) pollFile(path string, ft *fileTail) {
+	newOffset, newPartial, err := tl.ing.poll(tl.id, path, ft.offset, ft.partial, ft.sc)
+	if err != nil {
+		// Transient (file rotated away, fs hiccup): keep tailing.
+		return
+	}
+	if newOffset != ft.offset {
+		ft.quiet = 0
+	} else if ft.quiet++; ft.quiet >= 2 {
+		// Quiescent for two polls: what we hold is complete — a final
+		// line without a trailing newline (the partial) and a statement
+		// the scanner still keeps open (legacy one-per-line logs never
+		// ';'-terminate their last line). Feed and flush both.
+		if len(newPartial) > 0 {
+			ft.sc.Line(string(newPartial))
+			newPartial = nil
+		}
+		ft.sc.Flush()
+		if entries := ft.sc.Drain(); len(entries) > 0 {
+			_, _ = tl.ing.Submit(tl.id, entries)
+		}
+	}
+	ft.offset, ft.partial = newOffset, newPartial
 }
 
 // initialOffset returns the file's current size — tailing starts at

@@ -14,6 +14,8 @@
 //	GET  /v1/interfaces/{id}/epoch  — the interface's current epoch (pages poll it)
 //	POST /v1/interfaces/{id}/query  — bind widget state, execute, return rows (auth)
 //	POST /v1/interfaces/{id}/log    — ingest new query-log entries (auth)
+//	POST /v1/interfaces/{id}/rows   — append dataset rows to one table (auth)
+//	POST /v1/snapshot               — persist every interface to the data dir (auth)
 //	GET  /v1/healthz                — build info, uptime, per-interface epoch + cache hit rate
 //	GET  /v1/debug                  — cache and traffic counters
 //
@@ -88,6 +90,10 @@ func (s *Server) routes() {
 	handle("GET /interfaces/{id}/epoch", s.handleEpoch)
 	handle("POST /interfaces/{id}/query", s.protected(s.handleQuery))
 	handle("POST /interfaces/{id}/log", s.protected(s.handleLog))
+	handle("POST /interfaces/{id}/rows", s.protected(s.handleRows))
+	// Snapshot is server-wide: it is guarded by the default token (the
+	// empty path id resolves to AuthConfig.Token).
+	handle("POST /snapshot", s.protected(s.handleSnapshot))
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /debug", s.handleDebug)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -192,6 +198,33 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, ack)
+}
+
+// handleRows appends dataset rows to one table of the interface's
+// store; ?flush=1 publishes (and hot-swaps) immediately so the ack's
+// epoch and row count reflect the submitted rows.
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	var req api.RowsRequest
+	if apiErr := decodeJSON(w, r, maxLogBody, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	ack, err := s.svc.AppendRows(r.PathValue("id"), req, r.URL.Query().Get("flush") != "")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ack)
+}
+
+// handleSnapshot persists every hosted interface to the data dir.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	res, err := s.svc.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

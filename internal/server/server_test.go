@@ -266,7 +266,7 @@ func TestQueryInitial(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
-	want, err := engine.Exec(h.DB(), h.Iface().Initial)
+	want, err := engine.Exec(h.Catalog(), h.Iface().Initial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestQueryUnseenSliderValue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := engine.Exec(h.DB(), bound)
+	want, err := engine.Exec(h.Catalog(), bound)
 	if err != nil {
 		t.Fatal(err)
 	}

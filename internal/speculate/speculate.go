@@ -173,10 +173,10 @@ func (p *Precomputed) Len() int { return len(p.results) }
 // Precompute executes up to max closure queries against the database
 // and caches their results — the §4.5 "pre-compute results for
 // performance purposes" path. Invalid queries are counted, not fatal.
-func Precompute(iface *core.Interface, db *engine.DB, max int) *Precomputed {
+func Precompute(iface *core.Interface, cat engine.Catalog, max int) *Precomputed {
 	p := &Precomputed{results: map[ast.Hash]*engine.Table{}}
 	iface.EnumerateClosure(max, func(q *ast.Node) bool {
-		res, err := engine.Exec(db, q)
+		res, err := engine.Exec(cat, q)
 		if err != nil {
 			p.Failed++
 			return true

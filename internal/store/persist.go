@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/qlog"
+)
+
+// Snapshot is the durable form of one hosted interface: the
+// accumulated query log, the dataset (every table's columns and rows)
+// and the epochs it was serving at. Table-valued functions are code
+// and cannot be serialized; the restore path re-attaches them (see
+// Store.AddFunc).
+//
+// (log, dataset, epoch) is sufficient to come back from a SIGKILL
+// without the original log file: the saved log — initial entries plus
+// everything ingested since — re-mines to exactly the interface that
+// was serving, and the dataset rows load directly instead of being
+// regenerated.
+type Snapshot struct {
+	// FormatVersion guards decoding across format changes.
+	FormatVersion int
+	// ID and Title identify the hosted interface.
+	ID    string
+	Title string
+	// Epoch is the interface's serving epoch at save time; DataEpoch is
+	// the store's data epoch.
+	Epoch     uint64
+	DataEpoch uint64
+	// Log is the accumulated query log (initial + ingested entries).
+	Log []qlog.Entry
+	// Tables is the dataset, one entry per catalog table.
+	Tables []TableData
+}
+
+// TableData is one serialized table.
+type TableData struct {
+	Name string
+	Cols []string
+	Rows [][]engine.Value
+}
+
+// FormatVersion is the current snapshot file format.
+const FormatVersion = 1
+
+// fileMagic leads every snapshot file; a mismatch means the file is
+// not a snapshot at all (as opposed to a corrupt one, which the
+// checksum catches).
+var fileMagic = []byte("PISNAP01")
+
+// SnapFile returns the snapshot path for an interface ID inside dir.
+func SnapFile(dir, id string) string { return filepath.Join(dir, id+".snap") }
+
+// validSnapID mirrors the registry's interface-ID rule so a hostile ID
+// can never escape the data dir as a path.
+func validSnapID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(id, "..")
+}
+
+// CaptureTables serializes the store's current snapshot into table
+// data, in sorted name order for deterministic files.
+func (s *Store) CaptureTables() []TableData {
+	db := s.Snapshot()
+	names := db.TableNames()
+	sort.Strings(names)
+	out := make([]TableData, 0, len(names))
+	for _, name := range names {
+		t, ok := db.Table(name)
+		if !ok {
+			continue
+		}
+		out = append(out, TableData{Name: t.Name, Cols: t.Cols, Rows: t.Rows})
+	}
+	return out
+}
+
+// Save writes the snapshot to dir/<id>.snap durably: the payload is
+// gob-encoded, framed with a magic, a CRC-32 checksum and a length,
+// written to a temp file, fsynced, and atomically renamed into place —
+// a reader (or a crash) can only ever observe the old complete file or
+// the new complete file, never a torn write. Returns the byte size of
+// the file.
+func Save(dir string, snap *Snapshot) (int64, error) {
+	if !validSnapID(snap.ID) {
+		return 0, fmt.Errorf("store: invalid snapshot id %q", snap.ID)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("store: create data dir: %w", err)
+	}
+	snap.FormatVersion = FormatVersion
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return 0, fmt.Errorf("store: encode snapshot %q: %w", snap.ID, err)
+	}
+	sum := crc32.ChecksumIEEE(payload.Bytes())
+
+	var frame bytes.Buffer
+	frame.Write(fileMagic)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], sum)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	frame.Write(hdr[:])
+	frame.Write(payload.Bytes())
+
+	// The temp name is unique per call (os.CreateTemp), so overlapping
+	// saves of the same interface can never interleave writes into one
+	// file; whichever rename lands last wins, and both published files
+	// were complete.
+	final := SnapFile(dir, snap.ID)
+	f, err := os.CreateTemp(dir, snap.ID+".snap.tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("store: write snapshot %q: %w", snap.ID, err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(frame.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: write snapshot %q: %w", snap.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: sync snapshot %q: %w", snap.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: close snapshot %q: %w", snap.ID, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: publish snapshot %q: %w", snap.ID, err)
+	}
+	syncDir(dir)
+	return int64(frame.Len()), nil
+}
+
+// syncDir fsyncs the directory so the rename itself is durable; a
+// failure here is not fatal (the data file is already synced).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Load reads and verifies one snapshot file: magic, checksum, then
+// decode. A truncated, corrupted or foreign file is an error, never a
+// silently wrong snapshot.
+func Load(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if len(raw) < len(fileMagic)+12 {
+		return nil, fmt.Errorf("store: snapshot %s is truncated (%d bytes)", path, len(raw))
+	}
+	if !bytes.Equal(raw[:len(fileMagic)], fileMagic) {
+		return nil, fmt.Errorf("store: %s is not a snapshot file (bad magic)", path)
+	}
+	hdr := raw[len(fileMagic):]
+	sum := binary.BigEndian.Uint32(hdr[0:4])
+	size := binary.BigEndian.Uint64(hdr[4:12])
+	payload := hdr[12:]
+	if uint64(len(payload)) != size {
+		return nil, fmt.Errorf("store: snapshot %s is truncated (payload %d bytes, header says %d)",
+			path, len(payload), size)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("store: snapshot %s failed checksum (got %08x, want %08x)",
+			path, got, sum)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot %s: %w", path, err)
+	}
+	if snap.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("store: snapshot %s has format %d, this build reads %d",
+			path, snap.FormatVersion, FormatVersion)
+	}
+	return &snap, nil
+}
+
+// List returns the snapshot files in dir in sorted order. A missing
+// dir is an empty list, not an error (first boot).
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: list snapshots: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Restore rebuilds a store from the snapshot's tables: each table's
+// rows are loaded as-is under a fresh catalog. Function values are not
+// part of a snapshot; callers re-attach them with AddFunc.
+func (snap *Snapshot) Restore() *Store {
+	db := engine.NewDB()
+	for _, td := range snap.Tables {
+		db.AddTable(&engine.Table{Name: td.Name, Cols: td.Cols, Rows: td.Rows})
+	}
+	st := FromDB(db)
+	// Fast-forward the data epoch so restored writers continue the
+	// saved sequence rather than restarting at 1.
+	st.mu.Lock()
+	cur := st.v.Load()
+	if snap.DataEpoch > cur.epoch {
+		st.v.Store(&version{epoch: snap.DataEpoch, db: cur.db})
+	}
+	st.mu.Unlock()
+	return st
+}
+
+// RestoredLog rebuilds the qlog from the snapshot's entries.
+func (snap *Snapshot) RestoredLog() *qlog.Log {
+	l := &qlog.Log{}
+	for _, e := range snap.Log {
+		l.Append(e.SQL, e.Client)
+	}
+	return l
+}

@@ -1,0 +1,168 @@
+// Package store is the versioned storage layer under the serving
+// system: a copy-on-write wrapper around the engine's catalog that
+// turns the "immutable after build" DB into a sequence of immutable
+// versions. Readers take a Snapshot — a plain *engine.DB that
+// satisfies engine.Catalog and never changes — while writers append
+// rows through AppendRows, which publishes a new version under a
+// bumped data epoch without copying row data: the new table version
+// shares the old backing array, old snapshots keep reading their own
+// prefix, and the catalog map is the only thing copied (O(#tables),
+// not O(#rows)). This is the Berkholz-style answering-under-updates
+// discipline PR 2 applied to interfaces, applied to the data itself:
+// queries always run against an immutable snapshot, so result caches
+// keyed to a snapshot stay correct by construction.
+//
+// The package also owns durable persistence (persist.go): a hosted
+// interface's (log, dataset, epoch) triple serializes to a single
+// checksummed snapshot file written with an atomic rename, so a
+// SIGKILLed server restores without the original log.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// version is one immutable store state: the catalog plus the data
+// epoch that produced it.
+type version struct {
+	epoch uint64
+	db    *engine.DB
+}
+
+// Store is a copy-on-write versioned catalog. It is safe for
+// concurrent use: any number of readers call Snapshot while writers
+// call AppendRows/AddFunc; writers are serialized internally.
+type Store struct {
+	mu sync.Mutex // serializes writers; readers never take it
+	v  atomic.Pointer[version]
+}
+
+// FromDB seeds a store from a built database. The store takes over the
+// write path: the caller must not mutate db (or its tables) afterwards
+// — exactly the contract the serving layer already imposed, with
+// AppendRows now providing the sanctioned way to grow tables.
+func FromDB(db *engine.DB) *Store {
+	s := &Store{}
+	s.v.Store(&version{epoch: 1, db: db})
+	return s
+}
+
+// New returns an empty store at data epoch 1.
+func New() *Store { return FromDB(engine.NewDB()) }
+
+// Snapshot returns the current catalog version: an *engine.DB that is
+// immutable from the caller's point of view and therefore a drop-in
+// execution target (engine.Exec consumes the engine.Catalog interface
+// both it and a frozen DB satisfy). Snapshots are O(1): no rows are
+// copied.
+func (s *Store) Snapshot() *engine.DB { return s.v.Load().db }
+
+// Epoch returns the current data epoch (starts at 1, bumped by every
+// publishing write).
+func (s *Store) Epoch() uint64 { return s.v.Load().epoch }
+
+// ValidateRows checks that the table exists and every row matches its
+// column count, without publishing anything — the cheap pre-flight the
+// ingestion path runs before buffering.
+func (s *Store) ValidateRows(table string, rows [][]engine.Value) error {
+	t, ok := s.Snapshot().Table(table)
+	if !ok {
+		return fmt.Errorf("store: unknown table %q", table)
+	}
+	for i, r := range rows {
+		if len(r) != t.NumCols() {
+			return fmt.Errorf("store: table %q has %d columns, row %d has %d",
+				t.Name, t.NumCols(), i, len(r))
+		}
+	}
+	return nil
+}
+
+// AppendRows appends rows to the named table and publishes a new
+// version under a bumped data epoch. The append is copy-on-write at
+// the catalog level: the new table version's row slice extends the old
+// backing array (readers of older snapshots only ever index their own
+// shorter prefix, so sharing is race-free), and only the table map is
+// duplicated. Either every row is appended or none is (validation runs
+// before publishing). The caller must not mutate rows afterwards.
+// Returns the new data epoch.
+func (s *Store) AppendRows(table string, rows [][]engine.Value) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.v.Load()
+	t, ok := cur.db.Table(table)
+	if !ok {
+		return cur.epoch, fmt.Errorf("store: unknown table %q", table)
+	}
+	for i, r := range rows {
+		if len(r) != t.NumCols() {
+			return cur.epoch, fmt.Errorf("store: table %q has %d columns, row %d has %d",
+				t.Name, t.NumCols(), i, len(r))
+		}
+	}
+	if len(rows) == 0 {
+		return cur.epoch, nil
+	}
+	grown := &engine.Table{
+		Name: t.Name,
+		Cols: t.Cols,
+		Rows: append(t.Rows, rows...),
+	}
+	s.v.Store(&version{epoch: cur.epoch + 1, db: cur.db.WithTable(grown)})
+	return cur.epoch + 1, nil
+}
+
+// AddTable registers a (possibly non-empty) table under a new version.
+// Replacing an existing name swaps the whole table.
+func (s *Store) AddTable(t *engine.Table) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.v.Load()
+	s.v.Store(&version{epoch: cur.epoch + 1, db: cur.db.WithTable(t)})
+	return cur.epoch + 1
+}
+
+// AddFunc registers a table-valued function under a new version —
+// the restore path uses it to re-attach UDFs a snapshot file cannot
+// carry.
+func (s *Store) AddFunc(name string, fn engine.TableFunc) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.v.Load()
+	s.v.Store(&version{epoch: cur.epoch + 1, db: cur.db.WithFunc(name, fn)})
+	return cur.epoch + 1
+}
+
+// RowCount returns the current row count of the named table.
+func (s *Store) RowCount(table string) (int, bool) {
+	t, ok := s.Snapshot().Table(table)
+	if !ok {
+		return 0, false
+	}
+	return t.NumRows(), true
+}
+
+// RowCounts returns every table's current row count, keyed by the
+// catalog's (lowercased) table name in sorted order.
+func (s *Store) RowCounts() map[string]int {
+	db := s.Snapshot()
+	out := make(map[string]int, db.NumTables())
+	for _, name := range db.TableNames() {
+		if t, ok := db.Table(name); ok {
+			out[name] = t.NumRows()
+		}
+	}
+	return out
+}
+
+// TableNames lists the catalog's tables in sorted order.
+func (s *Store) TableNames() []string {
+	names := s.Snapshot().TableNames()
+	sort.Strings(names)
+	return names
+}

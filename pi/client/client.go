@@ -176,6 +176,39 @@ func (c *Client) IngestSQL(ctx context.Context, id string, flush bool, sqls ...s
 	return c.IngestLog(ctx, id, entries, flush)
 }
 
+// AppendRows streams new dataset rows into one table of a hosted
+// interface's versioned store. Values must be JSON scalars (number,
+// string, bool, null) positionally matching the table's columns. With
+// flush set the rows are published — and the interface hot-swapped
+// onto the new data epoch — before the ack returns. Like IngestLog,
+// the call is not idempotent and is never retried: replaying a lost
+// response would append the rows twice.
+func (c *Client) AppendRows(ctx context.Context, id, table string, rows [][]any, flush bool) (*api.RowsAck, error) {
+	p := "/v1/interfaces/" + url.PathEscape(id) + "/rows"
+	if flush {
+		p += "?flush=1"
+	}
+	var out api.RowsAck
+	err := c.doOnce(ctx, http.MethodPost, p, api.RowsRequest{Table: table, Rows: rows}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot asks the server to persist every hosted interface's (log,
+// dataset, epoch) to its data dir. Saving is idempotent — a snapshot
+// overwrites the previous one atomically — so transient failures are
+// retried like any idempotent call.
+func (c *Client) Snapshot(ctx context.Context) (*api.SnapshotResult, error) {
+	var out api.SnapshotResult
+	err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health returns the server's health report.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	var out api.Health

@@ -38,6 +38,7 @@ import (
 	"repro/internal/sessions"
 	"repro/internal/speculate"
 	"repro/internal/sqlparser"
+	"repro/internal/store"
 	"repro/internal/treediff"
 	"repro/internal/vis"
 	"repro/internal/widgets"
@@ -292,4 +293,59 @@ func ServeLiveHandler(reg *Registry, ing *Ingester) http.Handler {
 	svc := api.NewService(reg)
 	svc.SetIngestor(ing)
 	return server.New(svc).Handler()
+}
+
+// --- Versioned storage and persistence (internal/store +
+// internal/ingest): live-hosted interfaces sit on a copy-on-write
+// store whose snapshots the engine executes against, row appends ride
+// the same epoch discipline as interface swaps, and (log, dataset,
+// epoch) serialize durably so a killed server restores without the
+// original log.
+
+// Store is the copy-on-write versioned catalog backing live-hosted
+// interfaces: Snapshot() returns an immutable execution target,
+// AppendRows publishes a new version without copying rows.
+type Store = store.Store
+
+// ExecCatalog is the read-only view engine.Exec consumes; a *DB and a
+// Store snapshot both satisfy it.
+type ExecCatalog = engine.Catalog
+
+// RowsAck reports what happened to one batch of appended rows.
+type RowsAck = api.RowsAck
+
+// SnapshotResult reports what a durable snapshot persisted.
+type SnapshotResult = api.SnapshotResult
+
+// Persister saves and restores hosted interfaces under a data dir.
+type Persister = ingest.Persister
+
+// PersistOptions configure restore mining and UDF re-attachment.
+type PersistOptions = ingest.PersistOptions
+
+// NewStore wraps a built database in a copy-on-write store. The
+// caller must not mutate db afterwards; grow it through AppendRows.
+func NewStore(db *DB) *Store { return store.FromDB(db) }
+
+// AppendRows streams new dataset rows into one table of a live-hosted
+// interface. Rows buffer until a batch fills; flush forces an
+// immediate copy-on-write publish plus hot swap, so the ack's epoch
+// reflects the rows.
+func AppendRows(ing *Ingester, id, table string, flush bool, rows ...[]engine.Value) (RowsAck, error) {
+	return ing.SubmitRows(id, table, rows, flush)
+}
+
+// NewPersister returns a snapshot/restore coordinator writing under
+// dir for the ingester's live-hosted interfaces.
+func NewPersister(dir string, ing *Ingester) *Persister {
+	return ingest.NewPersister(dir, ing, ingest.PersistOptions{})
+}
+
+// NewPersistentService builds the service layer with durable storage:
+// interfaces saved under the persister's dir are restored (at their
+// saved epochs) before the service is returned, and the Snapshot
+// operation is enabled.
+func NewPersistentService(reg *Registry, p *Persister) (*Service, error) {
+	svc, _, err := api.NewPersistentService(reg, p)
+	return svc, err
 }
