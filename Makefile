@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench ingest-demo api-smoke persist-smoke
+.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke
 
 check: fmt-check vet build race
 
@@ -39,3 +39,15 @@ api-smoke:
 # restart on the same dir, verify epoch/rows/queries survived.
 persist-smoke:
 	sh scripts/persist_smoke.sh
+
+# End-to-end smoke of the sharding subsystem: two shards + a router,
+# byte-identical routed queries, a live migration under load, cursor
+# expiry across the move, p50 proxy overhead < 2x, structured errors
+# after a shard dies.
+shard-smoke:
+	sh scripts/shard_smoke.sh
+
+# Benchmark router-proxy overhead vs direct serve and record it as
+# BENCH_shard.json, so the perf trajectory is tracked run over run.
+bench-json:
+	sh scripts/bench_json.sh

@@ -1,0 +1,160 @@
+// Command pi-router fronts a fleet of pi-serve shards with the same v1
+// API one server exposes: it owns the interface→shard placement map,
+// proxies every per-interface operation to the owning shard, fans out
+// the fleet-wide ones (list, health, debug, snapshot), and migrates
+// interfaces between shards live over their /v1/shard admin surfaces.
+// Clients — curl, the Go SDK, served dashboard pages — cannot tell the
+// router from a single server; that is the point of the api.Servicer
+// seam.
+//
+// Usage:
+//
+//	pi-router -shards http://HOST:PORT,http://HOST:PORT,...
+//	          [-addr :8100] [-token T | -token-file F]
+//	          [-pin id=addr[,id=addr...]] [-refresh-every 15s]
+//	          [-timeout 30s]
+//
+// Endpoints: the full /v1 interface surface (proxied), plus the
+// router-admin surface:
+//
+//	GET  /v1/router/shards     shard liveness + placement map + pins
+//	POST /v1/router/refresh    re-discover placement from the shards
+//	POST /v1/router/migrate    {"id": ..., "to": ...}: move one interface live
+//	POST /v1/router/rebalance  move every interface to its pinned/hashed home
+//
+// The -token is used both ways: clients must present it on mutating
+// endpoints (like pi-serve), and the router presents it to the shards
+// — a routed fleet shares one token.
+//
+// Placement starts from discovery (each shard is asked what it hosts),
+// repairs itself when shards answer with structured moved errors, and
+// is re-polled every -refresh-every. Default placement for rebalancing
+// is rendezvous hashing; -pin overrides it per interface.
+//
+// Example (two shards and a router on one machine):
+//
+//	pi-serve -addr :8101 -workloads olap  -token s -shard-addr http://127.0.0.1:8101 &
+//	pi-serve -addr :8102 -workloads adhoc -token s -shard-addr http://127.0.0.1:8102 &
+//	pi-router -addr :8100 -shards 127.0.0.1:8101,127.0.0.1:8102 -token s &
+//	curl -s localhost:8100/v1/interfaces          # both shards' interfaces
+//	curl -s -X POST localhost:8100/v1/router/migrate \
+//	     -H 'Authorization: Bearer s' \
+//	     -d '{"id":"olap","to":"127.0.0.1:8102"}'  # live migration
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8100", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (required)")
+	pins := flag.String("pin", "", "comma-separated id=addr placement pins")
+	token := flag.String("token", "", "bearer token: required from clients on mutating endpoints AND presented to shards")
+	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
+	refreshEvery := flag.Duration("refresh-every", 15*time.Second, "placement re-discovery interval (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-proxied-operation budget")
+	flag.Parse()
+
+	tok, err := server.ResolveToken(*token, *tokenFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var addrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("-shards is required (comma-separated shard base URLs)"))
+	}
+
+	pinMap := map[string]string{}
+	for _, spec := range strings.Split(*pins, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		id, target, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -pin spec %q (want id=addr)", spec))
+		}
+		pinMap[id] = target
+	}
+
+	rt, err := shard.NewRouter(addrs, shard.RouterOptions{
+		Token:   tok,
+		Timeout: *timeout,
+		Pins:    pinMap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	shardRows := rt.Refresh(ctx)
+	for _, s := range shardRows {
+		log.Printf("shard %s: %s (%d interfaces)", s.Addr, s.Status, s.Interfaces)
+	}
+	log.Printf("routing %d interface(s) across %d shard(s)", len(rt.Placement()), len(shardRows))
+
+	if *refreshEvery > 0 {
+		go func() {
+			t := time.NewTicker(*refreshEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					rt.Refresh(ctx)
+				}
+			}
+		}()
+	}
+
+	auth := server.AuthConfig{Token: tok}
+	opts := []server.Option{
+		server.WithLogger(log.Default()),
+		server.WithAdmin("/v1/router/", rt.AdminHandler(auth)),
+	}
+	if tok != "" {
+		opts = append(opts, server.WithAuth(auth))
+	}
+	hs := server.New(rt, opts...).HTTPServer(*addr)
+
+	log.Printf("pi-router serving on %s over shards %s (auth %v)", *addr, strings.Join(rt.Shards(), ", "), tok != "")
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pi-router:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	         [-seed 7] [-cache 256] [-ingest] [-batch 8] [-flush-every 2s]
 //	         [-tail id=path[,id=path...]] [-token T | -token-file F]
 //	         [-data-dir DIR] [-snapshot-every 30s]
+//	         [-shard-addr http://HOST:PORT]
 //	pi-serve -check [-addr :8080] [-token T | -token-file F]
 //
 // Endpoints (also mounted unversioned for legacy pages):
@@ -21,9 +22,16 @@
 //	POST /v1/interfaces/{id}/query  bind widget state, execute, return rows (auth)
 //	POST /v1/interfaces/{id}/log    ingest new query-log entries (auth)
 //	POST /v1/interfaces/{id}/rows   append dataset rows to one table (auth)
+//	DELETE /v1/interfaces/{id}      unhost an interface (auth)
 //	POST /v1/snapshot               persist every interface to the data dir (auth)
 //	GET  /v1/healthz                build info, uptime, epochs, cache hit rates
 //	GET  /v1/debug                  cache and traffic counters
+//
+// With -shard-addr the process runs as a shard: the same v1 surface
+// plus the /v1/shard admin surface (load, export, accept, relinquish)
+// that cmd/pi-router migrates interfaces through; requests for an
+// interface this shard handed off answer with a structured "moved"
+// error the SDK follows. See README "Sharding".
 //
 // With -token (or -token-file) the query and log endpoints require
 // "Authorization: Bearer <token>"; metadata GETs stay open. Served
@@ -71,6 +79,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/qlog"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/workload"
 	"repro/pi/client"
@@ -91,10 +100,11 @@ func main() {
 	snapEvery := flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 = only on demand/shutdown; needs -data-dir)")
 	token := flag.String("token", "", "bearer token required on query/log endpoints (empty = open)")
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
+	shardAddr := flag.String("shard-addr", "", "advertised base URL for shard mode, e.g. http://10.0.0.5:8081 (enables the /v1/shard admin surface; needs -ingest)")
 	check := flag.Bool("check", false, "probe a running pi-serve at -addr via the Go SDK and exit")
 	flag.Parse()
 
-	tok, err := resolveToken(*token, *tokenFile)
+	tok, err := server.ResolveToken(*token, *tokenFile)
 	if err != nil {
 		fatal(err)
 	}
@@ -216,10 +226,31 @@ func main() {
 	}
 
 	opts := []server.Option{server.WithLogger(log.Default())}
+	auth := server.AuthConfig{Token: tok}
 	if tok != "" {
-		opts = append(opts, server.WithAuth(server.AuthConfig{Token: tok}))
+		opts = append(opts, server.WithAuth(auth))
 	}
-	hs := server.New(svc, opts...).HTTPServer(*addr)
+	// In shard mode the server fronts a shard.Node instead of the bare
+	// service: identical v1 surface, plus moved tombstones and the
+	// /v1/shard admin surface a router migrates interfaces through.
+	var servicer api.Servicer = svc
+	if *shardAddr != "" {
+		if !*enableIngest {
+			fatal(fmt.Errorf("-shard-addr needs -ingest (snapshot export rides live feeds)"))
+		}
+		node, err := shard.NewNode(svc, ing, shard.NodeOptions{
+			Addr:      *shardAddr,
+			Funcs:     attachWorkloadFuncs,
+			Persister: persister,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		servicer = node
+		opts = append(opts, server.WithAdmin("/v1/shard/", node.AdminHandler(auth)))
+		log.Printf("shard mode: advertising %s, admin surface at /v1/shard/ (auth %v)", node.Addr(), tok != "")
+	}
+	hs := server.New(servicer, opts...).HTTPServer(*addr)
 
 	log.Printf("serving %d interface(s) on %s (ingestion %v, auth %v)",
 		reg.Len(), *addr, *enableIngest, tok != "")
@@ -256,25 +287,6 @@ func attachWorkloadFuncs(id string, st *store.Store) {
 	if gal, ok := st.Snapshot().Table("Galaxy"); ok {
 		st.AddFunc("dbo.fGetNearbyObjEq", engine.FGetNearbyObjEq(gal))
 	}
-}
-
-// resolveToken loads the effective bearer token from the flags.
-func resolveToken(token, tokenFile string) (string, error) {
-	if tokenFile == "" {
-		return token, nil
-	}
-	if token != "" {
-		return "", fmt.Errorf("-token and -token-file are mutually exclusive")
-	}
-	b, err := os.ReadFile(tokenFile)
-	if err != nil {
-		return "", fmt.Errorf("read -token-file: %w", err)
-	}
-	tok := strings.TrimSpace(string(b))
-	if tok == "" {
-		return "", fmt.Errorf("-token-file %s is empty", tokenFile)
-	}
-	return tok, nil
 }
 
 // runCheck drives a running server through the pi/client SDK: health,

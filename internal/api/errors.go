@@ -15,6 +15,10 @@ type Error struct {
 	Code    string `json:"code"`
 	Status  int    `json:"-"`
 	Message string `json:"error"`
+	// Addr is set on CodeMoved: the base URL of the shard that now
+	// hosts the interface, so clients (and the router) can re-issue the
+	// request there instead of treating the move as a failure.
+	Addr string `json:"addr,omitempty"`
 }
 
 // The v1 error codes. These are part of the versioned contract: codes
@@ -65,6 +69,20 @@ const (
 	// CodeRestoreFailed — restoring from the data dir at construction
 	// failed (corrupt or unreadable snapshot file). 500.
 	CodeRestoreFailed = "restore_failed"
+	// CodeMoved — the interface is no longer hosted on this shard: it
+	// migrated to the shard whose base URL is in the error's Addr field.
+	// The request was NOT processed, so re-issuing it against Addr is
+	// always safe (including non-idempotent ingestion). 421.
+	CodeMoved = "moved"
+	// CodeShardUnavailable — the shard that owns the interface could not
+	// be reached (process down, network partition). Transient from the
+	// router's point of view; clients may retry. 502.
+	CodeShardUnavailable = "shard_unavailable"
+	// CodeEpochMismatch — a shard-admin handoff was conditioned on an
+	// interface epoch that has since advanced (writes landed between
+	// snapshot export and relinquish); the caller re-exports and
+	// retries. 409.
+	CodeEpochMismatch = "epoch_mismatch"
 	// CodeInternal — an unexpected server-side failure. 500.
 	CodeInternal = "internal"
 )
@@ -88,6 +106,15 @@ func errBadRequest(format string, args ...any) *Error {
 
 func errInternal(err error) *Error {
 	return Errf(CodeInternal, http.StatusInternalServerError, "%v", err)
+}
+
+// ErrMoved builds the structured relocation error a shard returns for
+// an interface it handed off to the shard at addr.
+func ErrMoved(id, addr string) *Error {
+	e := Errf(CodeMoved, http.StatusMisdirectedRequest,
+		"interface %q moved to %s", id, addr)
+	e.Addr = addr
+	return e
 }
 
 // FromErr coerces any error into the structured model: an *Error passes

@@ -209,6 +209,22 @@ func validID(id string) bool {
 	return true
 }
 
+// Remove unhosts the interface with the given ID and reports whether
+// it was hosted. In-flight requests that already resolved the *Hosted
+// finish against the epoch snapshot they loaded; new lookups miss.
+// Removal is the registry half of deleting or relinquishing an
+// interface — callers that attached live feeds or durable snapshots
+// detach those through their own seams.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ifaces[id]; !ok {
+		return false
+	}
+	delete(r.ifaces, id)
+	return true
+}
+
 // Get returns the hosted interface with the given ID.
 func (r *Registry) Get(id string) (*Hosted, bool) {
 	r.mu.RLock()

@@ -459,6 +459,31 @@ func decodeRows(in [][]any) ([][]engine.Value, *Error) {
 	return out, nil
 }
 
+// DeleteInterface unhosts the interface: its live feed (if any)
+// detaches first so no further submissions land, the registry entry is
+// removed so new requests see not_found, and its durable snapshot (if
+// persistence is wired) is deleted so the interface does not resurrect
+// on the next boot. In-flight requests that already resolved the
+// interface finish against the epoch snapshot they loaded. This is
+// also the local half of a shard relinquishing an interface during
+// rebalancing.
+func (s *Service) DeleteInterface(id string) (*DeleteAck, error) {
+	if _, apiErr := s.hosted(id); apiErr != nil {
+		return nil, apiErr
+	}
+	if d, ok := s.ing.(IngestDetacher); ok {
+		d.Detach(id)
+	}
+	s.reg.Remove(id)
+	if rem, ok := s.per.(SnapshotRemover); ok {
+		if err := rem.RemoveSnapshot(id); err != nil {
+			return nil, Errf(CodeSnapshotFailed, http.StatusInternalServerError,
+				"interface %q unhosted but its snapshot was not removed: %v", id, err)
+		}
+	}
+	return &DeleteAck{ID: id, Deleted: true}, nil
+}
+
 // Snapshot persists every hosted interface's (log, dataset, epoch) to
 // the data dir through the wired persister — the durable counterpart
 // of the in-memory epoch snapshots every query already runs against.

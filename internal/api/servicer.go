@@ -1,0 +1,50 @@
+package api
+
+import "repro/internal/qlog"
+
+// Servicer is the extracted operation surface of the service layer —
+// the seam every transport is written against. *Service implements it
+// over an in-process registry; internal/shard's Router implements it
+// by proxying each operation to the shard that owns the interface, so
+// a fleet of processes is a drop-in replacement for one: the HTTP
+// transport (internal/server) cannot tell whether it fronts a single
+// registry or a routed cluster.
+//
+// Operations that take an interface ID return *Error with CodeNotFound
+// when the ID is unknown, CodeMoved (with the new owner's address)
+// when a shard has relinquished the interface, and CodeShardUnavailable
+// when a routed implementation cannot reach the owner.
+type Servicer interface {
+	// ListInterfaces returns a summary row per hosted interface, sorted
+	// by ID. A routed implementation fans out and merges.
+	ListInterfaces() []InterfaceSummary
+	// GetInterface returns one interface's widgets and initial query.
+	GetInterface(id string) (*InterfaceDetail, error)
+	// Epoch returns the interface's current epoch.
+	Epoch(id string) (*EpochResponse, error)
+	// Page returns the compiled live HTML page for the interface.
+	Page(id string) (string, error)
+	// Query binds widget state, executes, and returns one page of rows.
+	Query(id string, req QueryRequest) (*QueryResponse, error)
+	// IngestReady reports whether IngestLog can accept entries for the
+	// interface (cheap pre-check before decoding a large body).
+	IngestReady(id string) error
+	// IngestLog submits query-log entries for incremental re-mining.
+	IngestLog(id string, entries []qlog.Entry, flush bool) (*IngestAck, error)
+	// AppendRows submits new dataset rows for one table.
+	AppendRows(id string, req RowsRequest, flush bool) (*RowsAck, error)
+	// DeleteInterface unhosts the interface: it stops being served,
+	// its live feed detaches and its durable snapshot (if any) is
+	// removed.
+	DeleteInterface(id string) (*DeleteAck, error)
+	// Snapshot persists hosted interfaces durably. A routed
+	// implementation fans out to every shard.
+	Snapshot() (*SnapshotResult, error)
+	// Health reports liveness, build info and per-interface serving
+	// state.
+	Health() *Health
+	// Debug returns cache and traffic counters per interface.
+	Debug() *DebugInfo
+}
+
+var _ Servicer = (*Service)(nil)

@@ -104,6 +104,12 @@ type EpochResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+// DeleteAck confirms a DeleteInterface call.
+type DeleteAck struct {
+	ID      string `json:"id"`
+	Deleted bool   `json:"deleted"`
+}
+
 // RowsRequest is the body of AppendRows: new rows for one table of the
 // interface's dataset. Values are JSON scalars (number, string, bool,
 // null) positionally matching the table's columns.
@@ -176,6 +182,14 @@ type RowIngestor interface {
 	SubmitRows(id, table string, rows [][]engine.Value, flush bool) (RowsAck, error)
 }
 
+// IngestDetacher is optionally implemented by an Ingestor that keeps
+// per-interface state (live feeds): DeleteInterface calls it so an
+// unhosted interface stops accepting submissions instead of leaking
+// its feed.
+type IngestDetacher interface {
+	Detach(id string)
+}
+
 // Persister is the durable snapshot/restore seam the service exposes
 // through Snapshot and restore-on-construct; internal/ingest
 // implements it over the data dir. SaveAll persists every hosted
@@ -184,6 +198,13 @@ type RowIngestor interface {
 type Persister interface {
 	SaveAll() (*SnapshotResult, error)
 	Restore() (*RestoreResult, error)
+}
+
+// SnapshotRemover is optionally implemented by a Persister:
+// DeleteInterface calls it so an unhosted interface's durable snapshot
+// does not resurrect it on the next boot.
+type SnapshotRemover interface {
+	RemoveSnapshot(id string) error
 }
 
 // IngestStatus is one interface's ingestion counters.
@@ -219,7 +240,17 @@ type HealthInterface struct {
 	Ingest       *IngestStatus `json:"ingest,omitempty"`
 }
 
-// Health is the body of the health operation.
+// ShardHealth is one shard's row in a routed health report.
+type ShardHealth struct {
+	Addr       string `json:"addr"`
+	Status     string `json:"status"` // "ok" | "unreachable"
+	Interfaces int    `json:"interfaces"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Health is the body of the health operation. Shards is present only
+// on routed deployments: one row per shard the router fronts, with
+// Status "degraded" when any of them is unreachable.
 type Health struct {
 	Status        string            `json:"status"`
 	GoVersion     string            `json:"goVersion"`
@@ -228,6 +259,7 @@ type Health struct {
 	Ingestion     bool              `json:"ingestion"`
 	Persistence   bool              `json:"persistence"`
 	Interfaces    []HealthInterface `json:"interfaces"`
+	Shards        []ShardHealth     `json:"shards,omitempty"`
 }
 
 // DebugInfo is the body of the debug operation.

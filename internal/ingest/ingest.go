@@ -18,6 +18,7 @@ package ingest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -44,8 +45,11 @@ type Options struct {
 	// RowBatchSize is the buffered dataset-row count that triggers an
 	// inline store publish + hot swap during SubmitRows. Default 256.
 	RowBatchSize int
-	// MaxRowBuffer bounds the per-interface row buffer; a submission
-	// that would overflow it publishes inline. Default 65536.
+	// MaxRowBuffer caps one table's row buffer. A submission that would
+	// overflow the cap drains the buffer inline first (backpressure
+	// through publish latency); one that cannot fit even into a drained
+	// buffer is rejected with a structured error instead of growing
+	// memory without bound. Default 65536.
 	MaxRowBuffer int
 }
 
@@ -77,6 +81,11 @@ type feed struct {
 	miner  *core.Miner
 	store  *store.Store
 	buf    []qlog.Entry
+
+	// sealed marks a feed mid-handoff (DetachAtEpoch): submissions that
+	// already resolved the feed pointer but acquire mu after the seal
+	// must be rejected, not acknowledged into a detached buffer.
+	sealed bool
 
 	// rowBuf holds dataset rows waiting for the next store publish,
 	// keyed by the submitted table name; rowBuffered is their total.
@@ -136,6 +145,129 @@ func (ing *Ingester) host(id, title string, m *core.Miner, st *store.Store, epoc
 	return h, nil
 }
 
+// PreparedSnapshot is a snapshot rebuilt and re-mined but not yet
+// hosted — the fallible half of HostSnapshot, split out so a caller
+// replacing an existing copy (shard re-accept) can finish every
+// failure-prone step before tearing the old copy down.
+type PreparedSnapshot struct {
+	snap  *store.Snapshot
+	miner *core.Miner
+	st    *store.Store
+}
+
+// PrepareSnapshot rebuilds a snapshot into a hostable state with no
+// side effects on the ingester or registry: the store loads the saved
+// tables, funcs (optional) re-attaches table-valued functions a
+// snapshot cannot carry, and the saved log re-mines to exactly the
+// interface that was serving.
+func (ing *Ingester) PrepareSnapshot(snap *store.Snapshot, live core.LiveOptions, funcs func(id string, st *store.Store)) (*PreparedSnapshot, error) {
+	if live.Generate.Library == nil {
+		live = core.DefaultLiveOptions()
+	}
+	st := snap.Restore()
+	if funcs != nil {
+		funcs(snap.ID, st)
+	}
+	m, err := core.NewMiner(snap.RestoredLog(), live)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: host snapshot %q: mine saved log: %w", snap.ID, err)
+	}
+	return &PreparedSnapshot{snap: snap, miner: m, st: st}, nil
+}
+
+// HostPrepared hosts a prepared snapshot at the given epoch with a
+// live feed attached.
+func (ing *Ingester) HostPrepared(p *PreparedSnapshot, epoch uint64) (*api.Hosted, error) {
+	return ing.host(p.snap.ID, p.snap.Title, p.miner, p.st, epoch)
+}
+
+// HostSnapshot is PrepareSnapshot + HostPrepared: rebuild and host an
+// interface from a snapshot at the given epoch. Shared by the
+// restore-on-boot path (which hosts at the saved epoch) and the
+// shard-accept path (which hosts at saved epoch + 1 so cursors minted
+// by the relinquishing shard expire instead of silently paging a
+// restored result set).
+func (ing *Ingester) HostSnapshot(snap *store.Snapshot, live core.LiveOptions, funcs func(id string, st *store.Store), epoch uint64) (*api.Hosted, error) {
+	p, err := ing.PrepareSnapshot(snap, live, funcs)
+	if err != nil {
+		return nil, err
+	}
+	return ing.HostPrepared(p, epoch)
+}
+
+// Capture freezes one live feed's durable state into a snapshot:
+// (accumulated log, published tables, epochs). The capture shares only
+// immutable data — a log copy and published table versions — so
+// callers can serialize it without blocking ingestion or serving.
+// Buffered-but-unflushed entries are not included; callers that need
+// them flush first.
+func (ing *Ingester) Capture(id string) (*store.Snapshot, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return &store.Snapshot{
+		ID:        f.hosted.ID,
+		Title:     f.hosted.Title,
+		Epoch:     f.hosted.Epoch(),
+		DataEpoch: f.store.Epoch(),
+		Log:       f.miner.Log().Entries,
+		Tables:    f.store.CaptureTables(),
+	}, nil
+}
+
+// Detach removes the interface's live feed, so further submissions are
+// rejected instead of evolving an interface that is no longer hosted.
+// Entries still buffered in the feed are discarded with it — callers
+// that care flush first. Implements api.IngestDetacher (the
+// DeleteInterface and shard-relinquish paths).
+func (ing *Ingester) Detach(id string) {
+	ing.mu.Lock()
+	delete(ing.feeds, id)
+	ing.mu.Unlock()
+}
+
+// DetachAtEpoch is the atomic CAS half of a shard handoff: it drains
+// the feed's buffers, verifies the interface is still at the expected
+// epoch, and — only on a match — seals the feed against further
+// submissions and detaches it, all without releasing the feed lock
+// between the check and the seal. Every write path (Submit,
+// SubmitRows, Flush) publishes under the same lock, so a write either
+// lands before the check (bumping the epoch and failing the CAS, so
+// the caller re-exports) or after the seal (rejected, never
+// acknowledged) — an acknowledged write can never be silently dropped
+// by a concurrent handoff. expectEpoch 0 skips the check (forced
+// handoff). Returns the epoch the detach happened at (or the current
+// epoch alongside ErrEpochMismatch).
+func (ing *Ingester) DetachAtEpoch(id string, expectEpoch uint64) (uint64, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	if err := ing.flushRowsLocked(f); err != nil {
+		cur := f.hosted.Epoch()
+		f.mu.Unlock()
+		return cur, err
+	}
+	if _, err := ing.flushLocked(f); err != nil {
+		cur := f.hosted.Epoch()
+		f.mu.Unlock()
+		return cur, err
+	}
+	cur := f.hosted.Epoch()
+	if expectEpoch != 0 && cur != expectEpoch {
+		f.mu.Unlock()
+		return cur, fmt.Errorf("ingest: %q at epoch %d, expected %d: %w", id, cur, expectEpoch, ErrEpochMismatch)
+	}
+	f.sealed = true
+	f.mu.Unlock()
+	ing.Detach(id)
+	return cur, nil
+}
+
 // Store returns the versioned store backing a live-hosted interface.
 func (ing *Ingester) Store(id string) (*store.Store, error) {
 	f, err := ing.feed(id)
@@ -145,12 +277,21 @@ func (ing *Ingester) Store(id string) (*store.Store, error) {
 	return f.store, nil
 }
 
+// ErrNoFeed reports an interface with no live feed (hosted without
+// ingestion, or already detached). Matched with errors.Is.
+var ErrNoFeed = errors.New("has no live feed (hosted without ingestion?)")
+
+// ErrEpochMismatch reports a DetachAtEpoch whose expected epoch no
+// longer matches — writes published since the caller captured it.
+// Matched with errors.Is.
+var ErrEpochMismatch = errors.New("interface epoch advanced past the expected handoff epoch")
+
 func (ing *Ingester) feed(id string) (*feed, error) {
 	ing.mu.RLock()
 	f, ok := ing.feeds[id]
 	ing.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("ingest: interface %q has no live feed (hosted without ingestion?)", id)
+		return nil, fmt.Errorf("ingest: interface %q %w", id, ErrNoFeed)
 	}
 	return f, nil
 }
@@ -168,6 +309,9 @@ func (ing *Ingester) Submit(id string, entries []qlog.Entry) (api.IngestAck, err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.sealed {
+		return api.IngestAck{}, fmt.Errorf("ingest: interface %q %w", id, ErrNoFeed)
+	}
 	var ack api.IngestAck
 	for len(entries) > 0 {
 		room := ing.opts.MaxBuffer - len(f.buf)

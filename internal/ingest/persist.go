@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -84,31 +85,30 @@ func (p *Persister) SaveAll() (*api.SnapshotResult, error) {
 	return res, nil
 }
 
-// saveOne captures one feed's state under its lock, then writes the
-// snapshot file with the lock released — the capture only shares
-// immutable data (a log copy and published table versions), so the
-// disk write never blocks ingestion or serving.
+// saveOne captures one feed's state under its lock (Capture shares
+// only immutable data — a log copy and published table versions), then
+// writes the snapshot file with the lock released, so the disk write
+// never blocks ingestion or serving.
 func (p *Persister) saveOne(id string) (api.SnapshotInterface, error) {
-	f, err := p.ing.feed(id)
+	snap, err := p.ing.Capture(id)
 	if err != nil {
 		return api.SnapshotInterface{}, err
 	}
-	f.mu.Lock()
-	snap := &store.Snapshot{
-		ID:        f.hosted.ID,
-		Title:     f.hosted.Title,
-		Epoch:     f.hosted.Epoch(),
-		DataEpoch: f.store.Epoch(),
-		Log:       f.miner.Log().Entries,
-		Tables:    f.store.CaptureTables(),
-	}
-	f.mu.Unlock()
-
 	bytes, err := store.Save(p.dir, snap)
 	if err != nil {
 		return api.SnapshotInterface{}, fmt.Errorf("ingest: save %q: %w", id, err)
 	}
 	return snapshotRow(snap, bytes), nil
+}
+
+// RemoveSnapshot deletes the interface's snapshot file so an unhosted
+// interface does not resurrect on the next boot; a file that never
+// existed is fine. Implements api.SnapshotRemover.
+func (p *Persister) RemoveSnapshot(id string) error {
+	if err := os.Remove(store.SnapFile(p.dir, id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ingest: remove snapshot %q: %w", id, err)
+	}
+	return nil
 }
 
 // Restore re-hosts every snapshot in the data dir onto the ingester's
@@ -138,15 +138,7 @@ func (p *Persister) Restore() (*api.RestoreResult, error) {
 // restoreOne rebuilds one interface: store from the saved tables,
 // miner from the saved log, hosted at the saved epoch.
 func (p *Persister) restoreOne(snap *store.Snapshot) error {
-	st := snap.Restore()
-	if p.opts.Funcs != nil {
-		p.opts.Funcs(snap.ID, st)
-	}
-	m, err := core.NewMiner(snap.RestoredLog(), p.opts.Live)
-	if err != nil {
-		return fmt.Errorf("ingest: restore %q: mine saved log: %w", snap.ID, err)
-	}
-	if _, err := p.ing.host(snap.ID, snap.Title, m, st, snap.Epoch); err != nil {
+	if _, err := p.ing.HostSnapshot(snap, p.opts.Live, p.opts.Funcs, snap.Epoch); err != nil {
 		return fmt.Errorf("ingest: restore %q: %w", snap.ID, err)
 	}
 	return nil

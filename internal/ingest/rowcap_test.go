@@ -1,0 +1,83 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/engine"
+)
+
+func rowsN(n int) [][]engine.Value {
+	out := make([][]engine.Value, n)
+	for i := range out {
+		out[i] = []engine.Value{engine.Num(float64(1000 + i)), engine.Num(float64(100 + i))}
+	}
+	return out
+}
+
+// TestRowBufferCapRejectsOversizeBatch: one submission larger than
+// MaxRowBuffer must be rejected with a structured error, not buffered
+// without bound.
+func TestRowBufferCapRejectsOversizeBatch(t *testing.T) {
+	_, ing, _ := newIngester(t, Options{RowBatchSize: 1000, MaxRowBuffer: 8})
+	_, err := ing.SubmitRows("live", "t", rowsN(9), false)
+	if err == nil {
+		t.Fatal("oversize batch accepted")
+	}
+	if !strings.Contains(err.Error(), "row-buffer cap") {
+		t.Fatalf("error does not name the cap: %v", err)
+	}
+	// The rejection had no side effects: a valid batch still lands.
+	ack, err := ing.SubmitRows("live", "t", rowsN(3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.RowCount != 53 { // 50 seed rows + 3
+		t.Fatalf("rowCount = %d, want 53", ack.RowCount)
+	}
+}
+
+// TestRowBufferCapDrainsBeforeRejecting: a submission that overflows a
+// non-empty buffer triggers an inline publish (backpressure), not a
+// rejection, as long as the rows fit a drained buffer.
+func TestRowBufferCapDrainsBeforeRejecting(t *testing.T) {
+	_, ing, h := newIngester(t, Options{RowBatchSize: 1000, MaxRowBuffer: 8})
+	before := h.Epoch()
+	if _, err := ing.SubmitRows("live", "t", rowsN(6), false); err != nil {
+		t.Fatal(err)
+	}
+	// 6 buffered + 6 more would exceed 8: the buffer publishes inline,
+	// then the new rows buffer.
+	ack, err := ing.SubmitRows("live", "t", rowsN(6), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Buffered != 6 {
+		t.Fatalf("buffered = %d, want 6 (old rows published, new rows buffered)", ack.Buffered)
+	}
+	if h.Epoch() <= before {
+		t.Fatal("inline drain did not publish (no epoch bump)")
+	}
+	if ack.RowCount != 56 { // 50 seed rows + 6 published
+		t.Fatalf("rowCount = %d, want 56", ack.RowCount)
+	}
+}
+
+// TestServiceMapsRowCapToRowsRejected: the structured contract — a
+// capped buffer surfaces as rows_rejected through the service layer.
+func TestServiceMapsRowCapToRowsRejected(t *testing.T) {
+	reg, ing, _ := newIngester(t, Options{RowBatchSize: 1000, MaxRowBuffer: 4})
+	svc := api.NewService(reg)
+	svc.SetIngestor(ing)
+	rows := make([][]any, 5)
+	for i := range rows {
+		rows[i] = []any{float64(2000 + i), float64(200 + i)}
+	}
+	_, err := svc.AppendRows("live", api.RowsRequest{Table: "t", Rows: rows}, false)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeRowsRejected {
+		t.Fatalf("service error = %v, want %s", err, api.CodeRowsRejected)
+	}
+}

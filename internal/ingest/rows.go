@@ -18,8 +18,13 @@ import (
 //
 // Rows are validated against the table's column count before they are
 // buffered, so SubmitRows either accepts the whole batch or rejects it
-// without side effects. The caller must not mutate rows afterwards.
-// Implements api.RowIngestor.
+// without side effects. The per-table buffer is capped at
+// Options.MaxRowBuffer: a submission that would overflow it drains the
+// buffer inline first, and one that cannot fit even then (a single
+// batch larger than the cap, or a drain that failed) is rejected with
+// an error the service layer surfaces as rows_rejected — bounded
+// memory, never silent loss. The caller must not mutate rows
+// afterwards. Implements api.RowIngestor.
 func (ing *Ingester) SubmitRows(id, table string, rows [][]engine.Value, flush bool) (api.RowsAck, error) {
 	f, err := ing.feed(id)
 	if err != nil {
@@ -28,11 +33,28 @@ func (ing *Ingester) SubmitRows(id, table string, rows [][]engine.Value, flush b
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	ack := api.RowsAck{Table: table}
+	if f.sealed {
+		return ack, fmt.Errorf("ingest: interface %q %w", id, ErrNoFeed)
+	}
 	if err := f.store.ValidateRows(table, rows); err != nil {
 		f.lastError = err.Error()
 		return ack, err
 	}
 	key := strings.ToLower(table)
+	if len(f.rowBuf[key])+len(rows) > ing.opts.MaxRowBuffer {
+		if ferr := ing.flushRowsLocked(f); ferr != nil {
+			err := fmt.Errorf("ingest: row buffer for table %q is full (%d buffered, cap %d) and draining it failed: %w",
+				table, len(f.rowBuf[key]), ing.opts.MaxRowBuffer, ferr)
+			f.lastError = err.Error()
+			return ack, err
+		}
+		if len(f.rowBuf[key])+len(rows) > ing.opts.MaxRowBuffer {
+			err := fmt.Errorf("ingest: %d rows exceed table %q's row-buffer cap of %d; submit smaller batches",
+				len(rows), table, ing.opts.MaxRowBuffer)
+			f.lastError = err.Error()
+			return ack, err
+		}
+	}
 	f.rowBuf[key] = append(f.rowBuf[key], rows...)
 	f.rowBuffered += len(rows)
 	ack.Accepted = len(rows)

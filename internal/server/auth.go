@@ -2,7 +2,9 @@ package server
 
 import (
 	"crypto/subtle"
+	"fmt"
 	"net/http"
+	"os"
 	"strings"
 
 	"repro/internal/api"
@@ -34,11 +36,13 @@ func (a AuthConfig) tokenFor(id string) string {
 	return a.Token
 }
 
-// check validates the request's bearer token for the interface:
+// Check validates the request's bearer token for the interface:
 // nil when the interface is open or the token matches, unauthorized
 // (401) when no token was presented, forbidden (403) when the wrong
-// one was.
-func (a AuthConfig) check(id string, r *http.Request) *api.Error {
+// one was. Exported for admin surfaces (internal/shard) that enforce
+// the same config on their own routes; pass id "" for server-wide
+// endpoints guarded by the default token.
+func (a AuthConfig) Check(id string, r *http.Request) *api.Error {
 	want := a.tokenFor(id)
 	if want == "" {
 		return nil
@@ -55,6 +59,28 @@ func (a AuthConfig) check(id string, r *http.Request) *api.Error {
 	return nil
 }
 
+// ResolveToken loads the effective bearer token from the conventional
+// -token / -token-file flag pair every serving binary exposes: the
+// file (when named) must exist, be non-empty and not conflict with an
+// inline token.
+func ResolveToken(token, tokenFile string) (string, error) {
+	if tokenFile == "" {
+		return token, nil
+	}
+	if token != "" {
+		return "", fmt.Errorf("-token and -token-file are mutually exclusive")
+	}
+	b, err := os.ReadFile(tokenFile)
+	if err != nil {
+		return "", fmt.Errorf("read -token-file: %w", err)
+	}
+	tok := strings.TrimSpace(string(b))
+	if tok == "" {
+		return "", fmt.Errorf("-token-file %s is empty", tokenFile)
+	}
+	return tok, nil
+}
+
 // bearerToken extracts the token from "Authorization: Bearer <tok>".
 func bearerToken(r *http.Request) (string, bool) {
 	h := r.Header.Get("Authorization")
@@ -69,7 +95,7 @@ func bearerToken(r *http.Request) (string, bool) {
 // that carry an {id} path value.
 func (s *Server) protected(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if apiErr := s.auth.check(r.PathValue("id"), r); apiErr != nil {
+		if apiErr := s.auth.Check(r.PathValue("id"), r); apiErr != nil {
 			writeError(w, apiErr)
 			return
 		}

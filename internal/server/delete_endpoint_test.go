@@ -1,0 +1,76 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// doDelete issues DELETE /v1/interfaces/{id} with an optional token.
+func doDelete(t *testing.T, base, id, token string) (int, *api.DeleteAck, *api.Error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/interfaces/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("decode error envelope: %v", err)
+		}
+		return resp.StatusCode, nil, &e
+	}
+	var ack api.DeleteAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatalf("decode ack: %v", err)
+	}
+	return resp.StatusCode, &ack, nil
+}
+
+func TestDeleteEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	status, ack, _ := doDelete(t, ts.URL, "olap", "")
+	if status != http.StatusOK || ack == nil || !ack.Deleted || ack.ID != "olap" {
+		t.Fatalf("delete = %d %+v", status, ack)
+	}
+
+	// Gone from every surface; a second delete is a structured 404.
+	var list []api.InterfaceSummary
+	if code := getJSON(t, ts.URL+"/v1/interfaces", &list); code != http.StatusOK || len(list) != 0 {
+		t.Fatalf("post-delete list = %d %v", code, list)
+	}
+	status, _, e := doDelete(t, ts.URL, "olap", "")
+	if status != http.StatusNotFound || e == nil || e.Code != api.CodeNotFound {
+		t.Fatalf("double delete = %d %+v", status, e)
+	}
+}
+
+// TestDeleteEndpointRequiresAuth: deletion is a mutating endpoint and
+// rides the same bearer-token protection as query/log/rows.
+func TestDeleteEndpointRequiresAuth(t *testing.T) {
+	ts, _ := newTestServer(t, WithAuth(AuthConfig{Token: "s3cret"}))
+
+	status, _, e := doDelete(t, ts.URL, "olap", "")
+	if status != http.StatusUnauthorized || e == nil || e.Code != api.CodeUnauthorized {
+		t.Fatalf("unauthenticated delete = %d %+v", status, e)
+	}
+	status, _, e = doDelete(t, ts.URL, "olap", "wrong")
+	if status != http.StatusForbidden || e == nil || e.Code != api.CodeForbidden {
+		t.Fatalf("wrong-token delete = %d %+v", status, e)
+	}
+	status, ack, _ := doDelete(t, ts.URL, "olap", "s3cret")
+	if status != http.StatusOK || ack == nil || !ack.Deleted {
+		t.Fatalf("authenticated delete = %d %+v", status, ack)
+	}
+}

@@ -15,6 +15,7 @@
 //	POST /v1/interfaces/{id}/query  — bind widget state, execute, return rows (auth)
 //	POST /v1/interfaces/{id}/log    — ingest new query-log entries (auth)
 //	POST /v1/interfaces/{id}/rows   — append dataset rows to one table (auth)
+//	DELETE /v1/interfaces/{id}      — unhost an interface (auth)
 //	POST /v1/snapshot               — persist every interface to the data dir (auth)
 //	GET  /v1/healthz                — build info, uptime, per-interface epoch + cache hit rate
 //	GET  /v1/debug                  — cache and traffic counters
@@ -45,12 +46,21 @@ const (
 	maxLogBody   = 8 << 20 // bulk log uploads
 )
 
-// Server is the HTTP front over an api.Service.
+// Server is the HTTP front over an api.Servicer — a local *api.Service
+// or a shard router; the transport cannot tell the difference.
 type Server struct {
-	svc    *api.Service
+	svc    api.Servicer
 	mux    *http.ServeMux
 	auth   AuthConfig
 	logger *log.Logger
+	admin  []adminMount
+}
+
+// adminMount is an extra handler subtree (shard-admin or router-admin
+// surface) mounted beside the v1 API.
+type adminMount struct {
+	prefix  string
+	handler http.Handler
 }
 
 // Option customizes a Server.
@@ -64,9 +74,17 @@ func WithAuth(a AuthConfig) Option { return func(s *Server) { s.auth = a } }
 // and directs panic reports to the logger.
 func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
 
+// WithAdmin mounts an extra handler at the given path prefix (e.g.
+// "/v1/shard/" for a shard node's admin surface, "/v1/router/" for the
+// router's). The handler rides inside the same middleware stack as the
+// API and owns its own auth.
+func WithAdmin(prefix string, h http.Handler) Option {
+	return func(s *Server) { s.admin = append(s.admin, adminMount{prefix: prefix, handler: h}) }
+}
+
 // New builds a transport over the service. Interfaces may still be
 // added to the service's registry after the server starts.
-func New(svc *api.Service, opts ...Option) *Server {
+func New(svc api.Servicer, opts ...Option) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	for _, o := range opts {
 		o(s)
@@ -91,12 +109,16 @@ func (s *Server) routes() {
 	handle("POST /interfaces/{id}/query", s.protected(s.handleQuery))
 	handle("POST /interfaces/{id}/log", s.protected(s.handleLog))
 	handle("POST /interfaces/{id}/rows", s.protected(s.handleRows))
+	handle("DELETE /interfaces/{id}", s.protected(s.handleDelete))
 	// Snapshot is server-wide: it is guarded by the default token (the
 	// empty path id resolves to AuthConfig.Token).
 	handle("POST /snapshot", s.protected(s.handleSnapshot))
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /debug", s.handleDebug)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	for _, m := range s.admin {
+		s.mux.Handle(m.prefix, m.handler)
+	}
 }
 
 // Handler returns the http.Handler serving the API, wrapped in the
@@ -215,6 +237,17 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, ack)
+}
+
+// handleDelete unhosts an interface: it stops being served, its live
+// feed detaches and its durable snapshot (if any) is removed.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	ack, err := s.svc.DeleteInterface(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
 }
 
 // handleSnapshot persists every hosted interface to the data dir.

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/server"
+	"repro/pi/client"
+)
+
+// The two benchmarks measure the same cached-plan query twice: once
+// straight at the shard, once through the router in front of it. The
+// delta is the price of routing — one extra HTTP hop plus a typed
+// decode/encode — which scripts/bench_json.sh records as
+// BENCH_shard.json and shard_smoke.sh bounds at < 2x p50.
+
+func benchClients(b *testing.B) (direct, routed *client.Client) {
+	b.Helper()
+	a := startShard(b, "olap")
+	rt, err := NewRouter([]string{a.ts.URL}, RouterOptions{Token: testToken, Timeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Refresh(context.Background())
+	rts := httptest.NewServer(server.New(rt, server.WithAuth(server.AuthConfig{Token: testToken})).Handler())
+	b.Cleanup(rts.Close)
+
+	mk := func(base string) *client.Client {
+		c, err := client.New(base,
+			client.WithToken(testToken),
+			client.WithRetries(0),
+			client.WithHTTPClient(&http.Client{Timeout: 10 * time.Second}),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	return mk(a.ts.URL), mk(rts.URL)
+}
+
+func benchQuery(b *testing.B, c *client.Client) {
+	b.Helper()
+	req := api.QueryRequest{Limit: 10}
+	// Warm the plan and result caches: the steady-state hot path is
+	// what the router overhead is measured against.
+	if _, err := c.Query(context.Background(), "olap", req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(context.Background(), "olap", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectQuery is the baseline: SDK -> shard.
+func BenchmarkDirectQuery(b *testing.B) {
+	direct, _ := benchClients(b)
+	benchQuery(b, direct)
+}
+
+// BenchmarkRouterQuery is the same query via SDK -> router -> shard.
+func BenchmarkRouterQuery(b *testing.B) {
+	_, routed := benchClients(b)
+	benchQuery(b, routed)
+}

@@ -1,0 +1,210 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/api"
+)
+
+// MigrateResult reports one completed migration.
+type MigrateResult struct {
+	ID        string  `json:"id"`
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	Epoch     uint64  `json:"epoch"`    // epoch the target hosts at (source + 1)
+	Bytes     int     `json:"bytes"`    // transferred snapshot frame size
+	Attempts  int     `json:"attempts"` // export/CAS rounds (>1 when writes raced the handoff)
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// migrateAttempts bounds export/CAS rounds: an interface under such
+// heavy write traffic that three exports in a row go stale should keep
+// serving where it is rather than loop.
+const migrateAttempts = 3
+
+// Migrate moves one interface to the shard at target, live:
+//
+//  1. the source exports a snapshot frame (flushing buffered writes
+//     first) together with the epoch it captured — the CAS token;
+//  2. the target accepts the frame, re-mines the saved log and hosts
+//     the interface at epoch + 1 (so cursors minted by the source
+//     expire instead of paging a restored result set);
+//  3. the source relinquishes, conditioned on the exported epoch: on
+//     success it unhosts the interface and leaves a moved tombstone,
+//     on epoch_mismatch (writes landed in between) the stale copy is
+//     deleted from the target and the round restarts;
+//  4. the router atomically flips its placement map.
+//
+// Queries never fail during the move: until relinquish the source
+// answers them; between relinquish and the flip the source returns
+// structured moved errors, which this router (and the SDK, for clients
+// talking to shards directly) follows to the new owner.
+func (rt *Router) Migrate(ctx context.Context, id, target string) (*MigrateResult, error) {
+	start := time.Now()
+	toAddr, err := NormalizeAddr(target)
+	if err != nil {
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "migrate %q: %v", id, err)
+	}
+	rt.mu.RLock()
+	tgt, ok := rt.shards[toAddr]
+	rt.mu.RUnlock()
+	if !ok {
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"migrate %q: target %s is not a configured shard", id, toAddr)
+	}
+
+	for attempt := 1; attempt <= migrateAttempts; attempt++ {
+		src, apiErr := rt.owner(id)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		if src.addr == toAddr {
+			return &MigrateResult{
+				ID: id, From: src.addr, To: toAddr, Attempts: attempt,
+				ElapsedMS: elapsedMS(start),
+			}, nil
+		}
+
+		frame, epoch, err := src.admin.export(ctx, id)
+		if err != nil {
+			return nil, migrateErr("export", id, src.addr, err)
+		}
+		accepted, err := tgt.admin.accept(ctx, frame)
+		if err != nil {
+			return nil, migrateErr("accept", id, toAddr, err)
+		}
+		committed, refusal, relErr := settleRelinquish(ctx, src, id, toAddr, epoch)
+		if relErr != nil {
+			// Ambiguous: the relinquish may or may not have committed on
+			// the source, so the target's copy may be the only one left —
+			// deleting it here could destroy the interface fleet-wide.
+			// Leave both copies standing: if the source committed, its
+			// moved tombstone routes traffic to the target; if it did
+			// not, the placement map still points at it and the next
+			// Refresh (or a retried Migrate) reconciles.
+			return nil, api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+				"migrate %q: relinquish on %s did not settle (%v); the move may or may not have committed — retry the migration or refresh placement",
+				id, src.addr, relErr)
+		}
+		if !committed {
+			// Structured refusal: the source provably still owns the
+			// interface, so the copy the target accepted is stale —
+			// delete it so two shards never diverge on one interface.
+			dctx, cancel := rt.callCtx()
+			_, derr := tgt.c.DeleteInterface(dctx, id)
+			cancel()
+			// A lost-response replay answers not_found for a delete that
+			// succeeded: the target no longer holds the copy, which is
+			// exactly the state this cleanup wants.
+			var dae *api.Error
+			if errors.As(derr, &dae) && dae.Code == api.CodeNotFound {
+				derr = nil
+			}
+			if derr != nil {
+				return nil, api.Errf(api.CodeInternal, http.StatusInternalServerError,
+					"migrate %q: relinquish on %s refused (%v) AND deleting the stale copy on %s failed (%v); manual cleanup needed",
+					id, src.addr, refusal, toAddr, derr)
+			}
+			if refusal.Code == api.CodeEpochMismatch {
+				continue // writes raced the handoff: re-export and retry
+			}
+			return nil, refusal
+		}
+		rt.follow(id, toAddr)
+		return &MigrateResult{
+			ID: id, From: src.addr, To: toAddr, Epoch: accepted.Epoch,
+			Bytes: len(frame), Attempts: attempt, ElapsedMS: elapsedMS(start),
+		}, nil
+	}
+	return nil, api.Errf(api.CodeEpochMismatch, http.StatusConflict,
+		"migrate %q: lost the epoch race %d times (heavy write traffic?); retry later",
+		id, migrateAttempts)
+}
+
+// settleRelinquish asks the source to relinquish and classifies the
+// outcome into exactly one of three states:
+//
+//   - committed (true, nil, nil): the source handed the interface off —
+//     either this call succeeded, or it answered moved-to-target,
+//     which proves an earlier (lost-response) relinquish committed;
+//   - refused (false, *api.Error, nil): a structured error other than
+//     moved-to-target — the source provably still owns the interface;
+//   - unsettled (false, nil, err): transport failures on every try —
+//     the handoff may or may not have committed on the source.
+//
+// A transport failure is retried once before being reported unsettled:
+// if the first attempt's success response was lost, the retry answers
+// moved-to-target and resolves the ambiguity.
+func settleRelinquish(ctx context.Context, src *shardConn, id, toAddr string, epoch uint64) (bool, *api.Error, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		_, err := src.admin.relinquish(ctx, id, toAddr, epoch)
+		if err == nil {
+			return true, nil, nil
+		}
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			if ae.Code == api.CodeMoved && ae.Addr == toAddr {
+				return true, nil, nil
+			}
+			return false, ae, nil
+		}
+		lastErr = err
+	}
+	return false, nil, lastErr
+}
+
+// migrateErr wraps one migration step's failure, preserving structured
+// errors and turning transport failures into shard_unavailable.
+func migrateErr(step, id, addr string, err error) error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+		"migrate %q: %s on %s: %v", id, step, addr, err)
+}
+
+func elapsedMS(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// RebalanceResult reports what a rebalance pass moved.
+type RebalanceResult struct {
+	Moved   []MigrateResult `json:"moved"`
+	Skipped int             `json:"skipped"` // interfaces already home
+}
+
+// Rebalance migrates every interface whose current owner differs from
+// its Want placement (pin, or rendezvous hash). Migrations run
+// sequentially — rebalancing is a background operation and one
+// transfer at a time keeps the fleet predictable. The first failure
+// stops the pass and is returned alongside the moves that completed.
+func (rt *Router) Rebalance(ctx context.Context) (*RebalanceResult, error) {
+	place := rt.Placement()
+	ids := make([]string, 0, len(place))
+	for id := range place {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	res := &RebalanceResult{Moved: []MigrateResult{}}
+	for _, id := range ids {
+		want := rt.Want(id)
+		if want == "" || want == place[id] {
+			res.Skipped++
+			continue
+		}
+		m, err := rt.Migrate(ctx, id, want)
+		if err != nil {
+			return res, fmt.Errorf("rebalance stopped at %q: %w", id, err)
+		}
+		res.Moved = append(res.Moved, *m)
+	}
+	return res, nil
+}

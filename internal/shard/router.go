@@ -1,0 +1,647 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/qlog"
+	"repro/pi/client"
+)
+
+// RouterOptions configure a Router.
+type RouterOptions struct {
+	// Token is the bearer token the router presents to shards — both on
+	// proxied v1 operations and on the shard-admin surface during
+	// migrations. Shards in a routed fleet share one admin token.
+	Token string
+	// Timeout bounds one proxied operation (default 30s). Migrations
+	// use their own caller-supplied contexts.
+	Timeout time.Duration
+	// Pins override hash placement: interface ID -> shard address.
+	// Rebalance moves pinned interfaces to their pin, never elsewhere.
+	Pins map[string]string
+}
+
+// shardConn is one shard the router fronts: the SDK client for
+// proxied v1 operations and the admin client for migrations.
+type shardConn struct {
+	addr  string
+	c     *client.Client
+	admin *adminClient
+
+	// ingestion is the shard's ingestion capability as of the last
+	// Refresh (guarded by the router's mu). It backs the cheap
+	// IngestReady pre-check; the proxied IngestLog stays the authority.
+	// Starts true (fail open) until a refresh reports otherwise.
+	ingestion bool
+}
+
+// Router owns the interface→shard placement map and implements
+// api.Servicer over a fleet: per-interface operations proxy to the
+// owning shard through pi/client, fleet-wide operations (list, health,
+// debug, snapshot) fan out and merge. A structured moved error from a
+// shard repairs the map in place (the router follows it, flips the
+// placement and retries), a transport failure surfaces as
+// shard_unavailable — so the HTTP transport mounted on top cannot tell
+// the difference between one process and a routed cluster, which is
+// the point of the Servicer seam.
+type Router struct {
+	opts  RouterOptions
+	start time.Time
+
+	mu     sync.RWMutex
+	shards map[string]*shardConn
+	order  []string          // sorted shard addrs, for deterministic hashing and fan-out
+	place  map[string]string // interface ID -> owning shard addr
+	pins   map[string]string // normalized RouterOptions.Pins
+}
+
+var _ api.Servicer = (*Router)(nil)
+
+// NewRouter builds a router over the given shard addresses. Call
+// Refresh to discover what each shard hosts before serving; placements
+// also repair themselves as shards return moved errors.
+func NewRouter(addrs []string, opts RouterOptions) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard address")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	rt := &Router{
+		opts:   opts,
+		start:  time.Now(),
+		shards: make(map[string]*shardConn, len(addrs)),
+		place:  map[string]string{},
+		pins:   map[string]string{},
+	}
+	for _, a := range addrs {
+		if _, err := rt.addShard(a); err != nil {
+			return nil, err
+		}
+	}
+	for id, a := range opts.Pins {
+		addr, err := NormalizeAddr(a)
+		if err != nil {
+			return nil, fmt.Errorf("shard: pin %q: %w", id, err)
+		}
+		if _, ok := rt.shards[addr]; !ok {
+			return nil, fmt.Errorf("shard: pin %q targets %s, which is not a configured shard", id, addr)
+		}
+		rt.pins[id] = addr
+	}
+	return rt, nil
+}
+
+// addShard registers a shard connection (idempotent). Caller must not
+// hold rt.mu.
+func (rt *Router) addShard(addr string) (*shardConn, error) {
+	norm, err := NormalizeAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if conn, ok := rt.shards[norm]; ok {
+		return conn, nil
+	}
+	// The router handles moved errors itself (to learn the new
+	// placement) and maps transport failures onto shard_unavailable, so
+	// the SDK's own following/retrying is kept minimal. The inner hop
+	// skips gzip (both processes are on the same network segment in any
+	// sane topology, and compressing twice per routed query costs more
+	// than the bytes save) and keeps a generous idle-connection pool so
+	// concurrent proxying does not reconnect per request.
+	c, err := client.New(norm,
+		client.WithToken(rt.opts.Token),
+		client.WithFollowMoved(false),
+		client.WithRetries(1),
+		client.WithBackoff(50*time.Millisecond),
+		client.WithHTTPClient(&http.Client{
+			Timeout: rt.opts.Timeout,
+			Transport: &http.Transport{
+				DisableCompression:  true,
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("shard: router: %w", err)
+	}
+	conn := &shardConn{addr: norm, c: c, admin: newAdminClient(norm, rt.opts.Token, defaultAdminHTTPClient()), ingestion: true}
+	rt.shards[norm] = conn
+	rt.order = append(rt.order, norm)
+	sort.Strings(rt.order)
+	return conn, nil
+}
+
+// Shards returns the configured shard addresses in sorted order.
+func (rt *Router) Shards() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]string(nil), rt.order...)
+}
+
+// Placement returns a copy of the current interface→shard map.
+func (rt *Router) Placement() map[string]string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]string, len(rt.place))
+	for id, addr := range rt.place {
+		out[id] = addr
+	}
+	return out
+}
+
+// callCtx is the per-proxied-operation budget.
+func (rt *Router) callCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), rt.opts.Timeout)
+}
+
+// Refresh re-discovers placement by asking every shard what it hosts.
+// New interfaces are adopted, placements a shard no longer backs are
+// dropped — except when the shard is unreachable, in which case its
+// placements are kept so queries fail with shard_unavailable (a
+// transient, retryable condition) rather than not_found (a lie). When
+// two shards claim one interface (a crashed migration), the
+// lexicographically first shard wins deterministically. Returns one
+// health row per shard from the poll it already performed, so callers
+// reporting fleet state after a refresh need not re-poll.
+func (rt *Router) Refresh(ctx context.Context) []api.ShardHealth {
+	rt.mu.RLock()
+	conns := make([]*shardConn, 0, len(rt.order))
+	for _, addr := range rt.order {
+		conns = append(conns, rt.shards[addr])
+	}
+	oldPlace := make(map[string]string, len(rt.place))
+	for id, addr := range rt.place {
+		oldPlace[id] = addr
+	}
+	rt.mu.RUnlock()
+
+	// One health call per shard yields both what it hosts and whether
+	// it ingests (backing the IngestReady pre-check).
+	type result struct {
+		addr      string
+		ids       []string
+		ingestion bool
+		err       error
+	}
+	results := make([]result, len(conns))
+	var wg sync.WaitGroup
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn *shardConn) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, rt.opts.Timeout)
+			defer cancel()
+			h, err := conn.c.Health(cctx)
+			res := result{addr: conn.addr, err: err}
+			if err == nil {
+				res.ingestion = h.Ingestion
+				for _, row := range h.Interfaces {
+					res.ids = append(res.ids, row.ID)
+				}
+			}
+			results[i] = res
+		}(i, conn)
+	}
+	wg.Wait()
+
+	// Live listings first: a reachable shard's claim always beats a
+	// remembered placement on an unreachable one, whatever the address
+	// order — otherwise a stale entry for a dead shard could pin an
+	// interface to shard_unavailable while a live shard actually
+	// hosts it.
+	next := map[string]string{}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		for _, id := range res.ids {
+			if _, taken := next[id]; !taken {
+				next[id] = res.addr
+			}
+		}
+	}
+	for _, res := range results {
+		if res.err == nil {
+			continue
+		}
+		// Unreachable: keep whatever we believed this shard owned, for
+		// interfaces no live shard claims.
+		for id, addr := range oldPlace {
+			if addr == res.addr {
+				if _, taken := next[id]; !taken {
+					next[id] = addr
+				}
+			}
+		}
+	}
+	rt.mu.Lock()
+	rt.place = next
+	for _, res := range results {
+		if res.err == nil {
+			if conn, ok := rt.shards[res.addr]; ok {
+				conn.ingestion = res.ingestion
+			}
+		}
+	}
+	rt.mu.Unlock()
+
+	rows := make([]api.ShardHealth, 0, len(results))
+	for _, res := range results {
+		row := api.ShardHealth{Addr: res.addr, Status: "ok", Interfaces: len(res.ids)}
+		if res.err != nil {
+			row.Status = "unreachable"
+			row.Error = res.err.Error()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// owner resolves the shard that owns the interface.
+func (rt *Router) owner(id string) (*shardConn, *api.Error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	addr, ok := rt.place[id]
+	if !ok {
+		return nil, api.Errf(api.CodeNotFound, http.StatusNotFound,
+			"no shard hosts interface %q", id)
+	}
+	conn, ok := rt.shards[addr]
+	if !ok {
+		return nil, api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+			"interface %q is placed on unknown shard %s", id, addr)
+	}
+	return conn, nil
+}
+
+// follow flips the placement after a shard reported a move. Unknown
+// target shards are added on the fly — a migration can legitimately
+// land an interface on a shard this router was not configured with.
+func (rt *Router) follow(id, addr string) {
+	conn, err := rt.addShard(addr)
+	if err != nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.place[id] = conn.addr
+	rt.mu.Unlock()
+}
+
+// drop forgets a placement, but only while it still points at the
+// shard the caller observed failing (a concurrent follow wins).
+func (rt *Router) drop(id, addr string) {
+	rt.mu.Lock()
+	if rt.place[id] == addr {
+		delete(rt.place, id)
+	}
+	rt.mu.Unlock()
+}
+
+// proxy runs one per-interface operation against the owning shard,
+// following moved errors (and repairing the placement map) a bounded
+// number of times, and translating transport failures into structured
+// shard_unavailable errors.
+func (rt *Router) proxy(id string, fn func(ctx context.Context, c *client.Client) error) error {
+	for hop := 0; hop < maxPlacementHops; hop++ {
+		conn, apiErr := rt.owner(id)
+		if apiErr != nil {
+			return apiErr
+		}
+		ctx, cancel := rt.callCtx()
+		err := fn(ctx, conn.c)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			switch {
+			case ae.Code == api.CodeMoved && ae.Addr != "":
+				rt.follow(id, ae.Addr)
+				continue
+			case ae.Code == api.CodeNotFound:
+				// The shard genuinely does not host it (restart without
+				// its data dir, tombstone lost): stop routing there.
+				rt.drop(id, conn.addr)
+				return ae
+			}
+			return ae
+		}
+		return api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+			"shard %s (owner of %q) is unreachable: %v", conn.addr, id, err)
+	}
+	return api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+		"placement for %q did not converge after %d moves", id, maxPlacementHops)
+}
+
+// maxPlacementHops bounds moved-following during one proxied call.
+const maxPlacementHops = 3
+
+// --- api.Servicer: per-interface operations proxy to the owner.
+
+func (rt *Router) GetInterface(id string) (*api.InterfaceDetail, error) {
+	var out *api.InterfaceDetail
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		d, err := c.GetInterface(ctx, id)
+		out = d
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (rt *Router) Epoch(id string) (*api.EpochResponse, error) {
+	var out api.EpochResponse
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		e, err := c.Epoch(ctx, id)
+		out.Epoch = e
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (rt *Router) Page(id string) (string, error) {
+	var out string
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		p, err := c.Page(ctx, id)
+		out = p
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// Query proxies with the request — limit, cursor and all — passed
+// through verbatim, so epoch-bound cursors keep their exact semantics
+// across the router: the same shard that minted a cursor validates it,
+// and after a migration the bumped epoch on the new owner expires it.
+func (rt *Router) Query(id string, req api.QueryRequest) (*api.QueryResponse, error) {
+	var out *api.QueryResponse
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		resp, err := c.Query(ctx, id, req)
+		out = resp
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IngestReady pre-checks without a network round trip: placement must
+// resolve and the owning shard must have reported ingestion enabled at
+// the last refresh. Possibly stale by one refresh interval — the
+// proxied IngestLog remains the authority — but it preserves the
+// contract's point: a transport can reject before decoding a large
+// body.
+func (rt *Router) IngestReady(id string) error {
+	conn, apiErr := rt.owner(id)
+	if apiErr != nil {
+		return apiErr
+	}
+	rt.mu.RLock()
+	ready := conn.ingestion
+	rt.mu.RUnlock()
+	if !ready {
+		return api.Errf(api.CodeIngestDisabled, http.StatusNotImplemented,
+			"live ingestion is not enabled on the shard hosting %q", id)
+	}
+	return nil
+}
+
+func (rt *Router) IngestLog(id string, entries []qlog.Entry, flush bool) (*api.IngestAck, error) {
+	wire := make([]api.LogEntry, len(entries))
+	for i, e := range entries {
+		wire[i] = api.LogEntry{SQL: e.SQL, Client: e.Client}
+	}
+	var out *api.IngestAck
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		ack, err := c.IngestLog(ctx, id, wire, flush)
+		out = ack
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (rt *Router) AppendRows(id string, req api.RowsRequest, flush bool) (*api.RowsAck, error) {
+	var out *api.RowsAck
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		ack, err := c.AppendRows(ctx, id, req.Table, req.Rows, flush)
+		out = ack
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (rt *Router) DeleteInterface(id string) (*api.DeleteAck, error) {
+	var out *api.DeleteAck
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		ack, err := c.DeleteInterface(ctx, id)
+		out = ack
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	delete(rt.place, id)
+	rt.mu.Unlock()
+	return out, nil
+}
+
+// --- api.Servicer: fleet-wide operations fan out and merge.
+
+// fanOut runs fn once per shard concurrently and returns the results
+// in shard order.
+func fanOut[T any](rt *Router, fn func(ctx context.Context, conn *shardConn) (T, error)) []fanResult[T] {
+	rt.mu.RLock()
+	conns := make([]*shardConn, 0, len(rt.order))
+	for _, addr := range rt.order {
+		conns = append(conns, rt.shards[addr])
+	}
+	rt.mu.RUnlock()
+	out := make([]fanResult[T], len(conns))
+	var wg sync.WaitGroup
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn *shardConn) {
+			defer wg.Done()
+			ctx, cancel := rt.callCtx()
+			defer cancel()
+			v, err := fn(ctx, conn)
+			out[i] = fanResult[T]{addr: conn.addr, v: v, err: err}
+		}(i, conn)
+	}
+	wg.Wait()
+	return out
+}
+
+type fanResult[T any] struct {
+	addr string
+	v    T
+	err  error
+}
+
+// ListInterfaces merges every reachable shard's listing, sorted by ID.
+// Interfaces on unreachable shards are omitted — the health operation
+// is where degradation is reported.
+func (rt *Router) ListInterfaces() []api.InterfaceSummary {
+	results := fanOut(rt, func(ctx context.Context, conn *shardConn) ([]api.InterfaceSummary, error) {
+		return conn.c.ListInterfaces(ctx)
+	})
+	seen := map[string]bool{}
+	out := []api.InterfaceSummary{}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		for _, s := range res.v {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Health merges every shard's health and adds a per-shard roll-up;
+// any unreachable shard degrades the fleet status.
+func (rt *Router) Health() *api.Health {
+	results := fanOut(rt, func(ctx context.Context, conn *shardConn) (*api.Health, error) {
+		return conn.c.Health(ctx)
+	})
+	health := &api.Health{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Interfaces:    []api.HealthInterface{},
+	}
+	for _, res := range results {
+		row := api.ShardHealth{Addr: res.addr, Status: "ok"}
+		if res.err != nil {
+			row.Status = "unreachable"
+			row.Error = res.err.Error()
+			health.Status = "degraded"
+		} else {
+			row.Interfaces = len(res.v.Interfaces)
+			health.Interfaces = append(health.Interfaces, res.v.Interfaces...)
+			health.Ingestion = health.Ingestion || res.v.Ingestion
+			health.Persistence = health.Persistence || res.v.Persistence
+		}
+		health.Shards = append(health.Shards, row)
+	}
+	sort.Slice(health.Interfaces, func(i, j int) bool {
+		return health.Interfaces[i].ID < health.Interfaces[j].ID
+	})
+	return health
+}
+
+// Debug merges every reachable shard's counters.
+func (rt *Router) Debug() *api.DebugInfo {
+	results := fanOut(rt, func(ctx context.Context, conn *shardConn) (*api.DebugInfo, error) {
+		return conn.c.Debug(ctx)
+	})
+	info := &api.DebugInfo{Interfaces: []api.DebugInterface{}}
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		info.Interfaces = append(info.Interfaces, res.v.Interfaces...)
+	}
+	sort.Slice(info.Interfaces, func(i, j int) bool {
+		return info.Interfaces[i].ID < info.Interfaces[j].ID
+	})
+	return info
+}
+
+// Snapshot asks every shard to persist; all must succeed for the
+// fleet-wide snapshot to report success.
+func (rt *Router) Snapshot() (*api.SnapshotResult, error) {
+	start := time.Now()
+	results := fanOut(rt, func(ctx context.Context, conn *shardConn) (*api.SnapshotResult, error) {
+		return conn.c.Snapshot(ctx)
+	})
+	merged := &api.SnapshotResult{Interfaces: []api.SnapshotInterface{}}
+	var dirs []string
+	for _, res := range results {
+		if res.err != nil {
+			var ae *api.Error
+			if errors.As(res.err, &ae) {
+				return nil, ae
+			}
+			return nil, api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+				"snapshot on shard %s: %v", res.addr, res.err)
+		}
+		merged.Interfaces = append(merged.Interfaces, res.v.Interfaces...)
+		dirs = append(dirs, res.addr+":"+res.v.Dir)
+	}
+	sort.Slice(merged.Interfaces, func(i, j int) bool {
+		return merged.Interfaces[i].ID < merged.Interfaces[j].ID
+	})
+	merged.Dir = strings.Join(dirs, ", ")
+	merged.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return merged, nil
+}
+
+// --- placement policy.
+
+// Want returns the shard that should own the interface: the explicit
+// pin when one exists, otherwise rendezvous (highest-random-weight)
+// hashing over the shard list — stable under membership changes, so
+// adding or removing one shard only re-homes the interfaces that hash
+// to it, not the whole fleet.
+func (rt *Router) Want(id string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if p, ok := rt.pins[id]; ok {
+		return p
+	}
+	var best string
+	var bestScore uint64
+	for _, addr := range rt.order {
+		score := rendezvousScore(addr, id)
+		if best == "" || score > bestScore {
+			best, bestScore = addr, score
+		}
+	}
+	return best
+}
+
+func rendezvousScore(addr, id string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, addr)
+	_, _ = h.Write([]byte{0})
+	_, _ = io.WriteString(h, id)
+	return h.Sum64()
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/server"
+)
+
+// RouterStatus is the router-admin view of the fleet: per-shard
+// liveness plus the placement map and pins.
+type RouterStatus struct {
+	Shards     []api.ShardHealth `json:"shards"`
+	Placement  map[string]string `json:"placement"`
+	Pins       map[string]string `json:"pins,omitempty"`
+	Interfaces int               `json:"interfaces"`
+}
+
+// Status polls every shard and reports fleet state.
+func (rt *Router) Status() *RouterStatus {
+	h := rt.Health()
+	st := &RouterStatus{
+		Shards:    h.Shards,
+		Placement: rt.Placement(),
+	}
+	st.Interfaces = len(st.Placement)
+	rt.mu.RLock()
+	if len(rt.pins) > 0 {
+		st.Pins = make(map[string]string, len(rt.pins))
+		for id, addr := range rt.pins {
+			st.Pins[id] = addr
+		}
+	}
+	rt.mu.RUnlock()
+	return st
+}
+
+// migrateRequest is the body of POST /v1/router/migrate.
+type migrateRequest struct {
+	ID string `json:"id"`
+	To string `json:"to"`
+}
+
+// AdminHandler returns the router-admin surface, meant to be mounted
+// at /v1/router/ beside the proxied v1 API (server.WithAdmin):
+//
+//	GET  /v1/router/shards     — shard liveness + placement map + pins
+//	POST /v1/router/refresh    — re-discover placement from the shards
+//	POST /v1/router/migrate    — {"id": ..., "to": ...}: move one interface live
+//	POST /v1/router/rebalance  — move every interface to its pinned/hashed home
+//
+// Every route is guarded by the auth config's default token.
+func (rt *Router) AdminHandler(auth server.AuthConfig) http.Handler {
+	mux := http.NewServeMux()
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if apiErr := auth.Check("", r); apiErr != nil {
+				writeAdminError(w, apiErr)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /v1/router/shards", guard(func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, http.StatusOK, rt.Status())
+	}))
+	mux.HandleFunc("POST /v1/router/refresh", guard(func(w http.ResponseWriter, r *http.Request) {
+		// Refresh just polled every shard; report what it saw instead
+		// of sweeping the fleet a second time.
+		shards := rt.Refresh(r.Context())
+		st := &RouterStatus{Shards: shards, Placement: rt.Placement()}
+		st.Interfaces = len(st.Placement)
+		writeAdminJSON(w, http.StatusOK, st)
+	}))
+	mux.HandleFunc("POST /v1/router/migrate", guard(func(w http.ResponseWriter, r *http.Request) {
+		var req migrateRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil || req.ID == "" || req.To == "" {
+			writeAdminError(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+				`migrate needs a JSON body {"id": ..., "to": ...}`))
+			return
+		}
+		// Migration transfers a full snapshot; give it its own budget
+		// rather than the proxy timeout.
+		ctx, cancel := context.WithTimeout(r.Context(), 2*rt.opts.Timeout)
+		defer cancel()
+		res, err := rt.Migrate(ctx, req.ID, req.To)
+		if err != nil {
+			writeAdminError(w, err)
+			return
+		}
+		writeAdminJSON(w, http.StatusOK, res)
+	}))
+	mux.HandleFunc("POST /v1/router/rebalance", guard(func(w http.ResponseWriter, r *http.Request) {
+		res, err := rt.Rebalance(r.Context())
+		if err != nil {
+			writeAdminError(w, err)
+			return
+		}
+		writeAdminJSON(w, http.StatusOK, res)
+	}))
+	return mux
+}

@@ -94,12 +94,67 @@ func (s *Store) CaptureTables() []TableData {
 	return out
 }
 
-// Save writes the snapshot to dir/<id>.snap durably: the payload is
-// gob-encoded, framed with a magic, a CRC-32 checksum and a length,
-// written to a temp file, fsynced, and atomically renamed into place —
-// a reader (or a crash) can only ever observe the old complete file or
-// the new complete file, never a torn write. Returns the byte size of
-// the file.
+// Encode serializes the snapshot into the framed format shared by
+// .snap files and shard-to-shard transfers: magic, CRC-32 checksum,
+// payload length, gob payload. Because the checksum rides inside the
+// frame, a snapshot exported over HTTP during a migration is verified
+// end-to-end by the accepting shard exactly like a file read back from
+// disk.
+func Encode(snap *Snapshot) ([]byte, error) {
+	snap.FormatVersion = FormatVersion
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return nil, fmt.Errorf("store: encode snapshot %q: %w", snap.ID, err)
+	}
+	sum := crc32.ChecksumIEEE(payload.Bytes())
+
+	frame := make([]byte, 0, len(fileMagic)+12+payload.Len())
+	frame = append(frame, fileMagic...)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], sum)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, payload.Bytes()...)
+	return frame, nil
+}
+
+// Decode verifies and decodes one frame produced by Encode: magic,
+// checksum, then gob. A truncated, corrupted or foreign byte stream is
+// an error, never a silently wrong snapshot.
+func Decode(raw []byte) (*Snapshot, error) {
+	if len(raw) < len(fileMagic)+12 {
+		return nil, fmt.Errorf("store: snapshot is truncated (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:len(fileMagic)], fileMagic) {
+		return nil, fmt.Errorf("store: not a snapshot (bad magic)")
+	}
+	hdr := raw[len(fileMagic):]
+	sum := binary.BigEndian.Uint32(hdr[0:4])
+	size := binary.BigEndian.Uint64(hdr[4:12])
+	payload := hdr[12:]
+	if uint64(len(payload)) != size {
+		return nil, fmt.Errorf("store: snapshot is truncated (payload %d bytes, header says %d)",
+			len(payload), size)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("store: snapshot failed checksum (got %08x, want %08x)", got, sum)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if snap.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("store: snapshot has format %d, this build reads %d",
+			snap.FormatVersion, FormatVersion)
+	}
+	return &snap, nil
+}
+
+// Save writes the snapshot to dir/<id>.snap durably: the Encode frame
+// is written to a temp file, fsynced, and atomically renamed into
+// place — a reader (or a crash) can only ever observe the old complete
+// file or the new complete file, never a torn write. Returns the byte
+// size of the file.
 func Save(dir string, snap *Snapshot) (int64, error) {
 	if !validSnapID(snap.ID) {
 		return 0, fmt.Errorf("store: invalid snapshot id %q", snap.ID)
@@ -107,21 +162,10 @@ func Save(dir string, snap *Snapshot) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("store: create data dir: %w", err)
 	}
-	snap.FormatVersion = FormatVersion
-
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
-		return 0, fmt.Errorf("store: encode snapshot %q: %w", snap.ID, err)
+	frame, err := Encode(snap)
+	if err != nil {
+		return 0, err
 	}
-	sum := crc32.ChecksumIEEE(payload.Bytes())
-
-	var frame bytes.Buffer
-	frame.Write(fileMagic)
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:4], sum)
-	binary.BigEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
-	frame.Write(hdr[:])
-	frame.Write(payload.Bytes())
 
 	// The temp name is unique per call (os.CreateTemp), so overlapping
 	// saves of the same interface can never interleave writes into one
@@ -133,7 +177,7 @@ func Save(dir string, snap *Snapshot) (int64, error) {
 		return 0, fmt.Errorf("store: write snapshot %q: %w", snap.ID, err)
 	}
 	tmp := f.Name()
-	if _, err := f.Write(frame.Bytes()); err != nil {
+	if _, err := f.Write(frame); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, fmt.Errorf("store: write snapshot %q: %w", snap.ID, err)
@@ -152,7 +196,7 @@ func Save(dir string, snap *Snapshot) (int64, error) {
 		return 0, fmt.Errorf("store: publish snapshot %q: %w", snap.ID, err)
 	}
 	syncDir(dir)
-	return int64(frame.Len()), nil
+	return int64(len(frame)), nil
 }
 
 // syncDir fsyncs the directory so the rename itself is durable; a
@@ -164,41 +208,19 @@ func syncDir(dir string) {
 	}
 }
 
-// Load reads and verifies one snapshot file: magic, checksum, then
-// decode. A truncated, corrupted or foreign file is an error, never a
-// silently wrong snapshot.
+// Load reads and verifies one snapshot file (see Decode). A truncated,
+// corrupted or foreign file is an error, never a silently wrong
+// snapshot.
 func Load(path string) (*Snapshot, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: read snapshot: %w", err)
 	}
-	if len(raw) < len(fileMagic)+12 {
-		return nil, fmt.Errorf("store: snapshot %s is truncated (%d bytes)", path, len(raw))
+	snap, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
 	}
-	if !bytes.Equal(raw[:len(fileMagic)], fileMagic) {
-		return nil, fmt.Errorf("store: %s is not a snapshot file (bad magic)", path)
-	}
-	hdr := raw[len(fileMagic):]
-	sum := binary.BigEndian.Uint32(hdr[0:4])
-	size := binary.BigEndian.Uint64(hdr[4:12])
-	payload := hdr[12:]
-	if uint64(len(payload)) != size {
-		return nil, fmt.Errorf("store: snapshot %s is truncated (payload %d bytes, header says %d)",
-			path, len(payload), size)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("store: snapshot %s failed checksum (got %08x, want %08x)",
-			path, got, sum)
-	}
-	var snap Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("store: decode snapshot %s: %w", path, err)
-	}
-	if snap.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("store: snapshot %s has format %d, this build reads %d",
-			path, snap.FormatVersion, FormatVersion)
-	}
-	return &snap, nil
+	return snap, nil
 }
 
 // List returns the snapshot files in dir in sorted order. A missing

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,7 +38,12 @@ type Client struct {
 	token   string
 	retries int
 	backoff time.Duration
+	follow  bool
 }
+
+// maxMovedHops bounds how many relocations one request follows — a
+// placement loop between misconfigured shards must not hang a caller.
+const maxMovedHops = 3
 
 // Option customizes a Client.
 type Option func(*Client)
@@ -60,6 +66,15 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // doubled per attempt).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithFollowMoved controls whether the client transparently re-issues
+// a request against the address carried by a structured "moved" error
+// — what a shard returns after relinquishing an interface to another
+// shard (default true). Following is safe for every operation,
+// including non-idempotent ingestion, because moved means the request
+// was not processed. The shard router disables it so it can update its
+// own placement map instead.
+func WithFollowMoved(follow bool) Option { return func(c *Client) { c.follow = follow } }
+
 // New returns a client for the API at baseURL (e.g.
 // "http://localhost:8080"). The client always calls the versioned /v1
 // surface.
@@ -76,6 +91,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		hc:      &http.Client{Timeout: 30 * time.Second},
 		retries: 2,
 		backoff: 100 * time.Millisecond,
+		follow:  true,
 	}
 	for _, o := range opts {
 		o(c)
@@ -196,6 +212,28 @@ func (c *Client) AppendRows(ctx context.Context, id, table string, rows [][]any,
 	return &out, nil
 }
 
+// DeleteInterface unhosts an interface: it stops being served, its
+// live feed detaches and its durable snapshot (if any) is removed.
+// Transient failures are retried like any idempotent call; note that a
+// replay after a lost success response answers not_found — callers
+// that treat the delete as best-effort should accept CodeNotFound as
+// "already gone".
+func (c *Client) DeleteInterface(ctx context.Context, id string) (*api.DeleteAck, error) {
+	var out api.DeleteAck
+	err := c.do(ctx, http.MethodDelete, "/v1/interfaces/"+url.PathEscape(id), nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Page fetches the interface's compiled live HTML page.
+func (c *Client) Page(ctx context.Context, id string) (string, error) {
+	var out string
+	err := c.do(ctx, http.MethodGet, "/v1/interfaces/"+url.PathEscape(id)+"/page", nil, &out)
+	return out, err
+}
+
 // Snapshot asks the server to persist every hosted interface's (log,
 // dataset, epoch) to its data dir. Saving is idempotent — a snapshot
 // overwrites the previous one atomically — so transient failures are
@@ -248,35 +286,63 @@ func (c *Client) run(ctx context.Context, method, path string, in, out any, retr
 			return fmt.Errorf("client: marshal request: %w", err)
 		}
 	}
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(c.backoff << (attempt - 1)):
-			}
-		}
-		retry, err := c.once(ctx, method, path, body, out)
+	base := c.base
+	attempt, hops := 0, 0
+	for {
+		retry, err := c.once(ctx, method, base+path, body, out)
 		if err == nil {
 			return nil
 		}
-		lastErr = err
-		if !retry {
+		// A moved error means the interface migrated to another shard and
+		// this request was NOT processed: follow it immediately (no
+		// backoff, no retry budget spent) — safe even for non-idempotent
+		// ingestion, bounded by maxMovedHops.
+		if c.follow && hops < maxMovedHops {
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) && apiErr.Code == api.CodeMoved && apiErr.Addr != "" {
+				if b, perr := NormalizeBase(apiErr.Addr); perr == nil {
+					base = b
+					hops++
+					continue
+				}
+			}
+		}
+		if !retry || attempt >= retries {
 			return err
 		}
+		attempt++
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoff << (attempt - 1)):
+		}
 	}
-	return lastErr
+}
+
+// NormalizeBase turns a server address ("host:port" or a full URL)
+// into a canonical client base URL. It is the one address
+// canonicalizer in the module: the client uses it to follow moved
+// errors, and the shard layer uses it so addresses compare equal
+// however the operator spelled them.
+func NormalizeBase(addr string) (string, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("client: bad server address %q (want host:port or a base URL)", addr)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
 }
 
 // once sends the request a single time. The bool reports whether the
 // failure is retryable (transport error or 5xx).
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
+func (c *Client) once(ctx context.Context, method, fullURL string, body []byte, out any) (bool, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, fullURL, rd)
 	if err != nil {
 		return false, fmt.Errorf("client: build request: %w", err)
 	}
@@ -288,27 +354,37 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return ctx.Err() == nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return ctx.Err() == nil, fmt.Errorf("client: %s %s: %w", method, fullURL, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		if out == nil {
+		switch dst := out.(type) {
+		case nil:
 			_, _ = io.Copy(io.Discard, resp.Body)
-			return false, nil
-		}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return false, fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		case *string:
+			// Non-JSON endpoints (the compiled HTML page) land as text.
+			raw, rerr := io.ReadAll(resp.Body)
+			if rerr != nil {
+				return false, fmt.Errorf("client: read %s %s response: %w", method, fullURL, rerr)
+			}
+			*dst = string(raw)
+		default:
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return false, fmt.Errorf("client: decode %s %s response: %w", method, fullURL, err)
+			}
 		}
 		return false, nil
 	}
-	apiErr := decodeError(resp)
+	apiErr := DecodeError(resp)
 	return resp.StatusCode >= 500, apiErr
 }
 
-// decodeError turns a non-2xx response into an *api.Error — the
+// DecodeError turns a non-2xx response into an *api.Error — the
 // structured envelope when the server sent one, a synthesized internal
-// error otherwise (e.g. a proxy in the path).
-func decodeError(resp *http.Response) *api.Error {
+// error otherwise (e.g. a proxy in the path). Exported so every HTTP
+// consumer of the v1 contract (the SDK itself, the shard-admin client)
+// decodes failures identically.
+func DecodeError(resp *http.Response) *api.Error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var e api.Error
 	if json.Unmarshal(raw, &e) == nil && e.Code != "" {

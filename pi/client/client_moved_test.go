@@ -1,0 +1,150 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/server"
+)
+
+// movedFront wraps a real serving backend with a front server that
+// answers every /v1/interfaces/{id}... request with a structured moved
+// error pointing at the backend — the shape of a shard that just
+// relinquished an interface.
+func movedFront(t *testing.T, target string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e := api.ErrMoved("tiny", target)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(e.Status)
+		_ = json.NewEncoder(w).Encode(e)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientFollowsMoved: a request hitting a shard that relinquished
+// the interface transparently lands on the new owner.
+func TestClientFollowsMoved(t *testing.T) {
+	backend := httptest.NewServer(server.New(fixtureService(t)).Handler())
+	t.Cleanup(backend.Close)
+	front := movedFront(t, backend.URL)
+
+	c, err := New(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(context.Background(), "tiny", api.QueryRequest{Limit: 3})
+	if err != nil {
+		t.Fatalf("client did not follow the move: %v", err)
+	}
+	if resp.RowCount == 0 {
+		t.Fatal("followed query returned no rows")
+	}
+	// Non-idempotent operations follow too: moved means unprocessed.
+	svc := fixtureService(t)
+	ing := &stubIngestor{}
+	svc.SetIngestor(ing)
+	backend2 := httptest.NewServer(server.New(svc).Handler())
+	t.Cleanup(backend2.Close)
+	front2 := movedFront(t, backend2.URL)
+	c2, err := New(front2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c2.IngestLog(context.Background(), "tiny", []api.LogEntry{{SQL: "SELECT a FROM t WHERE x = 9"}}, false)
+	if err != nil {
+		t.Fatalf("ingest did not follow the move: %v", err)
+	}
+	if ack.Accepted != 1 || ing.submitted.Load() != 1 {
+		t.Fatalf("followed ingest ack = %+v (backend saw %d)", ack, ing.submitted.Load())
+	}
+}
+
+// TestClientFollowMovedDisabled: the router's configuration — the
+// structured error surfaces instead of being followed.
+func TestClientFollowMovedDisabled(t *testing.T) {
+	backend := httptest.NewServer(server.New(fixtureService(t)).Handler())
+	t.Cleanup(backend.Close)
+	front := movedFront(t, backend.URL)
+
+	c, err := New(front.URL, WithFollowMoved(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(context.Background(), "tiny", api.QueryRequest{Limit: 1})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeMoved || ae.Addr != backend.URL {
+		t.Fatalf("error = %v, want moved -> %s", err, backend.URL)
+	}
+}
+
+// TestClientMovedHopsBounded: two shards pointing moved at each other
+// must not loop the client forever.
+func TestClientMovedHopsBounded(t *testing.T) {
+	var aURL, bURL string
+	mk := func(target *string) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			e := api.ErrMoved("tiny", *target)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(e.Status)
+			_ = json.NewEncoder(w).Encode(e)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a := mk(&bURL)
+	b := mk(&aURL)
+	aURL, bURL = a.URL, b.URL
+
+	c, err := New(a.URL, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(context.Background(), "tiny", api.QueryRequest{Limit: 1})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeMoved {
+		t.Fatalf("looping move = %v, want a surfaced moved error after bounded hops", err)
+	}
+}
+
+// TestClientDeleteInterface round-trips the DELETE operation.
+func TestClientDeleteInterface(t *testing.T) {
+	ts := httptest.NewServer(server.New(fixtureService(t)).Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c.DeleteInterface(context.Background(), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Deleted || ack.ID != "tiny" {
+		t.Fatalf("ack = %+v", ack)
+	}
+	_, err = c.GetInterface(context.Background(), "tiny")
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeNotFound {
+		t.Fatalf("post-delete get = %v, want not_found", err)
+	}
+	// Page round-trips as raw text on a fresh fixture.
+	ts2 := httptest.NewServer(server.New(fixtureService(t)).Handler())
+	t.Cleanup(ts2.Close)
+	c2, err := New(ts2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := c2.Page(context.Background(), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) == 0 || page[0] != '<' {
+		t.Fatalf("page does not look like HTML: %.60q", page)
+	}
+}

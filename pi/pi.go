@@ -36,6 +36,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/server"
 	"repro/internal/sessions"
+	"repro/internal/shard"
 	"repro/internal/speculate"
 	"repro/internal/sqlparser"
 	"repro/internal/store"
@@ -348,4 +349,62 @@ func NewPersister(dir string, ing *Ingester) *Persister {
 func NewPersistentService(reg *Registry, p *Persister) (*Service, error) {
 	svc, _, err := api.NewPersistentService(reg, p)
 	return svc, err
+}
+
+// --- Sharding (internal/shard): partition hosted interfaces across
+// processes. A shard node is a full server plus an admin surface that
+// can hand interfaces off via snapshot frames; a router is a drop-in
+// Servicer that proxies to the owning shard, fans out fleet-wide
+// operations and migrates interfaces live.
+
+// Servicer is the transport-agnostic operation surface both a local
+// Service and a ShardRouter implement — the seam that makes a routed
+// fleet a drop-in replacement for one process.
+type Servicer = api.Servicer
+
+// ShardNode wraps a service as one shard of a fleet: same operations,
+// plus export/accept/relinquish and moved tombstones.
+type ShardNode = shard.Node
+
+// ShardNodeOptions configure a shard node (advertised address, restore
+// mining options, UDF re-attachment, optional persistence).
+type ShardNodeOptions = shard.NodeOptions
+
+// ShardRouter fronts a fleet of shards behind the Servicer seam.
+type ShardRouter = shard.Router
+
+// ShardRouterOptions configure a router (shared token, per-operation
+// timeout, placement pins).
+type ShardRouterOptions = shard.RouterOptions
+
+// NewShardNode wraps the service and its ingester as a shard node
+// advertising the given options' address.
+func NewShardNode(svc *Service, ing *Ingester, opts ShardNodeOptions) (*ShardNode, error) {
+	return shard.NewNode(svc, ing, opts)
+}
+
+// NewShardRouter builds a router over the given shard base URLs; call
+// Refresh on it to discover placements before serving.
+func NewShardRouter(addrs []string, opts ShardRouterOptions) (*ShardRouter, error) {
+	return shard.NewRouter(addrs, opts)
+}
+
+// ServeShardHandler returns the HTTP handler for a shard node: the
+// full v1 surface plus the /v1/shard admin surface, both under the
+// auth config.
+func ServeShardHandler(node *ShardNode, auth AuthConfig) http.Handler {
+	return server.New(node,
+		server.WithAuth(auth),
+		server.WithAdmin("/v1/shard/", node.AdminHandler(auth)),
+	).Handler()
+}
+
+// ServeRouterHandler returns the HTTP handler for a router: the
+// proxied v1 surface plus the /v1/router admin surface, both under the
+// auth config.
+func ServeRouterHandler(rt *ShardRouter, auth AuthConfig) http.Handler {
+	return server.New(rt,
+		server.WithAuth(auth),
+		server.WithAdmin("/v1/router/", rt.AdminHandler(auth)),
+	).Handler()
 }

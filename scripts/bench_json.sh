@@ -1,0 +1,34 @@
+#!/bin/sh
+# Benchmark the router-proxy overhead against direct serve on the
+# cached-plan path and record the result as BENCH_shard.json, so the
+# perf trajectory of the serving layer is tracked in-repo run over run.
+# Exits non-zero if either benchmark fails to produce a number.
+set -eu
+
+OUT="${OUT:-BENCH_shard.json}"
+BENCHTIME="${BENCHTIME:-500x}"
+
+echo "== go test -bench (Direct|Router)Query -benchtime $BENCHTIME ./internal/shard"
+raw=$(go test -run '^$' -bench 'BenchmarkDirectQuery$|BenchmarkRouterQuery$' \
+    -benchtime "$BENCHTIME" ./internal/shard)
+printf '%s\n' "$raw"
+
+direct=$(printf '%s\n' "$raw" | awk '/^BenchmarkDirectQuery/ { print $3; exit }')
+router=$(printf '%s\n' "$raw" | awk '/^BenchmarkRouterQuery/ { print $3; exit }')
+if [ -z "$direct" ] || [ -z "$router" ]; then
+    echo "FAIL: benchmarks produced no numbers" >&2
+    exit 1
+fi
+
+awk -v d="$direct" -v r="$router" -v go_ver="$(go env GOVERSION)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"router-proxy query overhead vs direct serve (cached-plan path)\",\n"
+    printf "  \"go\": \"%s\",\n", go_ver
+    printf "  \"direct_ns_op\": %d,\n", d
+    printf "  \"router_ns_op\": %d,\n", r
+    printf "  \"overhead_x\": %.3f\n", r / d
+    printf "}\n"
+}' >"$OUT"
+
+echo "== $OUT"
+cat "$OUT"
