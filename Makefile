@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke
+.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke replica-smoke
 
 check: fmt-check vet build race
 
@@ -47,7 +47,15 @@ persist-smoke:
 shard-smoke:
 	sh scripts/shard_smoke.sh
 
-# Benchmark router-proxy overhead vs direct serve and record it as
-# BENCH_shard.json, so the perf trajectory is tracked run over run.
+# End-to-end smoke of the replication subsystem: one owner + two empty
+# standbys behind a router with -replicas 2 -read-fanout -failover,
+# SIGKILL the owner under live load, assert promotion, zero lost acked
+# writes, zero failed reads, follower re-seed, degraded -> healthy.
+replica-smoke:
+	sh scripts/replica_smoke.sh
+
+# Benchmark router-proxy overhead vs direct serve (BENCH_shard.json)
+# and the replication layer's ack coupling + fan-out read
+# (BENCH_replica.json), so the perf trajectory is tracked run over run.
 bench-json:
 	sh scripts/bench_json.sh

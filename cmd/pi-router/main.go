@@ -12,15 +12,17 @@
 //	pi-router -shards http://HOST:PORT,http://HOST:PORT,...
 //	          [-addr :8100] [-token T | -token-file F]
 //	          [-pin id=addr[,id=addr...]] [-refresh-every 15s]
-//	          [-timeout 30s]
+//	          [-timeout 30s] [-replicas N] [-read-fanout] [-failover]
 //
 // Endpoints: the full /v1 interface surface (proxied), plus the
 // router-admin surface:
 //
-//	GET  /v1/router/shards     shard liveness + placement map + pins
-//	POST /v1/router/refresh    re-discover placement from the shards
-//	POST /v1/router/migrate    {"id": ..., "to": ...}: move one interface live
-//	POST /v1/router/rebalance  move every interface to its pinned/hashed home
+//	GET  /v1/router/shards      shard liveness + placement map + pins
+//	POST /v1/router/refresh     re-discover placement from the shards
+//	POST /v1/router/migrate     {"id": ..., "to": ...}: move one interface live
+//	POST /v1/router/rebalance   move every interface to its pinned/hashed home
+//	GET  /v1/router/replication per-interface replica sets (owner, term, followers)
+//	POST /v1/router/failover    {"id": ...}: force-promote the best follower
 //
 // The -token is used both ways: clients must present it on mutating
 // endpoints (like pi-serve), and the router presents it to the shards
@@ -30,6 +32,15 @@
 // repairs itself when shards answer with structured moved errors, and
 // is re-polled every -refresh-every. Default placement for rebalancing
 // is rendezvous hashing; -pin overrides it per interface.
+//
+// With -replicas N (N > 1) every refresh drives each owner toward N-1
+// warm follower replicas on the next rendezvous-ranked shards: the
+// owner seeds them with a snapshot and streams every acked write
+// before acking (see README "Replication & failover"). -read-fanout
+// spreads queries, pages and epoch reads round-robin across in-sync
+// replicas; -failover promotes the most-caught-up follower when an
+// owner dies, so the fleet heals itself instead of answering
+// shard_unavailable until an operator intervenes.
 //
 // Example (two shards and a router on one machine):
 //
@@ -65,6 +76,9 @@ func main() {
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
 	refreshEvery := flag.Duration("refresh-every", 15*time.Second, "placement re-discovery interval (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-proxied-operation budget")
+	replicas := flag.Int("replicas", 1, "copies per interface incl. the owner (>1 keeps warm followers on other shards)")
+	readFanout := flag.Bool("read-fanout", false, "spread read-only operations across in-sync replicas")
+	failover := flag.Bool("failover", false, "auto-promote the best follower when an owner shard dies")
 	flag.Parse()
 
 	tok, err := server.ResolveToken(*token, *tokenFile)
@@ -96,12 +110,19 @@ func main() {
 	}
 
 	rt, err := shard.NewRouter(addrs, shard.RouterOptions{
-		Token:   tok,
-		Timeout: *timeout,
-		Pins:    pinMap,
+		Token:      tok,
+		Timeout:    *timeout,
+		Pins:       pinMap,
+		Replicas:   *replicas,
+		ReadFanout: *readFanout,
+		Failover:   *failover,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *replicas > 1 {
+		log.Printf("replication: %d copies per interface (read fan-out %v, failover %v)",
+			*replicas, *readFanout, *failover)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGINT, syscall.SIGTERM)

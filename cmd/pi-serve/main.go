@@ -28,10 +28,15 @@
 //	GET  /v1/debug                  cache and traffic counters
 //
 // With -shard-addr the process runs as a shard: the same v1 surface
-// plus the /v1/shard admin surface (load, export, accept, relinquish)
-// that cmd/pi-router migrates interfaces through; requests for an
-// interface this shard handed off answer with a structured "moved"
-// error the SDK follows. See README "Sharding".
+// plus the /v1/shard admin surface (load, export, accept, relinquish,
+// and the replication control plane: follow, apply, promote, demote,
+// unfollow, targets, replica status) that cmd/pi-router migrates
+// interfaces and replicates them through; requests for an interface
+// this shard handed off answer with a structured "moved" error the
+// SDK follows, and requests that need the owner of a replicated
+// interface answer "not_owner" pointing at it. A shard may boot with
+// -workloads "" and host nothing until the router seeds it. See
+// README "Sharding" and "Replication & failover".
 //
 // With -token (or -token-file) the query and log endpoints require
 // "Authorization: Bearer <token>"; metadata GETs stay open. Served
@@ -177,7 +182,10 @@ func main() {
 		log.Printf("hosted %-6s %d queries -> %d widgets (cost %.0f) at /v1/interfaces/%s/page",
 			h.ID, logq.Len(), len(iface.Widgets), iface.Cost(), h.ID)
 	}
-	if reg.Len() == 0 {
+	// A shard may legitimately boot empty (-workloads ''): a fresh
+	// process joining a fleet hosts nothing until the router migrates
+	// an interface onto it or seeds it as a follower replica.
+	if reg.Len() == 0 && *shardAddr == "" {
 		fatal(fmt.Errorf("no workloads hosted"))
 	}
 
@@ -242,6 +250,7 @@ func main() {
 			Addr:      *shardAddr,
 			Funcs:     attachWorkloadFuncs,
 			Persister: persister,
+			Token:     tok,
 		})
 		if err != nil {
 			fatal(err)

@@ -83,6 +83,26 @@ const (
 	// snapshot export and relinquish); the caller re-exports and
 	// retries. 409.
 	CodeEpochMismatch = "epoch_mismatch"
+	// CodeNotOwner — the shard hosts only a follower replica of the
+	// interface (or was fenced off by a newer replication term); writes
+	// must go to the owner whose base URL is in the error's Addr field.
+	// The request was NOT processed, so re-issuing it against Addr is
+	// always safe (including non-idempotent ingestion). 421.
+	CodeNotOwner = "not_owner"
+	// CodeReplicaLagging — the follower replica that received the
+	// request has detected a gap in its apply stream and is awaiting a
+	// re-seed; its data may be arbitrarily stale. Addr (when set) names
+	// the owner, which can answer instead. 503.
+	CodeReplicaLagging = "replica_lagging"
+	// CodeReplicaOutOfSync — a replication apply arrived out of
+	// sequence (the follower missed at least one event); the owner must
+	// re-seed the follower with a fresh snapshot frame before streaming
+	// resumes. 409.
+	CodeReplicaOutOfSync = "replica_out_of_sync"
+	// CodeTermMismatch — a replication control operation (promote,
+	// demote) was conditioned on a fencing term that has since advanced;
+	// the caller re-reads replica status and retries. 409.
+	CodeTermMismatch = "term_mismatch"
 	// CodeInternal — an unexpected server-side failure. 500.
 	CodeInternal = "internal"
 )
@@ -113,6 +133,36 @@ func errInternal(err error) *Error {
 func ErrMoved(id, addr string) *Error {
 	e := Errf(CodeMoved, http.StatusMisdirectedRequest,
 		"interface %q moved to %s", id, addr)
+	e.Addr = addr
+	return e
+}
+
+// errOr preserves a structured *Error riding inside err (the
+// replication hook threads not_owner through the ingestion ack path),
+// falling back to the given code/status for plain errors.
+func errOr(err error, code string, status int) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return Errf(code, status, "%v", err)
+}
+
+// ErrNotOwner builds the structured write-redirect error a follower
+// replica returns for an interface whose owner is the shard at addr.
+// An empty addr means the follower does not (yet) know its owner.
+func ErrNotOwner(id, addr string) *Error {
+	e := Errf(CodeNotOwner, http.StatusMisdirectedRequest,
+		"interface %q is a follower replica here; owner is %s", id, addr)
+	e.Addr = addr
+	return e
+}
+
+// ErrReplicaLagging builds the structured stale-replica error a
+// follower returns while it awaits a re-seed from the owner at addr.
+func ErrReplicaLagging(id, addr string) *Error {
+	e := Errf(CodeReplicaLagging, http.StatusServiceUnavailable,
+		"follower replica of %q is lagging (awaiting re-seed)", id)
 	e.Addr = addr
 	return e
 }

@@ -385,11 +385,11 @@ func (s *Service) IngestLog(id string, entries []qlog.Entry, flush bool) (*Inges
 	}
 	ack, err := s.ing.Submit(h.ID, entries)
 	if err != nil {
-		return nil, Errf(CodeIngestFailed, http.StatusUnprocessableEntity, "%v", err)
+		return nil, errOr(err, CodeIngestFailed, http.StatusUnprocessableEntity)
 	}
 	if flush && ack.Buffered > 0 {
 		if _, err := s.ing.Flush(h.ID); err != nil {
-			return nil, Errf(CodeIngestFailed, http.StatusUnprocessableEntity, "%v", err)
+			return nil, errOr(err, CodeIngestFailed, http.StatusUnprocessableEntity)
 		}
 		ack.Flushed = true
 		ack.Buffered = 0
@@ -426,7 +426,7 @@ func (s *Service) AppendRows(id string, req RowsRequest, flush bool) (*RowsAck, 
 	}
 	ack, err := ri.SubmitRows(h.ID, req.Table, rows, flush)
 	if err != nil {
-		return nil, Errf(CodeRowsRejected, http.StatusUnprocessableEntity, "%v", err)
+		return nil, errOr(err, CodeRowsRejected, http.StatusUnprocessableEntity)
 	}
 	return &ack, nil
 }

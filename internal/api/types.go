@@ -238,6 +238,46 @@ type HealthInterface struct {
 	CacheHitRate float64       `json:"cacheHitRate"`
 	PlanHitRate  float64       `json:"planHitRate"`
 	Ingest       *IngestStatus `json:"ingest,omitempty"`
+	// Replication is present on replicated deployments: the interface's
+	// role on this shard and its position in the replication stream.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
+}
+
+// Replication roles, as reported in ReplicationInfo.Role. An interface
+// hosted on a shard with no replication manager (or one the manager
+// has no explicit state for) is implicitly an owner.
+const (
+	RoleOwner    = "owner"
+	RoleFollower = "follower"
+)
+
+// ReplicationInfo is one interface's replication status on one shard.
+type ReplicationInfo struct {
+	// Role is RoleOwner or RoleFollower.
+	Role string `json:"role"`
+	// Term is the fencing term: promotions increment it, and a shard
+	// rejects replication traffic from owners with an older term.
+	Term uint64 `json:"term"`
+	// Seq is the last replication sequence number this shard published
+	// (owner) or applied (follower).
+	Seq uint64 `json:"seq"`
+	// Stale marks a follower that detected a gap in its apply stream
+	// and is awaiting a re-seed; its reads answer replica_lagging.
+	Stale bool `json:"stale,omitempty"`
+	// Owner is the owner's base URL, set on followers.
+	Owner string `json:"owner,omitempty"`
+	// Followers is the owner's view of its replicas.
+	Followers []ReplicaFollower `json:"followers,omitempty"`
+}
+
+// ReplicaFollower is the owner's record of one follower replica.
+type ReplicaFollower struct {
+	Addr string `json:"addr"`
+	// Synced means the follower holds every acked publish up to Seq;
+	// an unsynced follower is being (re-)seeded or awaiting one.
+	Synced bool   `json:"synced"`
+	Seq    uint64 `json:"seq"`
+	Error  string `json:"error,omitempty"`
 }
 
 // ShardHealth is one shard's row in a routed health report.
@@ -258,6 +298,7 @@ type Health struct {
 	UptimeSeconds float64           `json:"uptimeSeconds"`
 	Ingestion     bool              `json:"ingestion"`
 	Persistence   bool              `json:"persistence"`
+	Replication   bool              `json:"replication,omitempty"`
 	Interfaces    []HealthInterface `json:"interfaces"`
 	Shards        []ShardHealth     `json:"shards,omitempty"`
 }

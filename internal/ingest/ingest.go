@@ -92,6 +92,11 @@ type feed struct {
 	rowBuf      map[string][][]engine.Value
 	rowBuffered int
 
+	// seq counts the feed's epoch-bumping publishes — the per-interface
+	// monotone sequence number the replication stream rides on
+	// (replicate.go). Seeded snapshots resume it.
+	seq uint64
+
 	accepted     uint64
 	dropped      uint64
 	flushes      uint64
@@ -109,6 +114,12 @@ type Ingester struct {
 
 	mu    sync.RWMutex
 	feeds map[string]*feed
+
+	// hook, when set, observes every epoch-bumping publish (see
+	// replicate.go). Guarded separately from mu so installing it never
+	// contends with feed routing.
+	hookMu sync.RWMutex
+	hook   PublishHook
 }
 
 // New returns an ingester over the registry.
@@ -128,19 +139,19 @@ func (ing *Ingester) Host(id, title string, log *qlog.Log, db *engine.DB, opts c
 	if err != nil {
 		return nil, fmt.Errorf("ingest: mine %q: %w", id, err)
 	}
-	return ing.host(id, title, m, store.FromDB(db), 1)
+	return ing.host(id, title, m, store.FromDB(db), 1, 0)
 }
 
 // host registers a mined interface backed by a store at the given
-// starting epoch — shared by Host (fresh, epoch 1) and the restore
-// path (saved epoch).
-func (ing *Ingester) host(id, title string, m *core.Miner, st *store.Store, epoch uint64) (*api.Hosted, error) {
+// starting epoch and replication sequence — shared by Host (fresh,
+// epoch 1, seq 0) and the snapshot paths (saved epoch/seq).
+func (ing *Ingester) host(id, title string, m *core.Miner, st *store.Store, epoch, seq uint64) (*api.Hosted, error) {
 	h, err := ing.reg.AddAt(id, title, m.Interface(), st.Snapshot(), epoch)
 	if err != nil {
 		return nil, err
 	}
 	ing.mu.Lock()
-	ing.feeds[id] = &feed{hosted: h, miner: m, store: st, rowBuf: map[string][][]engine.Value{}}
+	ing.feeds[id] = &feed{hosted: h, miner: m, store: st, rowBuf: map[string][][]engine.Value{}, seq: seq}
 	ing.mu.Unlock()
 	return h, nil
 }
@@ -176,9 +187,11 @@ func (ing *Ingester) PrepareSnapshot(snap *store.Snapshot, live core.LiveOptions
 }
 
 // HostPrepared hosts a prepared snapshot at the given epoch with a
-// live feed attached.
+// live feed attached. The feed resumes the snapshot's replication
+// sequence, so a seeded follower continues the owner's stream where
+// the seed frame left off.
 func (ing *Ingester) HostPrepared(p *PreparedSnapshot, epoch uint64) (*api.Hosted, error) {
-	return ing.host(p.snap.ID, p.snap.Title, p.miner, p.st, epoch)
+	return ing.host(p.snap.ID, p.snap.Title, p.miner, p.st, epoch, p.snap.Seq)
 }
 
 // HostSnapshot is PrepareSnapshot + HostPrepared: rebuild and host an
@@ -213,6 +226,7 @@ func (ing *Ingester) Capture(id string) (*store.Snapshot, error) {
 		Title:     f.hosted.Title,
 		Epoch:     f.hosted.Epoch(),
 		DataEpoch: f.store.Epoch(),
+		Seq:       f.seq,
 		Log:       f.miner.Log().Entries,
 		Tables:    f.store.CaptureTables(),
 	}, nil
@@ -401,6 +415,13 @@ func (ing *Ingester) flushLocked(f *feed) (int, error) {
 	if _, err := f.hosted.Swap(iface, nil); err != nil {
 		f.lastError = err.Error()
 		return st.ParseErrors, fmt.Errorf("ingest: swap %q: %w", f.hosted.ID, err)
+	}
+	// Replicate the published batch before the ack propagates: a hook
+	// error (the owner was fenced off by a newer term) fails the
+	// submission so the client never holds an ack a promoted follower
+	// lacks.
+	if err := ing.firePublish(f, entries, nil); err != nil {
+		return st.ParseErrors, err
 	}
 	return st.ParseErrors, nil
 }

@@ -1,0 +1,234 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/qlog"
+)
+
+// This file is the ingestion side of the replication contract
+// (internal/replica): the owner's ack path publishes every
+// epoch-bumping flush as a Publication through an optional hook, and
+// followers apply those publications — the exact batches, in the exact
+// order — through ApplyBatch/ApplyRows/ApplyBump. Because the hook
+// fires under the same per-feed lock every write path publishes under,
+// publications carry per-interface monotone sequence numbers for free,
+// and a hook error fails the submission's ack: a write is only ever
+// acknowledged after the replication layer has had its say
+// (replicate-before-ack).
+
+// TableRows is one table's slice of a row publication.
+type TableRows struct {
+	Table string
+	Rows  [][]engine.Value
+}
+
+// Publication is one epoch-bumping publish on the owner: a re-mined
+// log batch (Entries), a row append (Rows), or a bare epoch bump
+// (neither — promotion fencing). Seq is the per-interface monotone
+// sequence number of the publish; Epoch is the interface epoch after
+// it. A follower that applies the same publications in the same order
+// to the same seed is byte-identical to the owner (the miner is
+// deterministic), so Seq+Epoch double-check lockstep.
+type Publication struct {
+	Seq     uint64
+	Epoch   uint64
+	Entries []qlog.Entry
+	Rows    []TableRows
+}
+
+// PublishHook observes every epoch-bumping publish of every owned
+// feed, synchronously, under the feed lock (keep it fast; serving
+// reads never take that lock, but further writes to the interface
+// do). Returning an error fails the triggering submission's ack — the
+// replication layer uses that to refuse acks after it has been fenced
+// off by a newer owner.
+type PublishHook func(id string, p Publication) error
+
+// SetPublishHook installs (or with nil, clears) the publish hook.
+func (ing *Ingester) SetPublishHook(h PublishHook) {
+	ing.hookMu.Lock()
+	ing.hook = h
+	ing.hookMu.Unlock()
+}
+
+func (ing *Ingester) publishHook() PublishHook {
+	ing.hookMu.RLock()
+	h := ing.hook
+	ing.hookMu.RUnlock()
+	return h
+}
+
+// firePublish bumps the feed's sequence number and runs the hook.
+// Caller holds f.mu and has already published the swap.
+func (ing *Ingester) firePublish(f *feed, entries []qlog.Entry, rows []TableRows) error {
+	f.seq++
+	h := ing.publishHook()
+	if h == nil {
+		return nil
+	}
+	if err := h(f.hosted.ID, Publication{
+		Seq:     f.seq,
+		Epoch:   f.hosted.Epoch(),
+		Entries: entries,
+		Rows:    rows,
+	}); err != nil {
+		f.lastError = err.Error()
+		return err
+	}
+	return nil
+}
+
+// ErrReplicaDiverged reports a follower apply that cannot reproduce
+// the owner's publication (sequence gap, epoch drift, or a batch the
+// local miner rejects): the follower needs a fresh seed. Matched with
+// errors.Is.
+var ErrReplicaDiverged = errors.New("replica diverged from owner stream")
+
+// Seq returns the interface's current replication sequence number.
+func (ing *Ingester) Seq(id string) (uint64, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq, nil
+}
+
+// PublishBump publishes a bare epoch bump through the replication
+// hook — the promotion path uses it so cursors minted against the
+// ex-owner expire, with surviving followers bumping in lockstep.
+// Returns the new epoch and sequence number.
+func (ing *Ingester) PublishBump(id string) (uint64, uint64, error) {
+	f, err := ing.feed(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sealed {
+		return 0, 0, fmt.Errorf("ingest: interface %q %w", id, ErrNoFeed)
+	}
+	if _, err := f.hosted.Swap(f.hosted.Iface(), nil); err != nil {
+		return 0, 0, fmt.Errorf("ingest: bump %q: %w", id, err)
+	}
+	if err := ing.firePublish(f, nil, nil); err != nil {
+		return f.hosted.Epoch(), f.seq, err
+	}
+	return f.hosted.Epoch(), f.seq, nil
+}
+
+// applyCheck validates the publication slot before any state changes.
+// Caller holds f.mu.
+func (f *feed) applyCheck(id string, wantSeq uint64) error {
+	if f.sealed {
+		return fmt.Errorf("ingest: interface %q %w", id, ErrNoFeed)
+	}
+	if wantSeq != f.seq+1 {
+		return fmt.Errorf("ingest: %q apply seq %d does not follow local seq %d: %w",
+			id, wantSeq, f.seq, ErrReplicaDiverged)
+	}
+	return nil
+}
+
+// applySettle records the applied slot and verifies epoch lockstep.
+// Caller holds f.mu and has published the swap.
+func (f *feed) applySettle(id string, wantEpoch, wantSeq uint64) error {
+	f.seq = wantSeq
+	if cur := f.hosted.Epoch(); wantEpoch != 0 && cur != wantEpoch {
+		return fmt.Errorf("ingest: %q at epoch %d after apply, owner at %d: %w",
+			id, cur, wantEpoch, ErrReplicaDiverged)
+	}
+	return nil
+}
+
+// ApplyBatch applies one replicated log publication to a follower
+// feed: the exact entry batch the owner flushed, expected to land at
+// exactly (wantEpoch, wantSeq). It bypasses the submission buffer and
+// the publish hook — replication is one hop deep, never chained.
+func (ing *Ingester) ApplyBatch(id string, entries []qlog.Entry, wantEpoch, wantSeq uint64) error {
+	f, err := ing.feed(id)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.applyCheck(id, wantSeq); err != nil {
+		return err
+	}
+	iface, st, err := f.miner.Append(entries)
+	f.accepted += uint64(len(entries))
+	f.dropped += uint64(st.ParseErrors)
+	if err != nil {
+		f.lastError = err.Error()
+		return fmt.Errorf("ingest: %q apply re-mine: %v: %w", id, err, ErrReplicaDiverged)
+	}
+	if st.FullRemine {
+		f.fullRemines++
+	}
+	if st.Added == 0 {
+		// The owner bumped its epoch for this batch; a deterministic
+		// re-mine that adds nothing here means the replica drifted.
+		return fmt.Errorf("ingest: %q apply mined no entries the owner published: %w",
+			id, ErrReplicaDiverged)
+	}
+	f.flushes++
+	if _, err := f.hosted.Swap(iface, nil); err != nil {
+		f.lastError = err.Error()
+		return fmt.Errorf("ingest: %q apply swap: %v: %w", id, err, ErrReplicaDiverged)
+	}
+	return f.applySettle(id, wantEpoch, wantSeq)
+}
+
+// ApplyRows applies one replicated row publication to a follower
+// feed: every table's batch from one owner flush, published under a
+// single epoch bump exactly like the owner's flushRowsLocked.
+func (ing *Ingester) ApplyRows(id string, rows []TableRows, wantEpoch, wantSeq uint64) error {
+	f, err := ing.feed(id)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.applyCheck(id, wantSeq); err != nil {
+		return err
+	}
+	appended := 0
+	for _, tr := range rows {
+		if _, err := f.store.AppendRows(tr.Table, tr.Rows); err != nil {
+			f.lastError = err.Error()
+			return fmt.Errorf("ingest: %q apply rows to %q: %v: %w",
+				id, tr.Table, err, ErrReplicaDiverged)
+		}
+		appended += len(tr.Rows)
+	}
+	f.rowsAppended += uint64(appended)
+	f.rowFlushes++
+	if _, err := f.hosted.Swap(f.hosted.Iface(), f.store.Snapshot()); err != nil {
+		f.lastError = err.Error()
+		return fmt.Errorf("ingest: %q apply swap: %v: %w", id, err, ErrReplicaDiverged)
+	}
+	return f.applySettle(id, wantEpoch, wantSeq)
+}
+
+// ApplyBump applies a bare epoch bump (the promotion fence) to a
+// follower feed.
+func (ing *Ingester) ApplyBump(id string, wantEpoch, wantSeq uint64) error {
+	f, err := ing.feed(id)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.applyCheck(id, wantSeq); err != nil {
+		return err
+	}
+	if _, err := f.hosted.Swap(f.hosted.Iface(), nil); err != nil {
+		f.lastError = err.Error()
+		return fmt.Errorf("ingest: %q apply bump: %v: %w", id, err, ErrReplicaDiverged)
+	}
+	return f.applySettle(id, wantEpoch, wantSeq)
+}

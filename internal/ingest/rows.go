@@ -108,6 +108,7 @@ func (ing *Ingester) flushRowsLocked(f *feed) error {
 		return nil
 	}
 	appended := 0
+	var published []TableRows
 	var failErr error
 	for table, rows := range f.rowBuf {
 		if len(rows) == 0 {
@@ -119,6 +120,7 @@ func (ing *Ingester) flushRowsLocked(f *feed) error {
 			failErr = fmt.Errorf("ingest: append %d rows to %q: %w", len(rows), table, err)
 			break
 		}
+		published = append(published, TableRows{Table: table, Rows: rows})
 		appended += len(rows)
 		f.rowBuffered -= len(rows)
 		delete(f.rowBuf, table)
@@ -129,6 +131,14 @@ func (ing *Ingester) flushRowsLocked(f *feed) error {
 		if _, err := f.hosted.Swap(f.hosted.Iface(), f.store.Snapshot()); err != nil {
 			f.lastError = err.Error()
 			return fmt.Errorf("ingest: swap %q after row append: %w", f.hosted.ID, err)
+		}
+		// Replicate the published batches before the ack propagates
+		// (see flushLocked); one publication covers every table flushed
+		// under this swap.
+		if err := ing.firePublish(f, nil, published); err != nil {
+			if failErr == nil {
+				failErr = err
+			}
 		}
 	}
 	return failErr

@@ -1,0 +1,764 @@
+// Package replica keeps N warm followers per hosted interface and
+// promotes one when the owner dies.
+//
+// The data plane rides the ingestion layer's publish hook: every
+// epoch-bumping publish on an owner (log re-mine, row append, or bare
+// epoch bump) is streamed synchronously to each in-sync follower as a
+// replication Event carrying the interface's monotone sequence number
+// — replicate-before-ack, so a write is only ever acknowledged after
+// the followers that define "in sync" have applied it. A follower is
+// therefore always a valid epoch-consistent snapshot of the owner: it
+// is seeded with the same checksummed frame format the shard accept
+// path uses (store.Encode/Decode), hosted at exactly the owner's
+// epoch and sequence, and each applied event bumps its epoch in
+// lockstep (the miner is deterministic, so re-applying the owner's
+// batches reproduces the owner's interface bit for bit).
+//
+// The control plane is term-fenced, in the generalization of the
+// shard package's migration CAS: every promotion increments a
+// per-interface term, a follower rejects replication traffic from an
+// owner with an older term (not_owner, carrying the new owner's
+// address), and an ex-owner that sees that rejection demotes itself —
+// its un-replicated tail is discarded and its clients are redirected
+// with the same structured moved/not_owner contract migrations use. A
+// follower that detects a gap in its stream marks itself stale
+// (reads answer replica_lagging) until the owner re-seeds it.
+//
+// Availability over strict durability: a follower that cannot be
+// reached is marked out-of-sync and the ack proceeds on the owner —
+// the owner never blocks writes on a dead follower. The window where
+// an acked write exists only on the owner is bounded by the router's
+// refresh cadence (which re-targets and re-seeds the follower).
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+// Config wires a Manager to its node.
+type Config struct {
+	// Self is this shard's advertised base URL (normalized).
+	Self string
+	// Token authenticates outbound replication calls to peer shards.
+	Token string
+	// Ing is the node's ingester: seeds capture from it, applies land
+	// in it.
+	Ing *ingest.Ingester
+	// Reg is the node's registry, for epoch reads and copy teardown.
+	Reg *api.Registry
+	// Live/Funcs mirror the node's accept options: how seeded
+	// snapshots re-mine and which table-valued functions re-attach.
+	Live  core.LiveOptions
+	Funcs func(id string, st *store.Store)
+	// Demote is called (on its own goroutine, no locks held) when this
+	// shard learns it no longer owns id: tombstone to newOwner, then
+	// drop the local copy. The manager has already flipped the
+	// interface to a stale follower, so the window before Demote
+	// completes answers not_owner/replica_lagging, never a silent ack.
+	Demote func(id, newOwner string)
+	// Drop removes a local copy (and any durable snapshot) without a
+	// tombstone — the unfollow/reseed teardown. Missing copies are not
+	// an error.
+	Drop func(id string)
+	// ClearTombstone is called after a seed hosts a copy here: an old
+	// moved tombstone no longer applies.
+	ClearTombstone func(id string)
+	// HTTPClient carries replication traffic. Defaults to a 2-minute
+	// budget (seeds move whole interfaces).
+	HTTPClient *http.Client
+	// ApplyTimeout bounds one streamed event send. Default 10s.
+	ApplyTimeout time.Duration
+	// MaxPending bounds the events buffered for a follower that is
+	// mid-seed; overflow marks it stale for a fresh re-seed instead of
+	// growing without bound. Default 4096.
+	MaxPending int
+}
+
+// follower modes, owner side.
+const (
+	fNew     = iota // targeted, not yet seeded
+	fSeeding        // a seed is in flight; live events buffer in pending
+	fSynced         // streaming: has every acked publish up to seq
+	fStale          // fell out of the stream; needs a fresh seed
+)
+
+type follower struct {
+	addr    string
+	mode    int
+	seq     uint64
+	pending []Event // events published while the seed was in flight
+	lastErr string
+}
+
+// ifaceState is one interface's replication state on this shard.
+// state.mu serializes the interface's control operations and its
+// outbound stream; the ingestion feed lock is never taken while
+// holding it (the publish hook holds the feed lock and then takes
+// state.mu, so the reverse order would deadlock).
+type ifaceState struct {
+	mu        sync.Mutex
+	role      string // api.RoleOwner | api.RoleFollower
+	term      uint64
+	owner     string // follower: the owner's base URL
+	stale     bool   // follower: gap detected, awaiting re-seed
+	seq       uint64 // follower: last applied sequence number
+	followers map[string]*follower
+}
+
+// Manager is a shard's replication state machine: owner-side fan-out
+// and seeding for interfaces it owns, follower-side apply and fencing
+// for interfaces it warms. Interfaces with no explicit state are
+// implicitly unreplicated owners — a fleet without -replicas behaves
+// exactly as before this package existed.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	states map[string]*ifaceState
+}
+
+// NewManager validates the config and returns a manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Ing == nil || cfg.Reg == nil {
+		return nil, fmt.Errorf("replica: manager needs an ingester and a registry")
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("replica: manager needs the shard's advertised address")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if cfg.ApplyTimeout <= 0 {
+		cfg.ApplyTimeout = 10 * time.Second
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	return &Manager{cfg: cfg, states: map[string]*ifaceState{}}, nil
+}
+
+// Hook returns the ingest.PublishHook to install on the node's
+// ingester: the owner half of the data plane.
+func (m *Manager) Hook() ingest.PublishHook {
+	return func(id string, p ingest.Publication) error { return m.publish(id, p) }
+}
+
+func (m *Manager) lookup(id string) *ifaceState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.states[id]
+}
+
+// ensure returns the interface's state, creating the implicit
+// unreplicated-owner state if none exists.
+func (m *Manager) ensure(id string) *ifaceState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.states[id]
+	if !ok {
+		s = &ifaceState{role: api.RoleOwner, followers: map[string]*follower{}}
+		m.states[id] = s
+	}
+	return s
+}
+
+// Forget drops the interface's replication state (relinquish/delete
+// teardown). The copy itself is the caller's business.
+func (m *Manager) Forget(id string) {
+	m.mu.Lock()
+	delete(m.states, id)
+	m.mu.Unlock()
+}
+
+// RoleOf reports the interface's role and, for followers, the owner's
+// address. Untracked interfaces are owners.
+func (m *Manager) RoleOf(id string) (role, owner string, stale bool) {
+	s := m.lookup(id)
+	if s == nil {
+		return api.RoleOwner, "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role, s.owner, s.stale
+}
+
+// client builds a wire client for a peer shard.
+func (m *Manager) client(addr string) *Client {
+	return NewClient(addr, m.cfg.Token, m.cfg.HTTPClient)
+}
+
+// --- owner side: publish fan-out and seeding.
+
+// publish streams one owner publication to every follower. Called by
+// the ingestion hook under the feed lock: per-interface ordering is
+// inherited, and an error fails the triggering ack.
+func (m *Manager) publish(id string, p ingest.Publication) error {
+	s := m.lookup(id)
+	if s == nil {
+		return nil // unreplicated interface
+	}
+	s.mu.Lock()
+	if s.role != api.RoleOwner {
+		// Follower feeds never take writes (the node fences them), so a
+		// publish here would be a test driving the ingester directly;
+		// refuse the ack rather than forge a second stream.
+		owner := s.owner
+		s.mu.Unlock()
+		return api.ErrNotOwner(id, owner)
+	}
+	ev := Event{ID: id, Term: s.term, Owner: m.cfg.Self, Pub: p}
+	var fenced *api.Error
+	for _, fo := range s.followers {
+		switch fo.mode {
+		case fSeeding:
+			if len(fo.pending) >= m.cfg.MaxPending {
+				fo.mode = fStale
+				fo.pending = nil
+				fo.lastErr = "seed outpaced by writes; re-seeding"
+				continue
+			}
+			fo.pending = append(fo.pending, ev)
+		case fSynced:
+			if err := m.sendEvent(fo, ev); err != nil {
+				if e := notOwnerErr(err); e != nil {
+					fenced = e
+				}
+			}
+		}
+	}
+	if fenced != nil {
+		m.fenceLocked(s, id, fenced.Addr)
+		s.mu.Unlock()
+		return api.ErrNotOwner(id, fenced.Addr)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// sendEvent pushes one event to a synced follower, downgrading it on
+// failure. Caller holds s.mu. Returns the send error (the caller only
+// inspects it for fencing).
+func (m *Manager) sendEvent(fo *follower, ev Event) error {
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ApplyTimeout)
+	defer cancel()
+	if err := m.client(fo.addr).Apply(ctx, ev); err != nil {
+		fo.mode = fStale
+		fo.pending = nil
+		fo.lastErr = err.Error()
+		return err
+	}
+	fo.seq = ev.Pub.Seq
+	fo.lastErr = ""
+	return nil
+}
+
+// fenceLocked flips a fenced ex-owner to a stale follower of newOwner
+// and schedules the local teardown. Caller holds s.mu. Writes fail
+// with not_owner and reads with replica_lagging until Demote finishes
+// (tombstone + drop), after which they answer moved.
+func (m *Manager) fenceLocked(s *ifaceState, id, newOwner string) {
+	s.role = api.RoleFollower
+	s.owner = newOwner
+	s.stale = true
+	s.followers = map[string]*follower{}
+	if m.cfg.Demote != nil {
+		go m.cfg.Demote(id, newOwner)
+	}
+}
+
+// notOwnerErr extracts a structured not_owner from a send error.
+func notOwnerErr(err error) *api.Error {
+	var e *api.Error
+	if errors.As(err, &e) && e.Code == api.CodeNotOwner {
+		return e
+	}
+	return nil
+}
+
+// SetTargets declares the follower set for an interface this shard
+// owns. New targets are seeded in the background; removed ones get a
+// best-effort unfollow; stale ones are re-seeded. The router calls
+// this on every refresh, so seeding retries ride the refresh cadence.
+func (m *Manager) SetTargets(id string, addrs []string) error {
+	if _, ok := m.cfg.Reg.Get(id); !ok {
+		return api.Errf(api.CodeNotFound, http.StatusNotFound, "unknown interface %q", id)
+	}
+	s := m.ensure(id)
+	s.mu.Lock()
+	if s.role != api.RoleOwner {
+		owner := s.owner
+		s.mu.Unlock()
+		return api.ErrNotOwner(id, owner)
+	}
+	want := map[string]bool{}
+	for _, a := range addrs {
+		if a != "" && a != m.cfg.Self {
+			want[a] = true
+		}
+	}
+	var removed, seed []string
+	for addr := range s.followers {
+		if !want[addr] {
+			delete(s.followers, addr)
+			removed = append(removed, addr)
+		}
+	}
+	for addr := range want {
+		fo, ok := s.followers[addr]
+		if !ok {
+			fo = &follower{addr: addr, mode: fNew}
+			s.followers[addr] = fo
+		}
+		if fo.mode == fNew || fo.mode == fStale {
+			fo.mode = fSeeding
+			fo.pending = nil
+			seed = append(seed, addr)
+		}
+	}
+	s.mu.Unlock()
+	for _, addr := range removed {
+		go func(addr string) {
+			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ApplyTimeout)
+			defer cancel()
+			_ = m.client(addr).Unfollow(ctx, id)
+		}(addr)
+	}
+	for _, addr := range seed {
+		go m.seed(id, addr)
+	}
+	return nil
+}
+
+// seed ships a full snapshot frame to one follower and then drains
+// the events that published while the transfer was in flight, leaving
+// the follower synced. The capture happens under the feed lock, so
+// every publish is either inside the frame (seq ≤ frame seq) or in
+// the pending buffer (the follower was already in fSeeding before the
+// capture) — no event can fall between.
+func (m *Manager) seed(id, addr string) {
+	fail := func(msg string) {
+		s := m.lookup(id)
+		if s == nil {
+			return
+		}
+		s.mu.Lock()
+		if fo := s.followers[addr]; fo != nil && fo.mode == fSeeding {
+			fo.mode = fStale
+			fo.pending = nil
+			fo.lastErr = msg
+		}
+		s.mu.Unlock()
+	}
+	if _, err := m.cfg.Ing.Flush(id); err != nil {
+		fail(fmt.Sprintf("seed flush: %v", err))
+		return
+	}
+	snap, err := m.cfg.Ing.Capture(id)
+	if err != nil {
+		fail(fmt.Sprintf("seed capture: %v", err))
+		return
+	}
+	frame, err := store.Encode(snap)
+	if err != nil {
+		fail(fmt.Sprintf("seed encode: %v", err))
+		return
+	}
+	s := m.lookup(id)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	term := s.term
+	s.mu.Unlock()
+	budget := m.cfg.HTTPClient.Timeout
+	if budget <= 0 {
+		budget = 2 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	if _, err := m.client(addr).Follow(ctx, id, frame, term, m.cfg.Self); err != nil {
+		fail(fmt.Sprintf("seed transfer: %v", err))
+		return
+	}
+	// Drain what published during the transfer, in order, then go
+	// synced. The drain holds s.mu, so the hook (which appends to
+	// pending under s.mu) cannot interleave half-way.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fo := s.followers[addr]
+	if fo == nil || fo.mode != fSeeding || s.role != api.RoleOwner {
+		return // re-targeted, demoted or superseded while seeding
+	}
+	fo.seq = snap.Seq
+	for _, ev := range fo.pending {
+		if ev.Pub.Seq <= snap.Seq {
+			continue // already inside the frame
+		}
+		if err := m.sendEvent(fo, ev); err != nil {
+			return // sendEvent already downgraded the follower
+		}
+	}
+	fo.pending = nil
+	fo.mode = fSynced
+	fo.lastErr = ""
+}
+
+// Unhost tears the interface's replication down fleet-side before the
+// owner deletes its copy: best-effort unfollow to every follower, then
+// the local state is forgotten.
+func (m *Manager) Unhost(id string) {
+	s := m.lookup(id)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	var addrs []string
+	for addr := range s.followers {
+		addrs = append(addrs, addr)
+	}
+	s.mu.Unlock()
+	for _, addr := range addrs {
+		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ApplyTimeout)
+		_ = m.client(addr).Unfollow(ctx, id)
+		cancel()
+	}
+	m.Forget(id)
+}
+
+// --- follower side: seed intake, stream apply, fencing.
+
+// Follow hosts a seed frame as a follower copy at exactly the owner's
+// epoch and sequence, replacing whatever copy was here. A local owner
+// at the same or newer term refuses the seed (term_mismatch) — a
+// newer-term seed legitimately supersedes it.
+func (m *Manager) Follow(frame []byte, term uint64, owner string) (*StatusResponse, error) {
+	snap, err := store.Decode(frame)
+	if err != nil {
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "follow: %v", err)
+	}
+	id := snap.ID
+	prep, err := m.cfg.Ing.PrepareSnapshot(snap, m.cfg.Live, m.cfg.Funcs)
+	if err != nil {
+		return nil, api.Errf(api.CodeRestoreFailed, http.StatusInternalServerError,
+			"follow %q: %v", id, err)
+	}
+	s := m.ensure(id)
+	s.mu.Lock()
+	if _, hosted := m.cfg.Reg.Get(id); hosted && s.role == api.RoleOwner && s.term >= term {
+		cur := s.term
+		s.mu.Unlock()
+		return nil, api.Errf(api.CodeTermMismatch, http.StatusConflict,
+			"follow %q: this shard owns it at term %d (seed term %d)", id, cur, term)
+	}
+	s.mu.Unlock()
+	if m.cfg.Drop != nil {
+		m.cfg.Drop(id)
+	}
+	if _, err := m.cfg.Ing.HostPrepared(prep, snap.Epoch); err != nil {
+		return nil, api.Errf(api.CodeRestoreFailed, http.StatusInternalServerError,
+			"follow %q: %v", id, err)
+	}
+	s.mu.Lock()
+	s.role = api.RoleFollower
+	s.term = term
+	s.owner = owner
+	s.stale = false
+	s.seq = snap.Seq
+	s.followers = map[string]*follower{}
+	s.mu.Unlock()
+	if m.cfg.ClearTombstone != nil {
+		m.cfg.ClearTombstone(id)
+	}
+	return m.Status(id)
+}
+
+// Apply lands one streamed event on a follower copy. Term fencing
+// happens first: an event from an older term is rejected with
+// not_owner (carrying who this follower believes owns the interface),
+// a newer term is adopted (the sender won a promotion). A sequence
+// gap or a divergent apply marks the follower stale and answers
+// replica_out_of_sync, telling the owner to re-seed.
+func (m *Manager) Apply(ev Event) error {
+	s := m.lookup(ev.ID)
+	if s == nil {
+		return api.Errf(api.CodeNotFound, http.StatusNotFound,
+			"no follower copy of %q here", ev.ID)
+	}
+	s.mu.Lock()
+	if s.role != api.RoleFollower {
+		addr := m.cfg.Self
+		s.mu.Unlock()
+		return api.ErrNotOwner(ev.ID, addr)
+	}
+	switch {
+	case ev.Term < s.term:
+		owner := s.owner
+		s.mu.Unlock()
+		return api.ErrNotOwner(ev.ID, owner)
+	case ev.Term > s.term:
+		s.term = ev.Term
+		s.owner = ev.Owner
+	case ev.Owner != s.owner && s.owner != "":
+		// Same term, different claimed owner: split brain. Refuse both.
+		owner := s.owner
+		s.mu.Unlock()
+		return api.ErrNotOwner(ev.ID, owner)
+	}
+	if s.stale {
+		owner := s.owner
+		s.mu.Unlock()
+		return api.Errf(api.CodeReplicaOutOfSync, http.StatusConflict,
+			"follower of %q is stale; re-seed it (owner %s)", ev.ID, owner)
+	}
+	s.mu.Unlock()
+
+	// The ingest apply takes the feed lock; state.mu must not be held
+	// across it (the publish hook takes the locks in the other order).
+	p := ev.Pub
+	var err error
+	switch {
+	case len(p.Entries) > 0:
+		err = m.cfg.Ing.ApplyBatch(ev.ID, p.Entries, p.Epoch, p.Seq)
+	case len(p.Rows) > 0:
+		err = m.cfg.Ing.ApplyRows(ev.ID, p.Rows, p.Epoch, p.Seq)
+	default:
+		err = m.cfg.Ing.ApplyBump(ev.ID, p.Epoch, p.Seq)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.stale = true
+		return api.Errf(api.CodeReplicaOutOfSync, http.StatusConflict,
+			"apply seq %d to follower of %q: %v", p.Seq, ev.ID, err)
+	}
+	s.seq = p.Seq
+	return nil
+}
+
+// PromoteTarget names one surviving follower and the sequence number
+// the promoting router observed on it — a survivor already at the new
+// owner's sequence keeps streaming without a re-seed.
+type PromoteTarget struct {
+	Addr string `json:"addr"`
+	Seq  uint64 `json:"seq"`
+}
+
+// Promote flips this follower to owner under a strictly newer term —
+// the failover CAS. The epoch is bumped through the replication
+// stream, so cursors minted against the ex-owner expire and surviving
+// followers bump in lockstep; targets not at this shard's sequence
+// are re-seeded in the background. Re-promoting an owner at the same
+// term is idempotent.
+func (m *Manager) Promote(id string, term uint64, targets []PromoteTarget) (*StatusResponse, error) {
+	s := m.lookup(id)
+	if s == nil {
+		return nil, api.Errf(api.CodeNotFound, http.StatusNotFound,
+			"no replica of %q here", id)
+	}
+	seq, err := m.cfg.Ing.Seq(id)
+	if err != nil {
+		return nil, api.Errf(api.CodeNotFound, http.StatusNotFound,
+			"promote %q: %v", id, err)
+	}
+	s.mu.Lock()
+	if s.role == api.RoleOwner {
+		if term == s.term {
+			s.mu.Unlock()
+			return m.Status(id) // lost response, retried promote
+		}
+		if term < s.term {
+			cur := s.term
+			s.mu.Unlock()
+			return nil, api.Errf(api.CodeTermMismatch, http.StatusConflict,
+				"promote %q: already owner at term %d (promote term %d)", id, cur, term)
+		}
+		// A newer-term promote of an existing owner just adopts the
+		// term and targets below.
+	} else {
+		if term <= s.term {
+			cur := s.term
+			s.mu.Unlock()
+			return nil, api.Errf(api.CodeTermMismatch, http.StatusConflict,
+				"promote %q: follower term %d is not older than promote term %d", id, cur, term)
+		}
+		if s.stale {
+			owner := s.owner
+			s.mu.Unlock()
+			return nil, api.ErrReplicaLagging(id, owner)
+		}
+	}
+	wasFollower := s.role == api.RoleFollower
+	s.role = api.RoleOwner
+	s.term = term
+	s.owner = ""
+	s.stale = false
+	s.followers = map[string]*follower{}
+	var seedAddrs []string
+	for _, t := range targets {
+		if t.Addr == "" || t.Addr == m.cfg.Self {
+			continue
+		}
+		fo := &follower{addr: t.Addr, seq: t.Seq}
+		if t.Seq == seq {
+			fo.mode = fSynced // survivor in lockstep: stream continues
+		} else {
+			fo.mode = fSeeding
+			seedAddrs = append(seedAddrs, t.Addr)
+		}
+		s.followers[t.Addr] = fo
+	}
+	s.mu.Unlock()
+
+	if wasFollower {
+		// Fence: bump the epoch through the stream under the new term.
+		// Synced survivors follow the bump; cursors minted against the
+		// ex-owner expire instead of silently paging a diverged set.
+		if _, _, err := m.cfg.Ing.PublishBump(id); err != nil {
+			return nil, api.FromErr(err)
+		}
+	}
+	for _, addr := range seedAddrs {
+		go m.seed(id, addr)
+	}
+	return m.Status(id)
+}
+
+// DemoteRequest asks a shard to give up an owner claim that lost a
+// term race (e.g. an ex-owner that restarted from disk after a
+// failover promoted someone else).
+type DemoteRequest struct {
+	// To is the winning owner's base URL — where the tombstone points.
+	To string `json:"to"`
+	// Term is the winner's term; the demote only proceeds if the local
+	// claim is strictly older.
+	Term uint64 `json:"term"`
+}
+
+// Demote drops this shard's owner claim in favor of the owner at
+// req.To, which holds a strictly newer term. The copy is flipped to a
+// stale follower immediately (writes answer not_owner, reads
+// replica_lagging) and torn down in the background (tombstone first,
+// so it then answers moved — never not_found).
+func (m *Manager) Demote(id string, req DemoteRequest) error {
+	if _, ok := m.cfg.Reg.Get(id); !ok {
+		return api.Errf(api.CodeNotFound, http.StatusNotFound, "unknown interface %q", id)
+	}
+	s := m.ensure(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role != api.RoleOwner {
+		return nil // already not an owner; nothing to give up
+	}
+	if s.term >= req.Term {
+		return api.Errf(api.CodeTermMismatch, http.StatusConflict,
+			"demote %q: local term %d is not older than %d", id, s.term, req.Term)
+	}
+	m.fenceLocked(s, id, req.To)
+	s.term = req.Term
+	return nil
+}
+
+// Unfollow drops a follower copy (the owner shrank its target set, or
+// the interface was deleted). No tombstone: the copy was never
+// authoritative.
+func (m *Manager) Unfollow(id string) error {
+	s := m.lookup(id)
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.role != api.RoleFollower {
+		s.mu.Unlock()
+		return api.ErrNotOwner(id, m.cfg.Self)
+	}
+	s.mu.Unlock()
+	if m.cfg.Drop != nil {
+		m.cfg.Drop(id)
+	}
+	m.Forget(id)
+	return nil
+}
+
+// --- status.
+
+// StatusResponse is one interface's replication status plus its
+// current serving position, the tuple failover candidates are ranked
+// by: (term, seq, epoch).
+type StatusResponse struct {
+	ID    string              `json:"id"`
+	Epoch uint64              `json:"epoch"`
+	Info  api.ReplicationInfo `json:"replication"`
+}
+
+// Info returns the interface's replication row for health reports,
+// nil when untracked (unreplicated owner).
+func (m *Manager) Info(id string) *api.ReplicationInfo {
+	s := m.lookup(id)
+	if s == nil {
+		return nil
+	}
+	seq, _ := m.cfg.Ing.Seq(id) // before s.mu: lock order (see ifaceState)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := &api.ReplicationInfo{Role: s.role, Term: s.term, Stale: s.stale, Owner: s.owner}
+	if s.role == api.RoleFollower {
+		info.Seq = s.seq
+	} else {
+		info.Seq = seq
+	}
+	addrs := make([]string, 0, len(s.followers))
+	for addr := range s.followers {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		fo := s.followers[addr]
+		info.Followers = append(info.Followers, api.ReplicaFollower{
+			Addr: addr, Synced: fo.mode == fSynced, Seq: fo.seq, Error: fo.lastErr,
+		})
+	}
+	return info
+}
+
+// Status returns the interface's status response, or not_found.
+func (m *Manager) Status(id string) (*StatusResponse, error) {
+	h, ok := m.cfg.Reg.Get(id)
+	if !ok {
+		return nil, api.Errf(api.CodeNotFound, http.StatusNotFound, "unknown interface %q", id)
+	}
+	info := m.Info(id)
+	if info == nil {
+		seq, _ := m.cfg.Ing.Seq(id)
+		info = &api.ReplicationInfo{Role: api.RoleOwner, Seq: seq}
+	}
+	return &StatusResponse{ID: id, Epoch: h.Epoch(), Info: *info}, nil
+}
+
+// StatusAll returns every tracked interface's status, sorted by ID.
+func (m *Manager) StatusAll() []StatusResponse {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.states))
+	for id := range m.states {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]StatusResponse, 0, len(ids))
+	for _, id := range ids {
+		if st, err := m.Status(id); err == nil {
+			out = append(out, *st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/api"
+	"repro/internal/ingest"
+	"repro/pi/client"
+)
+
+// The replication wire contract, mounted under the shard-admin
+// surface (/v1/shard/, same bearer-token guard):
+//
+//	POST /v1/shard/interfaces/{id}/follow    — seed frame (octet-stream + term/owner headers)
+//	POST /v1/shard/interfaces/{id}/apply     — one streamed event (gob)
+//	POST /v1/shard/interfaces/{id}/promote   — failover CAS: {term, targets}
+//	POST /v1/shard/interfaces/{id}/demote    — lost a term race: {to, term}
+//	POST /v1/shard/interfaces/{id}/unfollow  — drop the follower copy
+//	POST /v1/shard/interfaces/{id}/targets   — owner's follower set: {targets}
+//	GET  /v1/shard/interfaces/{id}/replica   — one interface's status
+//	GET  /v1/shard/replication               — every tracked interface's status
+//
+// Seed frames reuse the checksummed store.Encode format the accept
+// path uses; streamed events are gob (they carry engine values, which
+// the snapshot payloads already gob-encode — one codec, one set of
+// compatibility rules).
+const (
+	// termHeader / ownerHeader ride beside a binary seed frame.
+	termHeader  = "Pi-Replica-Term"
+	ownerHeader = "Pi-Replica-Owner"
+	// maxEventBody caps a streamed event (one flushed batch).
+	maxEventBody = 64 << 20
+	// maxSeedBody caps a seed frame, matching the shard accept cap.
+	maxSeedBody = 256 << 20
+)
+
+// Event is one streamed replication publish on the wire: the owner's
+// identity and fencing term around the ingestion-layer publication.
+type Event struct {
+	ID    string
+	Term  uint64
+	Owner string
+	Pub   ingest.Publication
+}
+
+// EncodeEvent serializes an event for the apply endpoint.
+func EncodeEvent(ev Event) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ev); err != nil {
+		return nil, fmt.Errorf("replica: encode event: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEvent deserializes an apply body.
+func DecodeEvent(raw []byte) (Event, error) {
+	var ev Event
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&ev); err != nil {
+		return Event{}, fmt.Errorf("replica: decode event: %w", err)
+	}
+	return ev, nil
+}
+
+// TargetsRequest is the body of the targets endpoint.
+type TargetsRequest struct {
+	Targets []string `json:"targets"`
+}
+
+// PromoteRequest is the body of the promote endpoint.
+type PromoteRequest struct {
+	Term    uint64          `json:"term"`
+	Targets []PromoteTarget `json:"targets,omitempty"`
+}
+
+// Register mounts the replication routes on the shard-admin mux.
+// guard wraps each handler with the admin bearer-token check.
+func (m *Manager) Register(mux *http.ServeMux, guard func(http.HandlerFunc) http.HandlerFunc) {
+	mux.HandleFunc("POST /v1/shard/interfaces/{id}/follow", guard(m.handleFollow))
+	mux.HandleFunc("POST /v1/shard/interfaces/{id}/apply", guard(m.handleApply))
+	mux.HandleFunc("POST /v1/shard/interfaces/{id}/promote", guard(m.handlePromote))
+	mux.HandleFunc("POST /v1/shard/interfaces/{id}/demote", guard(m.handleDemote))
+	mux.HandleFunc("POST /v1/shard/interfaces/{id}/unfollow", guard(m.handleUnfollow))
+	mux.HandleFunc("POST /v1/shard/interfaces/{id}/targets", guard(m.handleTargets))
+	mux.HandleFunc("GET /v1/shard/interfaces/{id}/replica", guard(m.handleStatus))
+	mux.HandleFunc("GET /v1/shard/replication", guard(m.handleStatusAll))
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, cap int64) ([]byte, *api.Error) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cap))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, api.Errf(api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", maxErr.Limit)
+		}
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "read body: %v", err)
+	}
+	return raw, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	e := api.FromErr(err)
+	writeJSON(w, e.Status, e)
+}
+
+func (m *Manager) handleFollow(w http.ResponseWriter, r *http.Request) {
+	frame, aerr := readBody(w, r, maxSeedBody)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	term, _ := strconv.ParseUint(r.Header.Get(termHeader), 10, 64)
+	owner := r.Header.Get(ownerHeader)
+	st, err := m.Follow(frame, term, owner)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleApply(w http.ResponseWriter, r *http.Request) {
+	raw, aerr := readBody(w, r, maxEventBody)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	ev, err := DecodeEvent(raw)
+	if err != nil {
+		writeErr(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "%v", err))
+		return
+	}
+	if id := r.PathValue("id"); id != ev.ID {
+		writeErr(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"event is for %q, path says %q", ev.ID, id))
+		return
+	}
+	if err := m.Apply(ev); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"seq": ev.Pub.Seq})
+}
+
+func (m *Manager) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req PromoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "decode promote: %v", err))
+		return
+	}
+	st, err := m.Promote(r.PathValue("id"), req.Term, req.Targets)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleDemote(w http.ResponseWriter, r *http.Request) {
+	var req DemoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "decode demote: %v", err))
+		return
+	}
+	if err := m.Demote(r.PathValue("id"), req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": r.PathValue("id"), "movedTo": req.To})
+}
+
+func (m *Manager) handleUnfollow(w http.ResponseWriter, r *http.Request) {
+	if err := m.Unfollow(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": r.PathValue("id")})
+}
+
+func (m *Manager) handleTargets(w http.ResponseWriter, r *http.Request) {
+	var req TargetsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest, "decode targets: %v", err))
+		return
+	}
+	if err := m.SetTargets(r.PathValue("id"), req.Targets); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := m.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleStatusAll(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.StatusAll())
+}
+
+// --- the wire client: owners stream to followers with it, routers
+// drive failover with it.
+
+// Client speaks the replication wire contract against one shard.
+type Client struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// NewClient returns a client for the shard at base.
+func NewClient(base, token string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, token: token, hc: hc}
+}
+
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("replica: build request: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	// Replication responses are small JSON acks on a latency-critical
+	// path (the event ship rides inside the owner's write ack).
+	// Compressing them costs more than it saves — opt out of the
+	// transport's transparent gzip so the peer answers identity.
+	req.Header.Set("Accept-Encoding", "identity")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: %s %s%s: %w", method, c.base, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		// One error-envelope contract fleet-wide: decode exactly like
+		// the SDK decodes v1 failures.
+		return client.DecodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("replica: decode %s%s response: %w", c.base, path, err)
+	}
+	return nil
+}
+
+func ifacePath(id, op string) string {
+	return "/v1/shard/interfaces/" + url.PathEscape(id) + "/" + op
+}
+
+// Follow ships a seed frame for id.
+func (c *Client) Follow(ctx context.Context, id string, frame []byte, term uint64, owner string) (*StatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+ifacePath(id, "follow"),
+		bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("replica: build follow: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(termHeader, strconv.FormatUint(term, 10))
+	req.Header.Set(ownerHeader, owner)
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: follow %q at %s: %w", id, c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, client.DecodeError(resp)
+	}
+	var out StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("replica: decode follow response: %w", err)
+	}
+	return &out, nil
+}
+
+// Apply streams one event.
+func (c *Client) Apply(ctx context.Context, ev Event) error {
+	raw, err := EncodeEvent(ev)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, ifacePath(ev.ID, "apply"), "application/octet-stream", raw, nil)
+}
+
+// Promote runs the failover CAS on a follower.
+func (c *Client) Promote(ctx context.Context, id string, term uint64, targets []PromoteTarget) (*StatusResponse, error) {
+	body, _ := json.Marshal(PromoteRequest{Term: term, Targets: targets})
+	var out StatusResponse
+	if err := c.do(ctx, http.MethodPost, ifacePath(id, "promote"), "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Demote asks a shard to give up a lost owner claim.
+func (c *Client) Demote(ctx context.Context, id, to string, term uint64) error {
+	body, _ := json.Marshal(DemoteRequest{To: to, Term: term})
+	return c.do(ctx, http.MethodPost, ifacePath(id, "demote"), "application/json", body, nil)
+}
+
+// Unfollow drops a follower copy.
+func (c *Client) Unfollow(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, ifacePath(id, "unfollow"), "application/json", []byte("{}"), nil)
+}
+
+// Targets declares the owner's follower set.
+func (c *Client) Targets(ctx context.Context, id string, addrs []string) (*StatusResponse, error) {
+	body, _ := json.Marshal(TargetsRequest{Targets: addrs})
+	var out StatusResponse
+	if err := c.do(ctx, http.MethodPost, ifacePath(id, "targets"), "application/json", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches one interface's replication status.
+func (c *Client) Status(ctx context.Context, id string) (*StatusResponse, error) {
+	var out StatusResponse
+	if err := c.do(ctx, http.MethodGet, ifacePath(id, "replica"), "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StatusAll fetches every tracked interface's status on a shard.
+func (c *Client) StatusAll(ctx context.Context) ([]StatusResponse, error) {
+	var out []StatusResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/shard/replication", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -117,6 +118,13 @@ func Gzip(next http.Handler) http.Handler {
 	})
 }
 
+// gzipPool recycles gzip writers across responses. A fresh
+// gzip.Writer allocates close to a megabyte of flate state, and Go's
+// default transport asks for gzip on every request — without the pool
+// each proxied hop (router→shard, owner→follower) pays that
+// allocation per call, and it dominates the replicated-ack profile.
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
+
 // gzipWriter lazily starts the gzip stream on the first header or body
 // write, so a handler that writes nothing produces no broken empty
 // gzip frame headers.
@@ -129,7 +137,8 @@ func (g *gzipWriter) start() {
 	if g.gz == nil {
 		g.Header().Del("Content-Length")
 		g.Header().Set("Content-Encoding", "gzip")
-		g.gz = gzip.NewWriter(g.ResponseWriter)
+		g.gz = gzipPool.Get().(*gzip.Writer)
+		g.gz.Reset(g.ResponseWriter)
 	}
 }
 
@@ -146,5 +155,7 @@ func (g *gzipWriter) Write(b []byte) (int, error) {
 func (g *gzipWriter) close() {
 	if g.gz != nil {
 		_ = g.gz.Close()
+		gzipPool.Put(g.gz)
+		g.gz = nil
 	}
 }

@@ -56,6 +56,10 @@ func (n *Node) AdminHandler(auth server.AuthConfig) http.Handler {
 	mux.HandleFunc("GET /v1/shard/interfaces/{id}/export", guard(n.handleExport))
 	mux.HandleFunc("POST /v1/shard/accept", guard(n.handleAccept))
 	mux.HandleFunc("POST /v1/shard/interfaces/{id}/relinquish", guard(n.handleRelinquish))
+	// The replication surface (follow/apply/promote/demote/unfollow/
+	// targets/status) rides the same mux and guard — see
+	// internal/replica for the wire contract.
+	n.mgr.Register(mux, guard)
 	return mux
 }
 

@@ -70,3 +70,77 @@ func BenchmarkRouterQuery(b *testing.B) {
 	_, routed := benchClients(b)
 	benchQuery(b, routed)
 }
+
+// The replication benchmarks price the ack coupling: a replicated
+// owner ships every published write to its follower before the ack
+// returns, so the delta between ReplicatedAck and UnreplicatedAck is
+// the full cost of that guarantee (encode + HTTP hop + follower
+// apply). scripts/bench_json.sh records the pair as BENCH_replica.json
+// and the issue bounds the overhead at <= 2x. FanoutQuery measures the
+// read path when queries round-robin across in-sync replicas.
+
+func benchReplicatedClient(b *testing.B, n int, opts RouterOptions) *client.Client {
+	b.Helper()
+	shards, rt := startReplicatedFleet(b, n, opts)
+	if opts.Replicas > 1 {
+		waitSynced(b, shards[0], "olap", opts.Replicas-1)
+		rt.Refresh(context.Background()) // pick up the synced follower set
+	}
+	rts := httptest.NewServer(server.New(rt, server.WithAuth(server.AuthConfig{Token: testToken})).Handler())
+	b.Cleanup(rts.Close)
+	c, err := client.New(rts.URL,
+		client.WithToken(testToken),
+		client.WithRetries(0),
+		client.WithHTTPClient(&http.Client{Timeout: 10 * time.Second}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchAck(b *testing.B, c *client.Client) {
+	b.Helper()
+	// A small batch per ack, the shape streaming ingestion actually
+	// sends (single-row acks are the degenerate case: they price the
+	// fixed HTTP hop, not the replication coupling).
+	rows := make([][]any, 8)
+	for i := range rows {
+		rows[i] = []any{
+			"AA", "AA", "CAP", "NYP", "CA", "NY",
+			float64(1), float64(1), float64(1),
+			float64(10), float64(10), float64(10),
+			float64(500), float64(1), float64(0), float64(0),
+		}
+	}
+	// flush=true publishes every append, which is the path that ships a
+	// replication event — exactly the ack being priced.
+	if _, err := c.AppendRows(context.Background(), "olap", "ontime", rows, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AppendRows(context.Background(), "olap", "ontime", rows, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnreplicatedAck is the baseline: SDK -> router -> owner
+// with no followers attached.
+func BenchmarkUnreplicatedAck(b *testing.B) {
+	benchAck(b, benchReplicatedClient(b, 1, RouterOptions{Replicas: 1}))
+}
+
+// BenchmarkReplicatedAck is the same append with one in-sync follower:
+// the ack now includes streaming the event to the follower.
+func BenchmarkReplicatedAck(b *testing.B) {
+	benchAck(b, benchReplicatedClient(b, 2, RouterOptions{Replicas: 2}))
+}
+
+// BenchmarkFanoutQuery is the cached-plan query with read fan-out on:
+// the router round-robins it across the owner and its synced follower.
+func BenchmarkFanoutQuery(b *testing.B) {
+	c := benchReplicatedClient(b, 2, RouterOptions{Replicas: 2, ReadFanout: true})
+	benchQuery(b, c)
+}

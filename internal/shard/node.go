@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/qlog"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/pi/client"
 )
@@ -55,8 +56,15 @@ type NodeOptions struct {
 	Funcs func(id string, st *store.Store)
 	// Persister, when set, persists accepted interfaces under this
 	// shard's data dir (and the service layer removes relinquished
-	// ones), so a shard restart keeps serving what it owned.
+	// ones), so a shard restart keeps serving what it owned. It also
+	// makes tombstones durable: relocations are written to the data
+	// dir and reloaded on boot, so a restarted shard answers moved —
+	// never not_found — for interfaces it handed off.
 	Persister *ingest.Persister
+	// Token authenticates this node's outbound replication calls to
+	// peer shards (seeding followers, streaming events). Use the
+	// fleet's shared admin token.
+	Token string
 }
 
 // Node is one shard: the local service plus the shard-admin state.
@@ -69,13 +77,18 @@ type Node struct {
 	*api.Service
 	ing  *ingest.Ingester
 	opts NodeOptions
+	mgr  *replica.Manager
 
 	// adminMu serializes accept/relinquish so two concurrent migrations
 	// cannot interleave on one interface.
 	adminMu sync.Mutex
 
-	mu    sync.RWMutex
-	moved map[string]string // tombstones: interface ID -> new owner's base URL
+	mu      sync.RWMutex
+	moved   map[string]string // tombstones: interface ID -> new owner's base URL
+	tombErr string            // last tombstone-persist failure, for load reports
+
+	// tombMu serializes tombstone file writes (replicate.go).
+	tombMu sync.Mutex
 }
 
 var _ api.Servicer = (*Node)(nil)
@@ -92,7 +105,33 @@ func NewNode(svc *api.Service, ing *ingest.Ingester, opts NodeOptions) (*Node, e
 	if ing == nil {
 		return nil, fmt.Errorf("shard: node needs an ingester (snapshot export rides its feeds)")
 	}
-	return &Node{Service: svc, ing: ing, opts: opts, moved: map[string]string{}}, nil
+	n := &Node{Service: svc, ing: ing, opts: opts, moved: map[string]string{}}
+	if p := opts.Persister; p != nil {
+		moved, err := loadTombstones(p.Dir())
+		if err != nil {
+			n.tombErr = err.Error()
+		}
+		n.moved = moved
+	}
+	mgr, err := replica.NewManager(replica.Config{
+		Self:           addr,
+		Token:          opts.Token,
+		Ing:            ing,
+		Reg:            svc.Registry(),
+		Live:           opts.Live,
+		Funcs:          opts.Funcs,
+		Demote:         n.demoteLocal,
+		Drop:           n.dropLocal,
+		ClearTombstone: n.clearTombstone,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.mgr = mgr
+	// Every acked publish streams to followers before the ack leaves
+	// this process; interfaces with no followers pay one map lookup.
+	ing.SetPublishHook(mgr.Hook())
+	return n, nil
 }
 
 // Addr returns the shard's advertised base URL.
@@ -134,63 +173,110 @@ func (n *Node) Moved() map[string]string {
 	return out
 }
 
-// --- api.Servicer overrides: tombstone check in front of every
-// per-interface operation.
+// --- api.Servicer overrides: tombstone and replication-role checks
+// in front of every per-interface operation.
+//
+// Reads serve from follower copies (that is what read fan-out buys),
+// unless the follower is stale — then replica_lagging points at the
+// owner. Writes only land on owners: a follower answers not_owner
+// with the owner's address, which the SDK follows exactly like moved
+// (the request was not processed, so the re-issue is safe).
+
+// readErr gates read-only per-interface operations.
+func (n *Node) readErr(id string) *api.Error {
+	if e := n.movedErr(id); e != nil {
+		return e
+	}
+	if role, owner, stale := n.mgr.RoleOf(id); role == api.RoleFollower && stale {
+		return api.ErrReplicaLagging(id, owner)
+	}
+	return nil
+}
+
+// writeErr gates mutating per-interface operations.
+func (n *Node) writeErr(id string) *api.Error {
+	if e := n.movedErr(id); e != nil {
+		return e
+	}
+	if role, owner, _ := n.mgr.RoleOf(id); role == api.RoleFollower {
+		return api.ErrNotOwner(id, owner)
+	}
+	return nil
+}
 
 func (n *Node) GetInterface(id string) (*api.InterfaceDetail, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.readErr(id); e != nil {
 		return nil, e
 	}
 	return n.Service.GetInterface(id)
 }
 
 func (n *Node) Epoch(id string) (*api.EpochResponse, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.readErr(id); e != nil {
 		return nil, e
 	}
 	return n.Service.Epoch(id)
 }
 
 func (n *Node) Page(id string) (string, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.readErr(id); e != nil {
 		return "", e
 	}
 	return n.Service.Page(id)
 }
 
 func (n *Node) Query(id string, req api.QueryRequest) (*api.QueryResponse, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.readErr(id); e != nil {
 		return nil, e
 	}
 	return n.Service.Query(id, req)
 }
 
 func (n *Node) IngestReady(id string) error {
-	if e := n.movedErr(id); e != nil {
+	if e := n.writeErr(id); e != nil {
 		return e
 	}
 	return n.Service.IngestReady(id)
 }
 
 func (n *Node) IngestLog(id string, entries []qlog.Entry, flush bool) (*api.IngestAck, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.writeErr(id); e != nil {
 		return nil, e
 	}
 	return n.Service.IngestLog(id, entries, flush)
 }
 
 func (n *Node) AppendRows(id string, req api.RowsRequest, flush bool) (*api.RowsAck, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.writeErr(id); e != nil {
 		return nil, e
 	}
 	return n.Service.AppendRows(id, req, flush)
 }
 
 func (n *Node) DeleteInterface(id string) (*api.DeleteAck, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.writeErr(id); e != nil {
 		return nil, e
 	}
-	return n.Service.DeleteInterface(id)
+	ack, err := n.Service.DeleteInterface(id)
+	if err == nil {
+		// Tear the replication down fleet-side (best effort, off the
+		// request path): followers drop their copies instead of serving
+		// a deleted interface's reads forever.
+		go n.mgr.Unhost(id)
+	}
+	return ack, err
+}
+
+// Health annotates the local health report with per-interface
+// replication status — the router's refresh reads roles, terms and
+// follower sync state out of the same single poll it already does.
+func (n *Node) Health() *api.Health {
+	h := n.Service.Health()
+	h.Replication = true
+	for i := range h.Interfaces {
+		h.Interfaces[i].Replication = n.mgr.Info(h.Interfaces[i].ID)
+	}
+	return h
 }
 
 // --- shard-admin operations.
@@ -232,7 +318,7 @@ func (n *Node) Load() *LoadReport {
 // the CAS token a migration hands back to Relinquish, so a handoff
 // that raced a write is detected instead of silently dropped.
 func (n *Node) Export(id string) ([]byte, uint64, error) {
-	if e := n.movedErr(id); e != nil {
+	if e := n.writeErr(id); e != nil {
 		return nil, 0, e
 	}
 	if _, ok := n.Registry().Get(id); !ok {
@@ -326,10 +412,10 @@ func (n *Node) Accept(frame []byte) (*AcceptResult, error) {
 			"accept %q: %v", snap.ID, err)
 	}
 	// The interface is hosted here now: an earlier relinquish tombstone
-	// (it left and came back) no longer applies.
-	n.mu.Lock()
-	delete(n.moved, snap.ID)
-	n.mu.Unlock()
+	// (it left and came back) no longer applies, and any follower state
+	// is superseded — an accepted interface is owned.
+	n.clearTombstone(snap.ID)
+	n.mgr.Forget(snap.ID)
 
 	rows := 0
 	for _, t := range snap.Tables {
@@ -385,7 +471,7 @@ func (n *Node) Relinquish(id, to string, expectEpoch uint64) (*RelinquishResult,
 		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
 			"relinquish %q: target %s is this shard", id, toAddr)
 	}
-	if e := n.movedErr(id); e != nil {
+	if e := n.writeErr(id); e != nil {
 		return nil, e
 	}
 	h, ok := n.Registry().Get(id)
@@ -415,18 +501,14 @@ func (n *Node) Relinquish(id, to string, expectEpoch uint64) (*RelinquishResult,
 
 	// Tombstone before the registry removal: the window in between
 	// answers moved (followed transparently), never not_found.
-	n.mu.Lock()
-	n.moved[id] = toAddr
-	n.mu.Unlock()
+	n.setTombstone(id, toAddr)
 	res := &RelinquishResult{ID: id, To: toAddr, Epoch: cur}
 	if _, derr := n.Service.DeleteInterface(id); derr != nil {
 		if _, still := n.Registry().Get(id); still {
 			// Nothing was removed: roll the tombstone back — the source
 			// still fully owns the interface, so this is a clean
 			// structured refusal the migration can unwind from.
-			n.mu.Lock()
-			delete(n.moved, id)
-			n.mu.Unlock()
+			n.clearTombstone(id)
 			return nil, derr
 		}
 		// The registry entry is gone: for serving purposes the handoff
@@ -438,5 +520,9 @@ func (n *Node) Relinquish(id, to string, expectEpoch uint64) (*RelinquishResult,
 		// reconciled at restart by placement refresh.
 		res.Warning = fmt.Sprintf("handoff committed, but the local snapshot was not removed and will resurrect on restart: %v", derr)
 	}
+	// The new owner inherits replication: any follower set this shard
+	// maintained is re-targeted (and re-seeded where needed) by the
+	// router's next refresh against the accepting shard.
+	n.mgr.Forget(id)
 	return res, nil
 }

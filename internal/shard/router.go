@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/qlog"
+	"repro/internal/replica"
 	"repro/pi/client"
 )
 
@@ -30,20 +31,44 @@ type RouterOptions struct {
 	// Pins override hash placement: interface ID -> shard address.
 	// Rebalance moves pinned interfaces to their pin, never elsewhere.
 	Pins map[string]string
+	// Replicas is the replication factor — total copies per interface,
+	// owner included. 0 or 1 disables replication; N > 1 makes every
+	// refresh drive each owner toward N-1 warm followers on the
+	// rendezvous-ranked shards after it.
+	Replicas int
+	// ReadFanout spreads read-only operations (query, page, epoch)
+	// round-robin across the owner and its in-sync followers. A
+	// follower failure falls back to the owner, so fan-out never
+	// degrades correctness, only load distribution.
+	ReadFanout bool
+	// Failover promotes the most-caught-up in-sync follower when the
+	// owner stops answering, instead of surfacing shard_unavailable
+	// until the owner returns.
+	Failover bool
 }
 
 // shardConn is one shard the router fronts: the SDK client for
-// proxied v1 operations and the admin client for migrations.
+// proxied v1 operations, the admin client for migrations and the
+// replica client for the replication control plane.
 type shardConn struct {
 	addr  string
 	c     *client.Client
 	admin *adminClient
+	rep   *replica.Client
 
 	// ingestion is the shard's ingestion capability as of the last
 	// Refresh (guarded by the router's mu). It backs the cheap
 	// IngestReady pre-check; the proxied IngestLog stays the authority.
 	// Starts true (fail open) until a refresh reports otherwise.
 	ingestion bool
+
+	// Probe backoff (guarded by the router's mu). A shard that failed
+	// its last contact is down; Refresh skips re-probing it until
+	// nextProbe so a dead shard costs one timed-out health call per
+	// backoff window, not one per refresh tick.
+	down      bool
+	failures  int
+	nextProbe time.Time
 }
 
 // Router owns the interface→shard placement map and implements
@@ -61,9 +86,16 @@ type Router struct {
 
 	mu     sync.RWMutex
 	shards map[string]*shardConn
-	order  []string          // sorted shard addrs, for deterministic hashing and fan-out
-	place  map[string]string // interface ID -> owning shard addr
-	pins   map[string]string // normalized RouterOptions.Pins
+	order  []string               // sorted shard addrs, for deterministic hashing and fan-out
+	place  map[string]string      // interface ID -> owning shard addr
+	pins   map[string]string      // normalized RouterOptions.Pins
+	reps   map[string]*replicaSet // interface ID -> follower state (owner's view)
+
+	// foMu serializes failover per interface: the first caller to
+	// observe a dead owner runs the promotion, concurrent callers wait
+	// for its outcome instead of racing a second promote.
+	foMu       sync.Mutex
+	foInflight map[string]chan struct{}
 }
 
 var _ api.Servicer = (*Router)(nil)
@@ -79,11 +111,13 @@ func NewRouter(addrs []string, opts RouterOptions) (*Router, error) {
 		opts.Timeout = 30 * time.Second
 	}
 	rt := &Router{
-		opts:   opts,
-		start:  time.Now(),
-		shards: make(map[string]*shardConn, len(addrs)),
-		place:  map[string]string{},
-		pins:   map[string]string{},
+		opts:       opts,
+		start:      time.Now(),
+		shards:     make(map[string]*shardConn, len(addrs)),
+		place:      map[string]string{},
+		pins:       map[string]string{},
+		reps:       map[string]*replicaSet{},
+		foInflight: map[string]chan struct{}{},
 	}
 	for _, a := range addrs {
 		if _, err := rt.addShard(a); err != nil {
@@ -140,7 +174,13 @@ func (rt *Router) addShard(addr string) (*shardConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: router: %w", err)
 	}
-	conn := &shardConn{addr: norm, c: c, admin: newAdminClient(norm, rt.opts.Token, defaultAdminHTTPClient()), ingestion: true}
+	conn := &shardConn{
+		addr:      norm,
+		c:         c,
+		admin:     newAdminClient(norm, rt.opts.Token, defaultAdminHTTPClient()),
+		rep:       replica.NewClient(norm, rt.opts.Token, defaultAdminHTTPClient()),
+		ingestion: true,
+	}
 	rt.shards[norm] = conn
 	rt.order = append(rt.order, norm)
 	sort.Strings(rt.order)
@@ -171,19 +211,37 @@ func (rt *Router) callCtx() (context.Context, context.CancelFunc) {
 }
 
 // Refresh re-discovers placement by asking every shard what it hosts.
-// New interfaces are adopted, placements a shard no longer backs are
-// dropped — except when the shard is unreachable, in which case its
-// placements are kept so queries fail with shard_unavailable (a
-// transient, retryable condition) rather than not_found (a lie). When
-// two shards claim one interface (a crashed migration), the
-// lexicographically first shard wins deterministically. Returns one
-// health row per shard from the poll it already performed, so callers
+// Placement follows OWNER claims only: a follower replica listing an
+// interface never captures its placement (writes routed there would
+// just bounce with not_owner). New interfaces are adopted, placements
+// a shard no longer backs are dropped — except when the shard is
+// unreachable, in which case its placements are kept so queries fail
+// with shard_unavailable (a transient, retryable condition) rather
+// than not_found (a lie). When two shards both claim ownership, the
+// higher replication term wins (a promotion happened; the ex-owner is
+// demoted in the background); at equal terms the currently placed —
+// then lexicographically first — shard wins deterministically without
+// demoting anyone, since neither claim is provably stale.
+//
+// Dead shards are not re-probed every tick: a shard that failed its
+// last contact waits out a jittered exponential backoff (probeBackoff*)
+// before the next health call, and its row reports the skip. After the
+// sweep, Refresh drives replication: every owned interface is told its
+// desired follower set (which also retries failed seeds), making the
+// refresh loop the fleet's replication reconciler. Returns one health
+// row per shard from the poll it already performed, so callers
 // reporting fleet state after a refresh need not re-poll.
 func (rt *Router) Refresh(ctx context.Context) []api.ShardHealth {
 	rt.mu.RLock()
 	conns := make([]*shardConn, 0, len(rt.order))
+	skip := make(map[string]time.Time)
+	now := time.Now()
 	for _, addr := range rt.order {
-		conns = append(conns, rt.shards[addr])
+		conn := rt.shards[addr]
+		conns = append(conns, conn)
+		if conn.down && now.Before(conn.nextProbe) {
+			skip[addr] = conn.nextProbe
+		}
 	}
 	oldPlace := make(map[string]string, len(rt.place))
 	for id, addr := range rt.place {
@@ -191,17 +249,24 @@ func (rt *Router) Refresh(ctx context.Context) []api.ShardHealth {
 	}
 	rt.mu.RUnlock()
 
-	// One health call per shard yields both what it hosts and whether
-	// it ingests (backing the IngestReady pre-check).
+	// One health call per shard yields what it hosts, each copy's
+	// replication role and whether the shard ingests (backing the
+	// IngestReady pre-check).
 	type result struct {
 		addr      string
-		ids       []string
+		rows      []api.HealthInterface
 		ingestion bool
+		skipped   bool
 		err       error
 	}
 	results := make([]result, len(conns))
 	var wg sync.WaitGroup
 	for i, conn := range conns {
+		if until, ok := skip[conn.addr]; ok {
+			results[i] = result{addr: conn.addr, skipped: true,
+				err: fmt.Errorf("down; next probe in %s", time.Until(until).Round(time.Millisecond))}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, conn *shardConn) {
 			defer wg.Done()
@@ -211,30 +276,45 @@ func (rt *Router) Refresh(ctx context.Context) []api.ShardHealth {
 			res := result{addr: conn.addr, err: err}
 			if err == nil {
 				res.ingestion = h.Ingestion
-				for _, row := range h.Interfaces {
-					res.ids = append(res.ids, row.ID)
-				}
+				res.rows = h.Interfaces
 			}
 			results[i] = res
 		}(i, conn)
 	}
 	wg.Wait()
 
-	// Live listings first: a reachable shard's claim always beats a
-	// remembered placement on an unreachable one, whatever the address
-	// order — otherwise a stale entry for a dead shard could pin an
-	// interface to shard_unavailable while a live shard actually
-	// hosts it.
+	// Owner claims from live shards first: a reachable shard's claim
+	// always beats a remembered placement on an unreachable one,
+	// whatever the address order — otherwise a stale entry for a dead
+	// shard could pin an interface to shard_unavailable while a live
+	// shard actually hosts it.
 	next := map[string]string{}
+	claims := map[string]ownerClaim{}
+	var demotions []demotion
 	for _, res := range results {
 		if res.err != nil {
 			continue
 		}
-		for _, id := range res.ids {
-			if _, taken := next[id]; !taken {
-				next[id] = res.addr
+		for _, row := range res.rows {
+			if row.Replication != nil && row.Replication.Role == api.RoleFollower {
+				continue // follower copies never capture placement
 			}
+			c := ownerClaim{addr: res.addr, info: row.Replication}
+			if prev, taken := claims[row.ID]; taken {
+				win, lose, fence := resolveOwners(row.ID, prev, c, oldPlace[row.ID])
+				claims[row.ID] = win
+				if fence {
+					demotions = append(demotions, demotion{
+						id: row.ID, loser: lose.addr, to: win.addr, term: win.info.Term,
+					})
+				}
+				continue
+			}
+			claims[row.ID] = c
 		}
+	}
+	for id, c := range claims {
+		next[id] = c.addr
 	}
 	for _, res := range results {
 		if res.err == nil {
@@ -250,20 +330,67 @@ func (rt *Router) Refresh(ctx context.Context) []api.ShardHealth {
 			}
 		}
 	}
+
 	rt.mu.Lock()
 	rt.place = next
-	for _, res := range results {
-		if res.err == nil {
-			if conn, ok := rt.shards[res.addr]; ok {
-				conn.ingestion = res.ingestion
+	nextReps := make(map[string]*replicaSet, len(claims))
+	for id, c := range claims {
+		nextReps[id] = newReplicaSet(c.info, rt.reps[id])
+	}
+	for id := range next {
+		if _, live := claims[id]; !live {
+			// Placement carried over from an unreachable owner: keep its
+			// last known replica view, failover needs it.
+			if rs, ok := rt.reps[id]; ok {
+				nextReps[id] = rs
 			}
+		}
+	}
+	rt.reps = nextReps
+	for _, res := range results {
+		conn, ok := rt.shards[res.addr]
+		if !ok || res.skipped {
+			continue
+		}
+		if res.err == nil {
+			conn.ingestion = res.ingestion
+			conn.down = false
+			conn.failures = 0
+			conn.nextProbe = time.Time{}
+		} else {
+			rt.bumpBackoffLocked(conn)
 		}
 	}
 	rt.mu.Unlock()
 
+	// Fence ex-owners that lost a term race, off the refresh path.
+	for _, d := range demotions {
+		go rt.demoteStale(d)
+	}
+	rt.ensureReplication(ctx, claims)
+
+	// Interfaces whose placement carried over from an unreachable shard
+	// have a dead owner: promote their best surviving follower now
+	// rather than waiting for the next proxied operation to trip over
+	// the corpse.
+	if rt.opts.Failover {
+		var fwg sync.WaitGroup
+		for id, addr := range next {
+			if _, live := claims[id]; live {
+				continue
+			}
+			fwg.Add(1)
+			go func(id, addr string) {
+				defer fwg.Done()
+				rt.failover(id, addr)
+			}(id, addr)
+		}
+		fwg.Wait()
+	}
+
 	rows := make([]api.ShardHealth, 0, len(results))
 	for _, res := range results {
-		row := api.ShardHealth{Addr: res.addr, Status: "ok", Interfaces: len(res.ids)}
+		row := api.ShardHealth{Addr: res.addr, Status: "ok", Interfaces: len(res.rows)}
 		if res.err != nil {
 			row.Status = "unreachable"
 			row.Error = res.err.Error()
@@ -318,6 +445,10 @@ func (rt *Router) drop(id, addr string) {
 // number of times, and translating transport failures into structured
 // shard_unavailable errors.
 func (rt *Router) proxy(id string, fn func(ctx context.Context, c *client.Client) error) error {
+	return rt.proxyOp(id, false, fn)
+}
+
+func (rt *Router) proxyOp(id string, readOnly bool, fn func(ctx context.Context, c *client.Client) error) error {
 	for hop := 0; hop < maxPlacementHops; hop++ {
 		conn, apiErr := rt.owner(id)
 		if apiErr != nil {
@@ -335,6 +466,12 @@ func (rt *Router) proxy(id string, fn func(ctx context.Context, c *client.Client
 			case ae.Code == api.CodeMoved && ae.Addr != "":
 				rt.follow(id, ae.Addr)
 				continue
+			case (ae.Code == api.CodeNotOwner || ae.Code == api.CodeReplicaLagging) && ae.Addr != "":
+				// The placement map lags a promotion: the shard we
+				// believed owned the interface is (or became) a follower,
+				// and names the owner it knows.
+				rt.follow(id, ae.Addr)
+				continue
 			case ae.Code == api.CodeNotFound:
 				// The shard genuinely does not host it (restart without
 				// its data dir, tombstone lost): stop routing there.
@@ -342,6 +479,26 @@ func (rt *Router) proxy(id string, fn func(ctx context.Context, c *client.Client
 				return ae
 			}
 			return ae
+		}
+		// Transport failure: the owner is gone. Back its probe off, and
+		// when failover is on, try to promote the most-caught-up in-sync
+		// follower in its place.
+		rt.noteShardDown(conn.addr)
+		if rt.opts.Failover {
+			if newAddr, ok := rt.failover(id, conn.addr); ok {
+				if readOnly {
+					continue // re-run the read against the promoted owner
+				}
+				// Writes are NOT retried across a promotion: the dead
+				// owner may have applied (and replicated) the write before
+				// the response was lost, and replaying it through the new
+				// owner would double-apply. The placement already points
+				// at the promoted follower, so the caller's retry lands
+				// there directly.
+				return api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
+					"shard %s (owner of %q) became unreachable mid-write; follower on %s was promoted — retry against the new owner",
+					conn.addr, id, newAddr)
+			}
 		}
 		return api.Errf(api.CodeShardUnavailable, http.StatusBadGateway,
 			"shard %s (owner of %q) is unreachable: %v", conn.addr, id, err)
@@ -370,7 +527,7 @@ func (rt *Router) GetInterface(id string) (*api.InterfaceDetail, error) {
 
 func (rt *Router) Epoch(id string) (*api.EpochResponse, error) {
 	var out api.EpochResponse
-	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+	err := rt.proxyRead(id, func(ctx context.Context, c *client.Client) error {
 		e, err := c.Epoch(ctx, id)
 		out.Epoch = e
 		return err
@@ -383,7 +540,7 @@ func (rt *Router) Epoch(id string) (*api.EpochResponse, error) {
 
 func (rt *Router) Page(id string) (string, error) {
 	var out string
-	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+	err := rt.proxyRead(id, func(ctx context.Context, c *client.Client) error {
 		p, err := c.Page(ctx, id)
 		out = p
 		return err
@@ -396,11 +553,14 @@ func (rt *Router) Page(id string) (string, error) {
 
 // Query proxies with the request — limit, cursor and all — passed
 // through verbatim, so epoch-bound cursors keep their exact semantics
-// across the router: the same shard that minted a cursor validates it,
-// and after a migration the bumped epoch on the new owner expires it.
+// across the router: replicas serve at the same epoch as the owner
+// (epochs advance in lockstep through the replication stream), so a
+// cursor minted anywhere in the replica set pages consistently
+// everywhere in it, and after a migration or promotion the bumped
+// epoch expires it.
 func (rt *Router) Query(id string, req api.QueryRequest) (*api.QueryResponse, error) {
 	var out *api.QueryResponse
-	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+	err := rt.proxyRead(id, func(ctx context.Context, c *client.Client) error {
 		resp, err := c.Query(ctx, id, req)
 		out = resp
 		return err
@@ -536,7 +696,10 @@ func (rt *Router) ListInterfaces() []api.InterfaceSummary {
 }
 
 // Health merges every shard's health and adds a per-shard roll-up;
-// any unreachable shard degrades the fleet status.
+// any unreachable shard degrades the fleet status. With replication
+// on, one interface is hosted by several shards — the owner's row
+// wins the merge (it carries the authoritative follower list), so the
+// fleet view lists each interface once.
 func (rt *Router) Health() *api.Health {
 	results := fanOut(rt, func(ctx context.Context, conn *shardConn) (*api.Health, error) {
 		return conn.c.Health(ctx)
@@ -547,6 +710,7 @@ func (rt *Router) Health() *api.Health {
 		UptimeSeconds: time.Since(rt.start).Seconds(),
 		Interfaces:    []api.HealthInterface{},
 	}
+	byID := map[string]api.HealthInterface{}
 	for _, res := range results {
 		row := api.ShardHealth{Addr: res.addr, Status: "ok"}
 		if res.err != nil {
@@ -555,16 +719,31 @@ func (rt *Router) Health() *api.Health {
 			health.Status = "degraded"
 		} else {
 			row.Interfaces = len(res.v.Interfaces)
-			health.Interfaces = append(health.Interfaces, res.v.Interfaces...)
+			for _, ir := range res.v.Interfaces {
+				prev, seen := byID[ir.ID]
+				if !seen || (isOwnerRow(ir) && !isOwnerRow(prev)) {
+					byID[ir.ID] = ir
+				}
+			}
 			health.Ingestion = health.Ingestion || res.v.Ingestion
 			health.Persistence = health.Persistence || res.v.Persistence
+			health.Replication = health.Replication || res.v.Replication
 		}
 		health.Shards = append(health.Shards, row)
+	}
+	for _, ir := range byID {
+		health.Interfaces = append(health.Interfaces, ir)
 	}
 	sort.Slice(health.Interfaces, func(i, j int) bool {
 		return health.Interfaces[i].ID < health.Interfaces[j].ID
 	})
 	return health
+}
+
+// isOwnerRow reports whether a health row describes an owner copy
+// (unreplicated rows count as owners).
+func isOwnerRow(r api.HealthInterface) bool {
+	return r.Replication == nil || r.Replication.Role == api.RoleOwner
 }
 
 // Debug merges every reachable shard's counters.

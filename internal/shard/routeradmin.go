@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"sort"
 
 	"repro/internal/api"
 	"repro/internal/server"
@@ -43,13 +44,76 @@ type migrateRequest struct {
 	To string `json:"to"`
 }
 
+// ReplicationStatus is the router-admin view of the fleet's replica
+// sets: policy knobs plus, per interface, who owns it at which term
+// and where its followers stand.
+type ReplicationStatus struct {
+	Replicas   int                         `json:"replicas"`
+	ReadFanout bool                        `json:"readFanout"`
+	Failover   bool                        `json:"failover"`
+	Interfaces map[string]ReplicaPlacement `json:"interfaces"`
+}
+
+// ReplicaPlacement is one interface's replica set as the router last
+// observed it.
+type ReplicaPlacement struct {
+	Owner     string                `json:"owner"`
+	Term      uint64                `json:"term"`
+	Followers []api.ReplicaFollower `json:"followers,omitempty"`
+}
+
+// Replication reports the router's cached replica-set view (from the
+// last refresh, repaired by failovers since).
+func (rt *Router) Replication() *ReplicationStatus {
+	st := &ReplicationStatus{
+		Replicas:   rt.opts.Replicas,
+		ReadFanout: rt.opts.ReadFanout,
+		Failover:   rt.opts.Failover,
+		Interfaces: map[string]ReplicaPlacement{},
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	for id, owner := range rt.place {
+		p := ReplicaPlacement{Owner: owner}
+		if rs := rt.reps[id]; rs != nil {
+			p.Term = rs.term
+			addrs := make([]string, 0, len(rs.followers))
+			for addr := range rs.followers {
+				addrs = append(addrs, addr)
+			}
+			sort.Strings(addrs)
+			for _, addr := range addrs {
+				f := rs.followers[addr]
+				p.Followers = append(p.Followers, api.ReplicaFollower{
+					Addr: addr, Synced: f.synced, Seq: f.seq,
+				})
+			}
+		}
+		st.Interfaces[id] = p
+	}
+	return st
+}
+
+// failoverRequest is the body of POST /v1/router/failover.
+type failoverRequest struct {
+	ID string `json:"id"`
+}
+
+// FailoverResult reports one forced (or automatic) promotion.
+type FailoverResult struct {
+	ID    string `json:"id"`
+	Owner string `json:"owner"` // promoted shard
+}
+
 // AdminHandler returns the router-admin surface, meant to be mounted
 // at /v1/router/ beside the proxied v1 API (server.WithAdmin):
 //
-//	GET  /v1/router/shards     — shard liveness + placement map + pins
-//	POST /v1/router/refresh    — re-discover placement from the shards
-//	POST /v1/router/migrate    — {"id": ..., "to": ...}: move one interface live
-//	POST /v1/router/rebalance  — move every interface to its pinned/hashed home
+//	GET  /v1/router/shards      — shard liveness + placement map + pins
+//	POST /v1/router/refresh     — re-discover placement from the shards
+//	POST /v1/router/migrate     — {"id": ..., "to": ...}: move one interface live
+//	POST /v1/router/rebalance   — move every interface to its pinned/hashed home
+//	GET  /v1/router/replication — per-interface replica sets (owner, term, followers)
+//	POST /v1/router/failover    — {"id": ...}: force-promote the best follower
 //
 // Every route is guarded by the auth config's default token.
 func (rt *Router) AdminHandler(auth server.AuthConfig) http.Handler {
@@ -67,9 +131,11 @@ func (rt *Router) AdminHandler(auth server.AuthConfig) http.Handler {
 		writeAdminJSON(w, http.StatusOK, rt.Status())
 	}))
 	mux.HandleFunc("POST /v1/router/refresh", guard(func(w http.ResponseWriter, r *http.Request) {
-		// Refresh just polled every shard; report what it saw instead
+		// An explicit refresh overrides probe backoff (the operator is
+		// telling us something changed — typically a restarted shard),
+		// and it just polled every shard, so report what it saw instead
 		// of sweeping the fleet a second time.
-		shards := rt.Refresh(r.Context())
+		shards := rt.ForceRefresh(r.Context())
 		st := &RouterStatus{Shards: shards, Placement: rt.Placement()}
 		st.Interfaces = len(st.Placement)
 		writeAdminJSON(w, http.StatusOK, st)
@@ -101,6 +167,25 @@ func (rt *Router) AdminHandler(auth server.AuthConfig) http.Handler {
 			return
 		}
 		writeAdminJSON(w, http.StatusOK, res)
+	}))
+	mux.HandleFunc("GET /v1/router/replication", guard(func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, http.StatusOK, rt.Replication())
+	}))
+	mux.HandleFunc("POST /v1/router/failover", guard(func(w http.ResponseWriter, r *http.Request) {
+		var req failoverRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil || req.ID == "" {
+			writeAdminError(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+				`failover needs a JSON body {"id": ...}`))
+			return
+		}
+		addr, apiErr := rt.FailoverInterface(req.ID)
+		if apiErr != nil {
+			writeAdminError(w, apiErr)
+			return
+		}
+		writeAdminJSON(w, http.StatusOK, &FailoverResult{ID: req.ID, Owner: addr})
 	}))
 	return mux
 }

@@ -70,7 +70,7 @@ func startShard(t testing.TB, ids ...string) *testShard {
 	}))
 	t.Cleanup(ts.Close)
 
-	node, err := NewNode(svc, ing, NodeOptions{Addr: ts.URL})
+	node, err := NewNode(svc, ing, NodeOptions{Addr: ts.URL, Token: testToken})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,12 @@ type Snapshot struct {
 	// the store's data epoch.
 	Epoch     uint64
 	DataEpoch uint64
+	// Seq is the interface's replication sequence number at save time:
+	// the count of epoch-bumping publishes streamed (or streamable) to
+	// follower replicas. Zero on snapshots written before replication
+	// existed — gob leaves absent fields at their zero value, so the
+	// format version does not change.
+	Seq uint64
 	// Log is the accumulated query log (initial + ingested entries).
 	Log []qlog.Entry
 	// Tables is the dataset, one entry per catalog table.

@@ -67,12 +67,14 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
 // WithFollowMoved controls whether the client transparently re-issues
-// a request against the address carried by a structured "moved" error
-// — what a shard returns after relinquishing an interface to another
-// shard (default true). Following is safe for every operation,
-// including non-idempotent ingestion, because moved means the request
-// was not processed. The shard router disables it so it can update its
-// own placement map instead.
+// a request against the address carried by a structured redirecting
+// error (default true): "moved" — what a shard returns after
+// relinquishing an interface to another shard — and the replication
+// codes "not_owner" and "replica_lagging", which a follower replica
+// returns pointing at its owner. Following is safe for every
+// operation, including non-idempotent ingestion, because all three
+// mean the request was not processed. The shard router disables it so
+// it can update its own placement map instead.
 func WithFollowMoved(follow bool) Option { return func(c *Client) { c.follow = follow } }
 
 // New returns a client for the API at baseURL (e.g.
@@ -293,13 +295,16 @@ func (c *Client) run(ctx context.Context, method, path string, in, out any, retr
 		if err == nil {
 			return nil
 		}
-		// A moved error means the interface migrated to another shard and
-		// this request was NOT processed: follow it immediately (no
-		// backoff, no retry budget spent) — safe even for non-idempotent
-		// ingestion, bounded by maxMovedHops.
+		// A moved, not_owner or replica_lagging error names the shard
+		// that can actually serve the request (the new home after a
+		// migration, or the replica set's owner) and means this request
+		// was NOT processed: follow it immediately (no backoff, no retry
+		// budget spent) — safe even for non-idempotent ingestion,
+		// bounded by maxMovedHops.
 		if c.follow && hops < maxMovedHops {
 			var apiErr *api.Error
-			if errors.As(err, &apiErr) && apiErr.Code == api.CodeMoved && apiErr.Addr != "" {
+			if errors.As(err, &apiErr) && apiErr.Addr != "" &&
+				(apiErr.Code == api.CodeMoved || apiErr.Code == api.CodeNotOwner || apiErr.Code == api.CodeReplicaLagging) {
 				if b, perr := NormalizeBase(apiErr.Addr); perr == nil {
 					base = b
 					hops++

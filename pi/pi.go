@@ -33,6 +33,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/interaction"
 	"repro/internal/qlog"
+	"repro/internal/replica"
 	"repro/internal/schema"
 	"repro/internal/server"
 	"repro/internal/sessions"
@@ -374,8 +375,19 @@ type ShardNodeOptions = shard.NodeOptions
 type ShardRouter = shard.Router
 
 // ShardRouterOptions configure a router (shared token, per-operation
-// timeout, placement pins).
+// timeout, placement pins, replication factor, read fan-out and
+// failover policy).
 type ShardRouterOptions = shard.RouterOptions
+
+// ReplicaManager is a shard node's replication control plane: it keeps
+// warm followers seeded and streaming, and runs the term-fenced
+// promote/demote protocol failover is built on. Reach it through
+// ShardNode.Replication().
+type ReplicaManager = replica.Manager
+
+// ReplicationStatus is the router-admin view of the fleet's replica
+// sets (per interface: owner, term, followers and their lag).
+type ReplicationStatus = shard.ReplicationStatus
 
 // NewShardNode wraps the service and its ingester as a shard node
 // advertising the given options' address.

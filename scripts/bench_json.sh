@@ -1,11 +1,14 @@
 #!/bin/sh
 # Benchmark the router-proxy overhead against direct serve on the
-# cached-plan path and record the result as BENCH_shard.json, so the
-# perf trajectory of the serving layer is tracked in-repo run over run.
-# Exits non-zero if either benchmark fails to produce a number.
+# cached-plan path and record the result as BENCH_shard.json, then the
+# replication layer's ack coupling (replicated vs unreplicated append
+# ack, fan-out read) as BENCH_replica.json, so the perf trajectory of
+# the serving layer is tracked in-repo run over run.
+# Exits non-zero if any benchmark fails to produce a number.
 set -eu
 
 OUT="${OUT:-BENCH_shard.json}"
+REPLICA_OUT="${REPLICA_OUT:-BENCH_replica.json}"
 BENCHTIME="${BENCHTIME:-500x}"
 
 echo "== go test -bench (Direct|Router)Query -benchtime $BENCHTIME ./internal/shard"
@@ -32,3 +35,32 @@ awk -v d="$direct" -v r="$router" -v go_ver="$(go env GOVERSION)" 'BEGIN {
 
 echo "== $OUT"
 cat "$OUT"
+
+echo "== go test -bench (Unreplicated|Replicated)Ack|FanoutQuery -benchtime $BENCHTIME ./internal/shard"
+raw=$(go test -run '^$' \
+    -bench 'BenchmarkUnreplicatedAck$|BenchmarkReplicatedAck$|BenchmarkFanoutQuery$' \
+    -benchtime "$BENCHTIME" ./internal/shard)
+printf '%s\n' "$raw"
+
+unrep=$(printf '%s\n' "$raw" | awk '/^BenchmarkUnreplicatedAck/ { print $3; exit }')
+rep=$(printf '%s\n' "$raw" | awk '/^BenchmarkReplicatedAck/ { print $3; exit }')
+fanout=$(printf '%s\n' "$raw" | awk '/^BenchmarkFanoutQuery/ { print $3; exit }')
+if [ -z "$unrep" ] || [ -z "$rep" ] || [ -z "$fanout" ]; then
+    echo "FAIL: replication benchmarks produced no numbers" >&2
+    exit 1
+fi
+
+awk -v u="$unrep" -v r="$rep" -v f="$fanout" -v q="$router" -v go_ver="$(go env GOVERSION)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"replicated-ack overhead vs unreplicated append (cached-plan path), fan-out read\",\n"
+    printf "  \"go\": \"%s\",\n", go_ver
+    printf "  \"unreplicated_ack_ns_op\": %d,\n", u
+    printf "  \"replicated_ack_ns_op\": %d,\n", r
+    printf "  \"replicated_ack_overhead_x\": %.3f,\n", r / u
+    printf "  \"fanout_query_ns_op\": %d,\n", f
+    printf "  \"router_query_ns_op\": %d\n", q
+    printf "}\n"
+}' >"$REPLICA_OUT"
+
+echo "== $REPLICA_OUT"
+cat "$REPLICA_OUT"

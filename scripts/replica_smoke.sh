@@ -1,0 +1,218 @@
+#!/bin/sh
+# End-to-end smoke of the replication subsystem: start one shard
+# hosting olap plus two empty standbys behind a router running with
+# -replicas 2 -read-fanout -failover, wait for the warm follower to
+# sync, then SIGKILL the owner while writes and reads flow through the
+# router. Assert that the best follower is promoted, that no read ever
+# failed and every acked write survived, that the refresh loop re-seeds
+# a replacement follower on the surviving standby, and that health goes
+# degraded while the dead shard is down and back to healthy once a
+# replacement process rejoins the fleet.
+# Exits non-zero on any failure.
+set -eu
+
+ROUTER_ADDR="${ROUTER_ADDR:-127.0.0.1:8100}"
+A_ADDR="${A_ADDR:-127.0.0.1:8101}"
+B_ADDR="${B_ADDR:-127.0.0.1:8102}"
+C_ADDR="${C_ADDR:-127.0.0.1:8103}"
+TOKEN="${TOKEN:-shard-secret}"
+BIN_DIR="$(mktemp -d)"
+LOG="$(mktemp)"
+WRITE_CODES="$(mktemp)"
+READ_CODES="$(mktemp)"
+
+ROW='["AA","AA","CAP","NYP","CA","NY",1,1,1,10,10,10,500,1,0,0]'
+
+echo "== build"
+go build -o "$BIN_DIR/pi-serve" ./cmd/pi-serve
+go build -o "$BIN_DIR/pi-router" ./cmd/pi-router
+
+cleanup() {
+    [ -n "${A_PID:-}" ] && kill -9 "$A_PID" 2>/dev/null || true
+    [ -n "${B_PID:-}" ] && kill -9 "$B_PID" 2>/dev/null || true
+    [ -n "${C_PID:-}" ] && kill -9 "$C_PID" 2>/dev/null || true
+    [ -n "${R_PID:-}" ] && kill -9 "$R_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- process log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+wait_up() {
+    i=0
+    until curl -sf "http://$1/v1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 120 ] || { sleep 0.25; continue; }
+        fail "$2 never came up on $1"
+    done
+}
+
+# json_str BODY FIELD -> first string value of "field":"..."
+json_str() {
+    printf '%s' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p" | head -n 1
+}
+
+# json_int BODY FIELD -> first integer value of "field":N
+json_int() {
+    printf '%s' "$1" | sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" | head -n 1
+}
+
+replication() {
+    curl -s -H "Authorization: Bearer $TOKEN" "http://$ROUTER_ADDR/v1/router/replication"
+}
+
+append_row() { # -> response body (flushed, so the ack carries rowCount)
+    curl -s -X POST "http://$ROUTER_ADDR/v1/interfaces/olap/rows?flush=1" \
+        -H "Authorization: Bearer $TOKEN" -H 'Content-Type: application/json' \
+        -d "{\"table\":\"ontime\",\"rows\":[$ROW]}"
+}
+
+start_standby() { # ADDR -> pid on stdout
+    "$BIN_DIR/pi-serve" -addr "$1" -workloads '' \
+        -token "$TOKEN" -shard-addr "http://$1" >>"$LOG" 2>&1 &
+    echo $!
+}
+
+echo "== start owner shard A (olap) on $A_ADDR, empty standbys on $B_ADDR and $C_ADDR"
+"$BIN_DIR/pi-serve" -addr "$A_ADDR" -workloads olap -n 40 -rows 200 \
+    -token "$TOKEN" -shard-addr "http://$A_ADDR" >>"$LOG" 2>&1 &
+A_PID=$!
+B_PID=$(start_standby "$B_ADDR")
+C_PID=$(start_standby "$C_ADDR")
+wait_up "$A_ADDR" "shard A"
+wait_up "$B_ADDR" "shard B"
+wait_up "$C_ADDR" "shard C"
+
+echo "== start router on $ROUTER_ADDR: -replicas 2 -read-fanout -failover"
+"$BIN_DIR/pi-router" -addr "$ROUTER_ADDR" -shards "$A_ADDR,$B_ADDR,$C_ADDR" \
+    -token "$TOKEN" -refresh-every 1s -replicas 2 -read-fanout -failover \
+    >>"$LOG" 2>&1 &
+R_PID=$!
+wait_up "$ROUTER_ADDR" "router"
+
+echo "== wait for the warm follower to seed and sync"
+i=0
+until printf '%s' "$(replication)" | grep -q '"synced":true'; do
+    i=$((i + 1))
+    [ "$i" -gt 120 ] && fail "follower never synced: $(replication)"
+    sleep 0.5
+done
+owner0=$(json_str "$(replication)" owner)
+[ "$owner0" = "http://$A_ADDR" ] || fail "unexpected initial owner $owner0"
+echo "   owner $owner0, follower in sync"
+
+echo "== baseline row count via one flushed append"
+base=$(append_row)
+start_count=$(json_int "$base" rowCount)
+[ -n "$start_count" ] || fail "baseline append returned no rowCount: $base"
+
+echo "== hammer: writes and reads through the router while the owner dies"
+(
+    i=0
+    while [ "$i" -lt 60 ]; do
+        i=$((i + 1))
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            -X POST "http://$ROUTER_ADDR/v1/interfaces/olap/rows?flush=1" \
+            -H "Authorization: Bearer $TOKEN" -H 'Content-Type: application/json' \
+            -d "{\"table\":\"ontime\",\"rows\":[$ROW]}" >>"$WRITE_CODES"
+        sleep 0.05
+    done
+) &
+W_PID=$!
+(
+    i=0
+    while [ "$i" -lt 60 ]; do
+        i=$((i + 1))
+        curl -s -o /dev/null -w '%{http_code}\n' \
+            -X POST "http://$ROUTER_ADDR/v1/interfaces/olap/query" \
+            -H "Authorization: Bearer $TOKEN" -H 'Content-Type: application/json' \
+            -d '{"widgets":[],"limit":5}' >>"$READ_CODES"
+        sleep 0.05
+    done
+) &
+READ_PID=$!
+
+sleep 1
+echo "== SIGKILL the owner mid-stream"
+kill -9 "$A_PID"
+wait "$A_PID" 2>/dev/null || true
+A_PID=""
+
+wait "$W_PID" || true
+wait "$READ_PID" || true
+
+echo "== no read ever failed (fan-out + failover cover the owner's death)"
+bad_reads=$(grep -cv '^200$' "$READ_CODES" || true)
+[ "$bad_reads" = "0" ] || fail "$bad_reads reads failed during failover: $(sort "$READ_CODES" | uniq -c | tr '\n' ' ')"
+
+echo "== the best follower was promoted"
+i=0
+while :; do
+    owner=$(json_str "$(replication)" owner)
+    [ -n "$owner" ] && [ "$owner" != "http://$A_ADDR" ] && break
+    i=$((i + 1))
+    [ "$i" -gt 60 ] && fail "owner never changed after the kill: $(replication)"
+    sleep 0.5
+done
+echo "   promoted owner: $owner"
+
+echo "== every acked write survived the failover"
+# Appends ack with 202; anything else is a write the client saw fail
+# (legal during the promotion window — failed writes are not counted).
+acked=$(grep -c '^202$' "$WRITE_CODES" || true)
+final=$(append_row)
+final_count=$(json_int "$final" rowCount)
+[ -n "$final_count" ] || fail "post-failover append failed: $final"
+want=$((start_count + acked + 1))
+[ "$final_count" -ge "$want" ] \
+    || fail "acked-then-lost writes: $final_count rows visible, want >= $want ($acked acked)"
+echo "   $acked acked writes, $final_count rows visible (>= $want)"
+
+echo "== a replacement follower is re-seeded on the surviving standby"
+i=0
+until printf '%s' "$(replication)" | grep -q '"synced":true'; do
+    i=$((i + 1))
+    [ "$i" -gt 120 ] && fail "replacement follower never synced: $(replication)"
+    sleep 0.5
+done
+rep=$(replication)
+case "$rep" in
+*"$A_ADDR"*) fail "dead shard still in the replica set: $rep" ;;
+esac
+echo "   replica set healed: $rep"
+
+echo "== health is degraded while the dead shard is down"
+health=$(curl -s "http://$ROUTER_ADDR/v1/healthz")
+[ "$(printf '%s' "$health" | sed -n 's/^{"status":"\([^"]*\)".*/\1/p')" = "degraded" ] \
+    || fail "health not degraded with a dead shard: $health"
+
+echo "== restart the dead shard empty; an explicit refresh clears probe backoff"
+A_PID=$(start_standby "$A_ADDR")
+wait_up "$A_ADDR" "restarted shard A"
+curl -s -X POST -H "Authorization: Bearer $TOKEN" \
+    "http://$ROUTER_ADDR/v1/router/refresh" >/dev/null
+i=0
+while :; do
+    health=$(curl -s "http://$ROUTER_ADDR/v1/healthz")
+    [ "$(printf '%s' "$health" | sed -n 's/^{"status":"\([^"]*\)".*/\1/p')" = "ok" ] && break
+    i=$((i + 1))
+    [ "$i" -gt 60 ] && fail "health never recovered after the restart: $health"
+    sleep 0.5
+    curl -s -X POST -H "Authorization: Bearer $TOKEN" \
+        "http://$ROUTER_ADDR/v1/router/refresh" >/dev/null
+done
+echo "   fleet healthy again"
+
+echo "== steady state: queries answer 200, not shard_unavailable"
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+    -X POST "http://$ROUTER_ADDR/v1/interfaces/olap/query" \
+    -H "Authorization: Bearer $TOKEN" -H 'Content-Type: application/json' \
+    -d '{"widgets":[],"limit":5}')
+[ "$code" = "200" ] || fail "steady-state query answered $code"
+
+echo "replica smoke: ok"
