@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke replica-smoke
+.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke
 
 check: fmt-check vet build race
 
@@ -54,8 +54,17 @@ shard-smoke:
 replica-smoke:
 	sh scripts/replica_smoke.sh
 
-# Benchmark router-proxy overhead vs direct serve (BENCH_shard.json)
-# and the replication layer's ack coupling + fan-out read
-# (BENCH_replica.json), so the perf trajectory is tracked run over run.
+# End-to-end smoke of the write-ahead log: pi-serve -wal, acked
+# appends that no snapshot ever covers, SIGKILL, restart, verify the
+# logged tail replayed them; then differential saves and a second
+# crash restoring through base + delta + tail.
+wal-smoke:
+	sh scripts/wal_smoke.sh
+
+# Benchmark router-proxy overhead vs direct serve (BENCH_shard.json),
+# the replication layer's ack coupling + fan-out read
+# (BENCH_replica.json), and the WAL's acked-append overhead +
+# differential-vs-full snapshot cost (BENCH_wal.json), so the perf
+# trajectory is tracked run over run.
 bench-json:
 	sh scripts/bench_json.sh

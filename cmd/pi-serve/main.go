@@ -10,6 +10,7 @@
 //	         [-seed 7] [-cache 256] [-ingest] [-batch 8] [-flush-every 2s]
 //	         [-tail id=path[,id=path...]] [-token T | -token-file F]
 //	         [-data-dir DIR] [-snapshot-every 30s]
+//	         [-wal] [-wal-sync 2ms] [-wal-segment-bytes N]
 //	         [-shard-addr http://HOST:PORT]
 //	pi-serve -check [-addr :8080] [-token T | -token-file F]
 //
@@ -49,7 +50,13 @@
 // mines workloads that have no snapshot; while running it persists on
 // POST /v1/snapshot, every -snapshot-every interval (when set), and on
 // graceful shutdown. Kill it with SIGKILL and restart it with the same
-// -data-dir: the dashboards come back.
+// -data-dir: the dashboards come back. Adding -wal journals every
+// acked write (log batches, row appends, epoch bumps) to a per-
+// interface write-ahead log before the ack returns, so a SIGKILL
+// loses nothing that was acknowledged: restart merges the newest
+// snapshot plus its differential deltas and replays the logged tail.
+// -wal-sync widens fsyncs into a group-commit window; 0 syncs before
+// every ack. See README "Durability".
 //
 // -check flips the binary into client mode: it probes a running
 // pi-serve at -addr through the pi/client SDK (health, list, a query
@@ -86,6 +93,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/store"
+	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/pi/client"
 )
@@ -103,6 +111,9 @@ func main() {
 	tails := flag.String("tail", "", "comma-separated id=path log files (or globs like 'logs/*.log') to tail into hosted interfaces")
 	dataDir := flag.String("data-dir", "", "directory for durable snapshots (enables restore-on-boot and POST /v1/snapshot)")
 	snapEvery := flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 = only on demand/shutdown; needs -data-dir)")
+	enableWAL := flag.Bool("wal", false, "write-ahead-log every acked publish before its ack returns (needs -data-dir); restart replays the tail so no acked write is lost")
+	walSync := flag.Duration("wal-sync", 0, "group-commit window for WAL fsyncs (0 = fsync before every ack; e.g. 2ms trades a bounded window for throughput)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 4MiB)")
 	token := flag.String("token", "", "bearer token required on query/log endpoints (empty = open)")
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
 	shardAddr := flag.String("shard-addr", "", "advertised base URL for shard mode, e.g. http://10.0.0.5:8081 (enables the /v1/shard admin surface; needs -ingest)")
@@ -131,11 +142,20 @@ func main() {
 	// consulted).
 	var svc *api.Service
 	var persister *ingest.Persister
+	var walMgr *wal.Manager
 	if *dataDir != "" {
 		if !*enableIngest {
 			fatal(fmt.Errorf("-data-dir needs -ingest (snapshots cover live-hosted interfaces)"))
 		}
-		persister = ingest.NewPersister(*dataDir, ing, ingest.PersistOptions{Funcs: attachWorkloadFuncs})
+		popts := ingest.PersistOptions{Funcs: attachWorkloadFuncs}
+		if *enableWAL {
+			walMgr = wal.NewManager(*dataDir, wal.Options{
+				SegmentBytes: *walSegBytes,
+				SyncInterval: *walSync,
+			})
+			popts.WAL = walMgr
+		}
+		persister = ingest.NewPersister(*dataDir, ing, popts)
 		var restored *api.RestoreResult
 		var rerr error
 		svc, restored, rerr = api.NewPersistentService(reg, persister)
@@ -151,6 +171,9 @@ func main() {
 	}
 	if *snapEvery > 0 && persister == nil {
 		fatal(fmt.Errorf("-snapshot-every needs -data-dir"))
+	}
+	if *enableWAL && *dataDir == "" {
+		fatal(fmt.Errorf("-wal needs -data-dir (the log lives alongside the snapshots it replays onto)"))
 	}
 
 	for _, name := range strings.Split(*workloads, ",") {
@@ -187,6 +210,19 @@ func main() {
 	// an interface onto it or seeds it as a follower replica.
 	if reg.Len() == 0 && *shardAddr == "" {
 		fatal(fmt.Errorf("no workloads hosted"))
+	}
+
+	// In WAL mode every interface must have a base snapshot on disk
+	// before its first acked write is journaled: a log with no base to
+	// replay onto is unrecoverable, so freshly mined workloads are
+	// persisted once up front, before the listener opens.
+	if walMgr != nil {
+		if res, err := svc.Snapshot(); err != nil {
+			fatal(fmt.Errorf("initial snapshot: %w", err))
+		} else if len(res.Interfaces) > 0 {
+			log.Printf("wal: initial snapshot of %d interface(s) to %s (sync window %s)",
+				len(res.Interfaces), res.Dir, walSync.String())
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGINT, syscall.SIGTERM)
@@ -284,6 +320,11 @@ func main() {
 				log.Printf("final snapshot: %v", err)
 			} else {
 				log.Printf("final snapshot: %d interface(s) persisted to %s", len(res.Interfaces), res.Dir)
+			}
+		}
+		if walMgr != nil {
+			if err := walMgr.Close(); err != nil {
+				log.Printf("wal close: %v", err)
 			}
 		}
 	}

@@ -103,6 +103,11 @@ const (
 	// demote) was conditioned on a fencing term that has since advanced;
 	// the caller re-reads replica status and retries. 409.
 	CodeTermMismatch = "term_mismatch"
+	// CodeWALFailed — the write-ahead log could not record a publish
+	// (disk full, torn log directory, ...). The write is visible locally
+	// but was NOT acknowledged as durable; clients should treat the
+	// submission as failed and retry. 500.
+	CodeWALFailed = "wal_failed"
 	// CodeInternal — an unexpected server-side failure. 500.
 	CodeInternal = "internal"
 )

@@ -512,6 +512,7 @@ func (s *Service) Health() *Health {
 		Interfaces:    []HealthInterface{},
 	}
 	statuser, _ := s.ing.(IngestStatuser)
+	walStatuser, _ := s.per.(WALStatuser)
 	for _, h := range s.reg.List() {
 		st := h.load()
 		row := HealthInterface{
@@ -525,6 +526,11 @@ func (s *Service) Health() *Health {
 		if statuser != nil {
 			if is, ok := statuser.IngestStatus(h.ID); ok {
 				row.Ingest = &is
+			}
+		}
+		if walStatuser != nil {
+			if wi, ok := walStatuser.WALStatus(h.ID); ok {
+				row.WAL = wi
 			}
 		}
 		health.Interfaces = append(health.Interfaces, row)

@@ -207,6 +207,32 @@ type SnapshotRemover interface {
 	RemoveSnapshot(id string) error
 }
 
+// WALStatuser is optionally implemented by a Persister running with a
+// write-ahead log: Health attaches the per-interface log position so
+// operators can watch durability lag.
+type WALStatuser interface {
+	WALStatus(id string) (*WALInfo, bool)
+}
+
+// WALInfo is one interface's write-ahead-log row in Health.
+type WALInfo struct {
+	// Segments and Bytes describe the on-disk log (Bytes covers the
+	// active segment; sealed segments rotate out at the configured size).
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// LastSeq is the newest logged publication; SyncedSeq is the newest
+	// one known fsynced (they converge at every group commit).
+	LastSeq   uint64 `json:"lastSeq"`
+	SyncedSeq uint64 `json:"syncedSeq"`
+	// Lag counts acked publications the newest snapshot save does not
+	// cover — what a crash right now would replay from the log.
+	Lag uint64 `json:"lag"`
+	// Truncated reports that a torn tail (a record cut mid-write by a
+	// crash) was dropped when the log was opened. The torn record was
+	// never acked, so this is informational, not data loss.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
 // IngestStatus is one interface's ingestion counters.
 type IngestStatus struct {
 	Buffered     int    `json:"buffered"`
@@ -241,6 +267,9 @@ type HealthInterface struct {
 	// Replication is present on replicated deployments: the interface's
 	// role on this shard and its position in the replication stream.
 	Replication *ReplicationInfo `json:"replication,omitempty"`
+	// WAL is present when the server runs with a write-ahead log: the
+	// interface's log position and durability lag.
+	WAL *WALInfo `json:"wal,omitempty"`
 }
 
 // Replication roles, as reported in ReplicationInfo.Role. An interface
@@ -266,6 +295,12 @@ type ReplicationInfo struct {
 	Stale bool `json:"stale,omitempty"`
 	// Owner is the owner's base URL, set on followers.
 	Owner string `json:"owner,omitempty"`
+	// Seeds counts full snapshot seeds this owner shipped; CatchUps
+	// counts followers it re-synced from the write-ahead log instead.
+	// The replica smoke test pins "a bounced follower does not force a
+	// re-seed" on these.
+	Seeds    uint64 `json:"seeds,omitempty"`
+	CatchUps uint64 `json:"catchUps,omitempty"`
 	// Followers is the owner's view of its replicas.
 	Followers []ReplicaFollower `json:"followers,omitempty"`
 }

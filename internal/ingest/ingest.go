@@ -116,10 +116,12 @@ type Ingester struct {
 	feeds map[string]*feed
 
 	// hook, when set, observes every epoch-bumping publish (see
-	// replicate.go). Guarded separately from mu so installing it never
-	// contends with feed routing.
-	hookMu sync.RWMutex
-	hook   PublishHook
+	// replicate.go), and journal, when set, makes each one durable
+	// before its ack (see journal.go). Guarded separately from mu so
+	// installing them never contends with feed routing.
+	hookMu  sync.RWMutex
+	hook    PublishHook
+	journal Journal
 }
 
 // New returns an ingester over the registry.

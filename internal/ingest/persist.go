@@ -10,6 +10,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // PersistOptions configure a Persister.
@@ -23,6 +24,16 @@ type PersistOptions struct {
 	// snapshot file cannot carry (pi-serve re-binds the synthetic SDSS
 	// UDF to the restored Galaxy table here).
 	Funcs func(id string, st *store.Store)
+	// WAL, when set, switches the persister into write-ahead-log mode
+	// (walpersist.go): every acked publish is journaled before its ack,
+	// periodic saves write differential deltas instead of full
+	// rewrites, and restore replays the logged tail on top of the
+	// newest save — zero acked-then-lost across a SIGKILL.
+	WAL *wal.Manager
+	// CompactEvery bounds the delta chain: after this many differential
+	// saves the next save rewrites the full base snapshot and drops the
+	// chain. Default 64.
+	CompactEvery int
 }
 
 // Persister is the durable snapshot/restore coordinator over an
@@ -39,18 +50,38 @@ type Persister struct {
 	ing  *Ingester
 	opts PersistOptions
 
-	// saveMu serializes SaveAll: the periodic ticker, the HTTP snapshot
-	// endpoint and the shutdown snapshot can all fire concurrently, and
-	// interleaved saves would waste IO for no fresher result.
+	// saveMu serializes every durable-state mutation: SaveAll (the
+	// periodic ticker, the HTTP snapshot endpoint and the shutdown
+	// snapshot can all fire concurrently), the WAL-mode manifest map,
+	// Adopt and replication-state persists.
 	saveMu sync.Mutex
+
+	// manifests mirrors the on-disk manifest per interface in WAL mode
+	// (walpersist.go). Guarded by saveMu.
+	manifests map[string]*store.Manifest
+
+	// replState, when set, reports an interface's live replication
+	// control state at save time so it persists in the manifest.
+	// Guarded by saveMu.
+	replState func(id string) *store.ReplState
 }
 
-// NewPersister returns a persister writing snapshots under dir.
+// NewPersister returns a persister writing snapshots under dir. With
+// PersistOptions.WAL set, the persister also installs itself as the
+// ingester's durability journal: every acked publish is logged before
+// the ack returns.
 func NewPersister(dir string, ing *Ingester, opts PersistOptions) *Persister {
 	if opts.Live.Generate.Library == nil {
 		opts.Live = core.DefaultLiveOptions()
 	}
-	return &Persister{dir: dir, ing: ing, opts: opts}
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 64
+	}
+	p := &Persister{dir: dir, ing: ing, opts: opts, manifests: map[string]*store.Manifest{}}
+	if opts.WAL != nil {
+		ing.SetJournal(p)
+	}
+	return p
 }
 
 // Dir returns the data directory.
@@ -88,11 +119,15 @@ func (p *Persister) SaveAll() (*api.SnapshotResult, error) {
 // saveOne captures one feed's state under its lock (Capture shares
 // only immutable data — a log copy and published table versions), then
 // writes the snapshot file with the lock released, so the disk write
-// never blocks ingestion or serving.
+// never blocks ingestion or serving. In WAL mode the write is a
+// differential delta keyed off the previous save (walpersist.go).
 func (p *Persister) saveOne(id string) (api.SnapshotInterface, error) {
 	snap, err := p.ing.Capture(id)
 	if err != nil {
 		return api.SnapshotInterface{}, err
+	}
+	if p.opts.WAL != nil {
+		return p.saveWAL(snap)
 	}
 	bytes, err := store.Save(p.dir, snap)
 	if err != nil {
@@ -101,12 +136,24 @@ func (p *Persister) saveOne(id string) (api.SnapshotInterface, error) {
 	return snapshotRow(snap, bytes), nil
 }
 
-// RemoveSnapshot deletes the interface's snapshot file so an unhosted
-// interface does not resurrect on the next boot; a file that never
-// existed is fine. Implements api.SnapshotRemover.
+// RemoveSnapshot deletes the interface's durable state — snapshot
+// file, and in WAL mode its manifest, delta chain and log directory —
+// so an unhosted interface does not resurrect on the next boot; files
+// that never existed are fine. Implements api.SnapshotRemover.
 func (p *Persister) RemoveSnapshot(id string) error {
+	p.saveMu.Lock()
+	defer p.saveMu.Unlock()
 	if err := os.Remove(store.SnapFile(p.dir, id)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("ingest: remove snapshot %q: %w", id, err)
+	}
+	if err := store.RemoveManifest(p.dir, id); err != nil {
+		return fmt.Errorf("ingest: remove snapshot %q: %w", id, err)
+	}
+	delete(p.manifests, id)
+	if p.opts.WAL != nil {
+		if err := p.opts.WAL.Remove(id); err != nil {
+			return fmt.Errorf("ingest: remove snapshot %q: %w", id, err)
+		}
 	}
 	return nil
 }
@@ -115,8 +162,13 @@ func (p *Persister) RemoveSnapshot(id string) error {
 // registry. Returns what came back; a missing or empty dir restores
 // nothing (first boot). A snapshot that fails its checksum or decode
 // is an error — serving silently without an interface the operator
-// expects is worse than failing loudly. Implements api.Persister.
+// expects is worse than failing loudly. In WAL mode each interface's
+// restore merges its delta chain and replays the logged tail
+// (walpersist.go). Implements api.Persister.
 func (p *Persister) Restore() (*api.RestoreResult, error) {
+	if p.opts.WAL != nil {
+		return p.restoreWAL()
+	}
 	files, err := store.List(p.dir)
 	if err != nil {
 		return nil, err

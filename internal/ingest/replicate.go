@@ -61,20 +61,26 @@ func (ing *Ingester) publishHook() PublishHook {
 	return h
 }
 
-// firePublish bumps the feed's sequence number and runs the hook.
-// Caller holds f.mu and has already published the swap.
+// firePublish bumps the feed's sequence number, journals the
+// publication and runs the replication hook — in that order, so a
+// write is durable locally before it fans out, and an ack implies
+// both. Caller holds f.mu and has already published the swap.
 func (ing *Ingester) firePublish(f *feed, entries []qlog.Entry, rows []TableRows) error {
 	f.seq++
-	h := ing.publishHook()
-	if h == nil {
-		return nil
-	}
-	if err := h(f.hosted.ID, Publication{
+	p := Publication{
 		Seq:     f.seq,
 		Epoch:   f.hosted.Epoch(),
 		Entries: entries,
 		Rows:    rows,
-	}); err != nil {
+	}
+	if err := ing.journalLocked(f, p); err != nil {
+		return err
+	}
+	h := ing.publishHook()
+	if h == nil {
+		return nil
+	}
+	if err := h(f.hosted.ID, p); err != nil {
 		f.lastError = err.Error()
 		return err
 	}
@@ -180,7 +186,14 @@ func (ing *Ingester) ApplyBatch(id string, entries []qlog.Entry, wantEpoch, want
 		f.lastError = err.Error()
 		return fmt.Errorf("ingest: %q apply swap: %v: %w", id, err, ErrReplicaDiverged)
 	}
-	return f.applySettle(id, wantEpoch, wantSeq)
+	if err := f.applySettle(id, wantEpoch, wantSeq); err != nil {
+		return err
+	}
+	// Journal the applied publication so a restarted follower replays
+	// to this position instead of demanding a full re-seed. A journal
+	// failure refuses the apply (the owner re-sends or re-seeds);
+	// replay-time re-applies are sequence-idempotent no-ops.
+	return ing.journalLocked(f, Publication{Seq: wantSeq, Epoch: f.hosted.Epoch(), Entries: entries})
 }
 
 // ApplyRows applies one replicated row publication to a follower
@@ -211,7 +224,10 @@ func (ing *Ingester) ApplyRows(id string, rows []TableRows, wantEpoch, wantSeq u
 		f.lastError = err.Error()
 		return fmt.Errorf("ingest: %q apply swap: %v: %w", id, err, ErrReplicaDiverged)
 	}
-	return f.applySettle(id, wantEpoch, wantSeq)
+	if err := f.applySettle(id, wantEpoch, wantSeq); err != nil {
+		return err
+	}
+	return ing.journalLocked(f, Publication{Seq: wantSeq, Epoch: f.hosted.Epoch(), Rows: rows})
 }
 
 // ApplyBump applies a bare epoch bump (the promotion fence) to a
@@ -230,5 +246,8 @@ func (ing *Ingester) ApplyBump(id string, wantEpoch, wantSeq uint64) error {
 		f.lastError = err.Error()
 		return fmt.Errorf("ingest: %q apply bump: %v: %w", id, err, ErrReplicaDiverged)
 	}
-	return f.applySettle(id, wantEpoch, wantSeq)
+	if err := f.applySettle(id, wantEpoch, wantSeq); err != nil {
+		return err
+	}
+	return ing.journalLocked(f, Publication{Seq: wantSeq, Epoch: f.hosted.Epoch()})
 }

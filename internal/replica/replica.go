@@ -74,6 +74,21 @@ type Config struct {
 	// ClearTombstone is called after a seed hosts a copy here: an old
 	// moved tombstone no longer applies.
 	ClearTombstone func(id string)
+	// Adopt, when set, durably installs an accepted seed frame (base
+	// snapshot + manifest + WAL reset) before Follow acknowledges it —
+	// a restarted follower then rebuilds the copy and resumes the
+	// stream from its logged position instead of demanding a re-seed.
+	Adopt func(snap *store.Snapshot, rs *store.ReplState) error
+	// Persist, when set, flushes the interface's replication control
+	// state (role, term, owner, follower positions) to durable storage
+	// after a control-plane change, so a crash right after a failover
+	// remembers who won. Called without manager locks held.
+	Persist func(id string)
+	// CatchUp, when set, returns this owner's logged publications with
+	// sequence in (fromSeq, head] — the WAL tail a trailing follower
+	// needs. ok=false means the log does not cover the range and only
+	// a full seed helps.
+	CatchUp func(id string, fromSeq uint64) ([]ingest.Publication, bool)
 	// HTTPClient carries replication traffic. Defaults to a 2-minute
 	// budget (seeds move whole interfaces).
 	HTTPClient *http.Client
@@ -114,6 +129,13 @@ type ifaceState struct {
 	stale     bool   // follower: gap detected, awaiting re-seed
 	seq       uint64 // follower: last applied sequence number
 	followers map[string]*follower
+
+	// fullSeeds counts complete snapshot seeds shipped from this owner;
+	// catchUps counts followers re-synced from the WAL instead. The
+	// replica smoke test pins "a bounced follower does not force a full
+	// re-seed" on these.
+	fullSeeds uint64
+	catchUps  uint64
 }
 
 // Manager is a shard's replication state machine: owner-side fan-out
@@ -181,6 +203,42 @@ func (m *Manager) Forget(id string) {
 	m.mu.Unlock()
 }
 
+// persist flushes the interface's control state durably (nil-safe).
+// Never call it holding s.mu or a feed lock: the callback reads the
+// live state back through Info, which takes both.
+func (m *Manager) persist(id string) {
+	if m.cfg.Persist != nil {
+		m.cfg.Persist(id)
+	}
+}
+
+// RestoreState re-adopts the replication control state a manifest
+// carried across a restart: the role and fencing term the shard held,
+// the owner it followed, and — on owners — the follower positions it
+// knew. Restored followers resume non-stale at seq (the position the
+// WAL replay reached), so the owner's next event either continues the
+// stream or triggers a catch-up; restored followers-of-record start
+// stale and re-sync on the next refresh.
+func (m *Manager) RestoreState(id string, rs *store.ReplState, seq uint64) {
+	s := m.ensure(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.role = rs.Role
+	s.term = rs.Term
+	s.owner = rs.Owner
+	if rs.Role == api.RoleFollower {
+		s.stale = false
+		s.seq = seq
+		return
+	}
+	for addr, fseq := range rs.Followers {
+		s.followers[addr] = &follower{
+			addr: addr, mode: fStale, seq: fseq,
+			lastErr: "restored from manifest; awaiting re-sync",
+		}
+	}
+}
+
 // RoleOf reports the interface's role and, for followers, the owner's
 // address. Untracked interfaces are owners.
 func (m *Manager) RoleOf(id string) (role, owner string, stale bool) {
@@ -240,6 +298,9 @@ func (m *Manager) publish(id string, p ingest.Publication) error {
 	if fenced != nil {
 		m.fenceLocked(s, id, fenced.Addr)
 		s.mu.Unlock()
+		// Publish runs under the feed lock, which the persist callback
+		// re-enters through Info; flush the demotion off this goroutine.
+		go m.persist(id)
 		return api.ErrNotOwner(id, fenced.Addr)
 	}
 	s.mu.Unlock()
@@ -327,6 +388,9 @@ func (m *Manager) SetTargets(id string, addrs []string) error {
 		}
 	}
 	s.mu.Unlock()
+	if len(removed) > 0 {
+		go m.persist(id)
+	}
 	for _, addr := range removed {
 		go func(addr string) {
 			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ApplyTimeout)
@@ -359,6 +423,12 @@ func (m *Manager) seed(id, addr string) {
 			fo.lastErr = msg
 		}
 		s.mu.Unlock()
+	}
+	// A follower that already holds a consistent prefix of this stream
+	// (it restarted and replayed its WAL) re-syncs from the owner's log
+	// instead of taking the whole interface again.
+	if m.cfg.CatchUp != nil && m.catchUp(id, addr) {
+		return
 	}
 	if _, err := m.cfg.Ing.Flush(id); err != nil {
 		fail(fmt.Sprintf("seed flush: %v", err))
@@ -412,6 +482,68 @@ func (m *Manager) seed(id, addr string) {
 	fo.pending = nil
 	fo.mode = fSynced
 	fo.lastErr = ""
+	s.fullSeeds++
+}
+
+// catchUp tries to re-sync one targeted follower from this owner's
+// WAL: probe the follower's position, ship the logged publications it
+// is missing as ordinary stream events, drain anything that published
+// meanwhile, and mark it synced. Returns false when only a full seed
+// can help (no copy there, stale, diverged, or the log does not cover
+// its position) — the caller then runs the seed path.
+func (m *Manager) catchUp(id, addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ApplyTimeout)
+	st, err := m.client(addr).Status(ctx, id)
+	cancel()
+	if err != nil {
+		return false
+	}
+	info := st.Info
+	if info.Role != api.RoleFollower || info.Stale {
+		return false
+	}
+	ourSeq, err := m.cfg.Ing.Seq(id)
+	if err != nil || info.Seq > ourSeq {
+		return false
+	}
+	pubs, ok := m.cfg.CatchUp(id, info.Seq)
+	if !ok {
+		return false
+	}
+	s := m.lookup(id)
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fo := s.followers[addr]
+	if fo == nil || fo.mode != fSeeding || s.role != api.RoleOwner {
+		return true // re-targeted, demoted or superseded; nothing to seed either
+	}
+	fo.seq = info.Seq
+	for _, pub := range pubs {
+		if pub.Seq <= fo.seq {
+			continue
+		}
+		if err := m.sendEvent(fo, Event{ID: id, Term: s.term, Owner: m.cfg.Self, Pub: pub}); err != nil {
+			return true // sendEvent downgraded it; the next refresh re-seeds
+		}
+	}
+	// Drain what published while the catch-up ran (the hook buffers
+	// into pending for fSeeding followers), exactly like seed's drain.
+	for _, ev := range fo.pending {
+		if ev.Pub.Seq <= fo.seq {
+			continue
+		}
+		if err := m.sendEvent(fo, ev); err != nil {
+			return true
+		}
+	}
+	fo.pending = nil
+	fo.mode = fSynced
+	fo.lastErr = ""
+	s.catchUps++
+	return true
 }
 
 // Unhost tears the interface's replication down fleet-side before the
@@ -477,6 +609,17 @@ func (m *Manager) Follow(frame []byte, term uint64, owner string) (*StatusRespon
 	s.seq = snap.Seq
 	s.followers = map[string]*follower{}
 	s.mu.Unlock()
+	// Make the seed durable before acking it: base + manifest + WAL
+	// reset, with the follower's control state inside — a restart
+	// rebuilds this copy and resumes the stream from its logged
+	// position instead of demanding another full seed.
+	if m.cfg.Adopt != nil {
+		rs := &store.ReplState{Role: api.RoleFollower, Term: term, Owner: owner}
+		if err := m.cfg.Adopt(snap, rs); err != nil {
+			return nil, api.Errf(api.CodeWALFailed, http.StatusInternalServerError,
+				"follow %q: persist seed: %v", id, err)
+		}
+	}
 	if m.cfg.ClearTombstone != nil {
 		m.cfg.ClearTombstone(id)
 	}
@@ -501,6 +644,7 @@ func (m *Manager) Apply(ev Event) error {
 		s.mu.Unlock()
 		return api.ErrNotOwner(ev.ID, addr)
 	}
+	termAdopted := false
 	switch {
 	case ev.Term < s.term:
 		owner := s.owner
@@ -509,6 +653,7 @@ func (m *Manager) Apply(ev Event) error {
 	case ev.Term > s.term:
 		s.term = ev.Term
 		s.owner = ev.Owner
+		termAdopted = true
 	case ev.Owner != s.owner && s.owner != "":
 		// Same term, different claimed owner: split brain. Refuse both.
 		owner := s.owner
@@ -522,6 +667,9 @@ func (m *Manager) Apply(ev Event) error {
 			"follower of %q is stale; re-seed it (owner %s)", ev.ID, owner)
 	}
 	s.mu.Unlock()
+	if termAdopted {
+		m.persist(ev.ID)
+	}
 
 	// The ingest apply takes the feed lock; state.mu must not be held
 	// across it (the publish hook takes the locks in the other order).
@@ -619,6 +767,9 @@ func (m *Manager) Promote(id string, term uint64, targets []PromoteTarget) (*Sta
 		s.followers[t.Addr] = fo
 	}
 	s.mu.Unlock()
+	// The won term is durable before the fence bump publishes under it:
+	// a crash right here restarts as the owner it just became.
+	m.persist(id)
 
 	if wasFollower {
 		// Fence: bump the epoch through the stream under the new term.
@@ -656,16 +807,20 @@ func (m *Manager) Demote(id string, req DemoteRequest) error {
 	}
 	s := m.ensure(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.role != api.RoleOwner {
+		s.mu.Unlock()
 		return nil // already not an owner; nothing to give up
 	}
 	if s.term >= req.Term {
+		cur := s.term
+		s.mu.Unlock()
 		return api.Errf(api.CodeTermMismatch, http.StatusConflict,
-			"demote %q: local term %d is not older than %d", id, s.term, req.Term)
+			"demote %q: local term %d is not older than %d", id, cur, req.Term)
 	}
 	m.fenceLocked(s, id, req.To)
 	s.term = req.Term
+	s.mu.Unlock()
+	m.persist(id)
 	return nil
 }
 
@@ -711,7 +866,10 @@ func (m *Manager) Info(id string) *api.ReplicationInfo {
 	seq, _ := m.cfg.Ing.Seq(id) // before s.mu: lock order (see ifaceState)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	info := &api.ReplicationInfo{Role: s.role, Term: s.term, Stale: s.stale, Owner: s.owner}
+	info := &api.ReplicationInfo{
+		Role: s.role, Term: s.term, Stale: s.stale, Owner: s.owner,
+		Seeds: s.fullSeeds, CatchUps: s.catchUps,
+	}
 	if s.role == api.RoleFollower {
 		info.Seq = s.seq
 	} else {

@@ -113,7 +113,7 @@ func NewNode(svc *api.Service, ing *ingest.Ingester, opts NodeOptions) (*Node, e
 		}
 		n.moved = moved
 	}
-	mgr, err := replica.NewManager(replica.Config{
+	cfg := replica.Config{
 		Self:           addr,
 		Token:          opts.Token,
 		Ing:            ing,
@@ -123,11 +123,48 @@ func NewNode(svc *api.Service, ing *ingest.Ingester, opts NodeOptions) (*Node, e
 		Demote:         n.demoteLocal,
 		Drop:           n.dropLocal,
 		ClearTombstone: n.clearTombstone,
-	})
+	}
+	walMode := opts.Persister != nil && opts.Persister.WALEnabled()
+	if walMode {
+		p := opts.Persister
+		// WAL mode makes replication state crash-proof: seeds persist
+		// before they are acked, control-plane changes rewrite the
+		// manifest, and trailing followers re-sync from the owner's log
+		// instead of taking a fresh seed.
+		cfg.Adopt = p.Adopt
+		cfg.Persist = func(id string) { _ = p.PersistReplState(id) }
+		cfg.CatchUp = p.CatchUp
+	}
+	mgr, err := replica.NewManager(cfg)
 	if err != nil {
 		return nil, err
 	}
 	n.mgr = mgr
+	if walMode {
+		p := opts.Persister
+		p.SetReplStateSource(func(id string) *store.ReplState {
+			info := mgr.Info(id)
+			if info == nil {
+				return nil
+			}
+			rs := &store.ReplState{Role: info.Role, Term: info.Term, Owner: info.Owner}
+			if len(info.Followers) > 0 {
+				rs.Followers = make(map[string]uint64, len(info.Followers))
+				for _, fo := range info.Followers {
+					rs.Followers[fo.Addr] = fo.Seq
+				}
+			}
+			return rs
+		})
+		// Re-adopt what the manifests remembered: a restarted ex-owner
+		// answers from the term it held (not a blank slate a stale peer
+		// could out-fence), and a restarted follower resumes the stream
+		// at the sequence its WAL replay reached.
+		for id, rs := range p.ReplStates() {
+			seq, _ := ing.Seq(id)
+			mgr.RestoreState(id, rs, seq)
+		}
+	}
 	// Every acked publish streams to followers before the ack leaves
 	// this process; interfaces with no followers pay one map lookup.
 	ing.SetPublishHook(mgr.Hook())
@@ -396,9 +433,12 @@ func (n *Node) Accept(frame []byte) (*AcceptResult, error) {
 		}
 	}
 	if p := n.opts.Persister; p != nil {
+		// Adopt, not a bare file write: in WAL mode this also writes the
+		// manifest and resets the interface's log to the frame's
+		// sequence — the old tail described state this frame replaced.
 		saved := *snap
 		saved.Epoch = epoch
-		if _, err := store.Save(p.Dir(), &saved); err != nil {
+		if err := p.Adopt(&saved, nil); err != nil {
 			return nil, api.Errf(api.CodeSnapshotFailed, http.StatusInternalServerError,
 				"accept %q: persist: %v", snap.ID, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/replica"
+	"repro/internal/store"
 )
 
 // This file binds a Node to its replication manager (internal/replica)
@@ -98,35 +99,12 @@ func (n *Node) persistTombstones() {
 }
 
 func writeTombstones(dir string, moved map[string]string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("shard: create data dir: %w", err)
-	}
 	raw, err := json.MarshalIndent(moved, "", "  ")
 	if err != nil {
 		return fmt.Errorf("shard: encode tombstones: %w", err)
 	}
-	f, err := os.CreateTemp(dir, tombstoneFile+".tmp*")
-	if err != nil {
-		return fmt.Errorf("shard: write tombstones: %w", err)
-	}
-	tmp := f.Name()
-	if _, err := f.Write(raw); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("shard: write tombstones: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("shard: sync tombstones: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("shard: close tombstones: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, tombstoneFile)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("shard: publish tombstones: %w", err)
+	if err := store.AtomicWrite(dir, tombstoneFile, raw); err != nil {
+		return fmt.Errorf("shard: persist tombstones: %w", err)
 	}
 	return nil
 }

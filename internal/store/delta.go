@@ -1,0 +1,225 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/qlog"
+)
+
+// This file is the differential half of persistence: instead of
+// rewriting the whole dataset on every save, a periodic save appends
+// one Delta — the log entries and table rows added since the previous
+// save — keyed off the copy-on-write version chain (a table's new
+// rows are exactly the slice past the previously-saved row count,
+// because AppendRows only ever extends the backing array). A manifest
+// (manifest.go) links base snapshot → deltas → WAL tail; restore
+// merges them back into one in-memory Snapshot.
+
+// Delta is the durable form of "what changed since the last save":
+// the appended tail of the query log and of each grown table, plus
+// the position (seq, epochs) the interface had when it was cut.
+type Delta struct {
+	// FormatVersion guards decoding across format changes.
+	FormatVersion int
+	// ID is the interface the delta belongs to.
+	ID string
+	// FromSeq/ToSeq bound the replication sequence range: the previous
+	// save covered FromSeq, base+deltas through this one cover ToSeq.
+	FromSeq uint64
+	ToSeq   uint64
+	// Epoch/DataEpoch are the serving and store epochs at the cut.
+	Epoch     uint64
+	DataEpoch uint64
+	// Log is the query-log tail appended since the previous save.
+	Log []qlog.Entry
+	// Tables holds each grown table's appended rows.
+	Tables []TableDelta
+}
+
+// TableDelta is one table's appended tail.
+type TableDelta struct {
+	Name string
+	Cols []string
+	// FromRow is the row count the previous save covered; the restore
+	// path refuses a delta whose FromRow does not meet the merged table
+	// where it left off (a gap would silently drop acked rows).
+	FromRow int
+	Rows    [][]engine.Value
+}
+
+// DeltaFormatVersion is the current delta file format.
+const DeltaFormatVersion = 1
+
+// deltaMagic leads every delta file, distinguishing it from snapshots.
+var deltaMagic = []byte("PIDELT01")
+
+// DeltaFile returns the delta path for an interface at a covered seq.
+// The zero-padded seq keeps lexicographic order equal to replay order.
+func DeltaFile(dir, id string, toSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%020d.delta", id, toSeq))
+}
+
+// CutDelta derives the delta between a previous save — described by
+// its covered log length and per-table row counts, as the manifest
+// records them — and a fresh full capture. Sharing is safe: the
+// returned slices alias the capture's immutable tails.
+func CutDelta(snap *Snapshot, fromSeq uint64, logLen int, tableRows map[string]int) (*Delta, error) {
+	if logLen > len(snap.Log) {
+		return nil, fmt.Errorf("store: delta of %q: capture has %d log entries, previous save covered %d",
+			snap.ID, len(snap.Log), logLen)
+	}
+	d := &Delta{
+		FormatVersion: DeltaFormatVersion,
+		ID:            snap.ID,
+		FromSeq:       fromSeq,
+		ToSeq:         snap.Seq,
+		Epoch:         snap.Epoch,
+		DataEpoch:     snap.DataEpoch,
+		Log:           snap.Log[logLen:],
+	}
+	for _, td := range snap.Tables {
+		covered := tableRows[td.Name]
+		if covered > len(td.Rows) {
+			return nil, fmt.Errorf("store: delta of %q: table %q has %d rows, previous save covered %d",
+				snap.ID, td.Name, len(td.Rows), covered)
+		}
+		if covered == len(td.Rows) && covered > 0 {
+			continue // unchanged table: nothing to carry
+		}
+		d.Tables = append(d.Tables, TableDelta{
+			Name:    td.Name,
+			Cols:    td.Cols,
+			FromRow: covered,
+			Rows:    td.Rows[covered:],
+		})
+	}
+	return d, nil
+}
+
+// Apply merges the delta into a snapshot being rebuilt, in place. The
+// seq chain and per-table row positions are verified — a delta that
+// does not continue exactly where the snapshot ends means a save was
+// lost, and restoring past it would silently drop acked state.
+func (d *Delta) Apply(snap *Snapshot) error {
+	if d.ID != snap.ID {
+		return fmt.Errorf("store: delta for %q applied to snapshot of %q", d.ID, snap.ID)
+	}
+	if d.FromSeq != snap.Seq {
+		return fmt.Errorf("store: delta of %q continues from seq %d but snapshot covers seq %d",
+			d.ID, d.FromSeq, snap.Seq)
+	}
+	for _, td := range d.Tables {
+		idx := -1
+		for i := range snap.Tables {
+			if snap.Tables[i].Name == td.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			if td.FromRow != 0 {
+				return fmt.Errorf("store: delta of %q grows unknown table %q from row %d",
+					d.ID, td.Name, td.FromRow)
+			}
+			snap.Tables = append(snap.Tables, TableData{Name: td.Name, Cols: td.Cols, Rows: td.Rows})
+			continue
+		}
+		have := len(snap.Tables[idx].Rows)
+		if td.FromRow != have {
+			return fmt.Errorf("store: delta of %q continues table %q at row %d but snapshot holds %d rows",
+				d.ID, td.Name, td.FromRow, have)
+		}
+		snap.Tables[idx].Rows = append(snap.Tables[idx].Rows, td.Rows...)
+	}
+	snap.Log = append(snap.Log, d.Log...)
+	snap.Seq = d.ToSeq
+	snap.Epoch = d.Epoch
+	snap.DataEpoch = d.DataEpoch
+	return nil
+}
+
+// EncodeDelta serializes the delta into the same framed format
+// snapshots use — magic, CRC-32, length, gob — under its own magic.
+func EncodeDelta(d *Delta) ([]byte, error) {
+	d.FormatVersion = DeltaFormatVersion
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(d); err != nil {
+		return nil, fmt.Errorf("store: encode delta %q: %w", d.ID, err)
+	}
+	sum := crc32.ChecksumIEEE(payload.Bytes())
+	frame := make([]byte, 0, len(deltaMagic)+12+payload.Len())
+	frame = append(frame, deltaMagic...)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], sum)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, payload.Bytes()...)
+	return frame, nil
+}
+
+// DecodeDelta verifies and decodes one EncodeDelta frame.
+func DecodeDelta(raw []byte) (*Delta, error) {
+	if len(raw) < len(deltaMagic)+12 {
+		return nil, fmt.Errorf("store: delta is truncated (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:len(deltaMagic)], deltaMagic) {
+		return nil, fmt.Errorf("store: not a delta (bad magic)")
+	}
+	hdr := raw[len(deltaMagic):]
+	sum := binary.BigEndian.Uint32(hdr[0:4])
+	size := binary.BigEndian.Uint64(hdr[4:12])
+	payload := hdr[12:]
+	if uint64(len(payload)) != size {
+		return nil, fmt.Errorf("store: delta is truncated (payload %d bytes, header says %d)",
+			len(payload), size)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("store: delta failed checksum (got %08x, want %08x)", got, sum)
+	}
+	var d Delta
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("store: decode delta: %w", err)
+	}
+	if d.FormatVersion != DeltaFormatVersion {
+		return nil, fmt.Errorf("store: delta has format %d, this build reads %d",
+			d.FormatVersion, DeltaFormatVersion)
+	}
+	return &d, nil
+}
+
+// SaveDelta writes the delta durably next to its base snapshot,
+// returning the file's byte size and name.
+func SaveDelta(dir string, d *Delta) (int64, string, error) {
+	if !ValidID(d.ID) {
+		return 0, "", fmt.Errorf("store: invalid delta id %q", d.ID)
+	}
+	frame, err := EncodeDelta(d)
+	if err != nil {
+		return 0, "", err
+	}
+	name := filepath.Base(DeltaFile(dir, d.ID, d.ToSeq))
+	if err := AtomicWrite(dir, name, frame); err != nil {
+		return 0, "", fmt.Errorf("store: save delta %q: %w", d.ID, err)
+	}
+	return int64(len(frame)), name, nil
+}
+
+// LoadDelta reads and verifies one delta file.
+func LoadDelta(path string) (*Delta, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read delta: %w", err)
+	}
+	d, err := DecodeDelta(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return d, nil
+}

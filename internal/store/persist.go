@@ -66,6 +66,12 @@ var fileMagic = []byte("PISNAP01")
 // SnapFile returns the snapshot path for an interface ID inside dir.
 func SnapFile(dir, id string) string { return filepath.Join(dir, id+".snap") }
 
+// ValidID mirrors the registry's interface-ID rule so a hostile ID
+// can never escape the data dir as a path. Every layer that derives a
+// file or directory name from an interface ID (snapshots, deltas,
+// manifests, WAL directories) gates on it.
+func ValidID(id string) bool { return validSnapID(id) }
+
 // validSnapID mirrors the registry's interface-ID rule so a hostile ID
 // can never escape the data dir as a path.
 func validSnapID(id string) bool {
@@ -156,52 +162,21 @@ func Decode(raw []byte) (*Snapshot, error) {
 	return &snap, nil
 }
 
-// Save writes the snapshot to dir/<id>.snap durably: the Encode frame
-// is written to a temp file, fsynced, and atomically renamed into
-// place — a reader (or a crash) can only ever observe the old complete
-// file or the new complete file, never a torn write. Returns the byte
-// size of the file.
+// Save writes the snapshot to dir/<id>.snap durably through
+// AtomicWrite — a reader (or a crash) can only ever observe the old
+// complete file or the new complete file, never a torn write. Returns
+// the byte size of the file.
 func Save(dir string, snap *Snapshot) (int64, error) {
 	if !validSnapID(snap.ID) {
 		return 0, fmt.Errorf("store: invalid snapshot id %q", snap.ID)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return 0, fmt.Errorf("store: create data dir: %w", err)
 	}
 	frame, err := Encode(snap)
 	if err != nil {
 		return 0, err
 	}
-
-	// The temp name is unique per call (os.CreateTemp), so overlapping
-	// saves of the same interface can never interleave writes into one
-	// file; whichever rename lands last wins, and both published files
-	// were complete.
-	final := SnapFile(dir, snap.ID)
-	f, err := os.CreateTemp(dir, snap.ID+".snap.tmp*")
-	if err != nil {
-		return 0, fmt.Errorf("store: write snapshot %q: %w", snap.ID, err)
+	if err := AtomicWrite(dir, snap.ID+".snap", frame); err != nil {
+		return 0, fmt.Errorf("store: save snapshot %q: %w", snap.ID, err)
 	}
-	tmp := f.Name()
-	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, fmt.Errorf("store: write snapshot %q: %w", snap.ID, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, fmt.Errorf("store: sync snapshot %q: %w", snap.ID, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, fmt.Errorf("store: close snapshot %q: %w", snap.ID, err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return 0, fmt.Errorf("store: publish snapshot %q: %w", snap.ID, err)
-	}
-	syncDir(dir)
 	return int64(len(frame)), nil
 }
 

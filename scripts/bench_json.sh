@@ -64,3 +64,39 @@ awk -v u="$unrep" -v r="$rep" -v f="$fanout" -v q="$router" -v go_ver="$(go env 
 
 echo "== $REPLICA_OUT"
 cat "$REPLICA_OUT"
+
+WAL_OUT="${WAL_OUT:-BENCH_wal.json}"
+
+echo "== go test -bench AckedAppend|Snapshot -benchtime $BENCHTIME ./internal/ingest"
+raw=$(go test -run '^$' \
+    -bench 'BenchmarkAckedAppendNoWAL$|BenchmarkAckedAppendWALStrict$|BenchmarkAckedAppendWALGroup$|BenchmarkSnapshotFull$|BenchmarkSnapshotDifferential$' \
+    -benchtime "$BENCHTIME" ./internal/ingest)
+printf '%s\n' "$raw"
+
+nowal=$(printf '%s\n' "$raw" | awk '/^BenchmarkAckedAppendNoWAL/ { print $3; exit }')
+strict=$(printf '%s\n' "$raw" | awk '/^BenchmarkAckedAppendWALStrict/ { print $3; exit }')
+group=$(printf '%s\n' "$raw" | awk '/^BenchmarkAckedAppendWALGroup/ { print $3; exit }')
+full=$(printf '%s\n' "$raw" | awk '/^BenchmarkSnapshotFull/ { print $3; exit }')
+diff=$(printf '%s\n' "$raw" | awk '/^BenchmarkSnapshotDifferential/ { print $3; exit }')
+if [ -z "$nowal" ] || [ -z "$strict" ] || [ -z "$group" ] || [ -z "$full" ] || [ -z "$diff" ]; then
+    echo "FAIL: WAL benchmarks produced no numbers" >&2
+    exit 1
+fi
+
+awk -v n="$nowal" -v s="$strict" -v g="$group" -v f="$full" -v d="$diff" \
+    -v go_ver="$(go env GOVERSION)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"WAL acked-append overhead (off / strict fsync / group commit), differential vs full snapshot at 1%% delta\",\n"
+    printf "  \"go\": \"%s\",\n", go_ver
+    printf "  \"acked_append_no_wal_ns_op\": %d,\n", n
+    printf "  \"acked_append_wal_strict_ns_op\": %d,\n", s
+    printf "  \"acked_append_wal_group_ns_op\": %d,\n", g
+    printf "  \"wal_group_overhead_x\": %.3f,\n", g / n
+    printf "  \"snapshot_full_ns_op\": %d,\n", f
+    printf "  \"snapshot_differential_ns_op\": %d,\n", d
+    printf "  \"differential_saving_x\": %.3f\n", f / d
+    printf "}\n"
+}' >"$WAL_OUT"
+
+echo "== $WAL_OUT"
+cat "$WAL_OUT"

@@ -7,7 +7,11 @@
 # failed and every acked write survived, that the refresh loop re-seeds
 # a replacement follower on the surviving standby, and that health goes
 # degraded while the dead shard is down and back to healthy once a
-# replacement process rejoins the fleet.
+# replacement process rejoins the fleet. Finally bounce the synced
+# follower: every shard runs with -data-dir -wal, so the restarted
+# follower restores its role and stream position from its manifest and
+# re-syncs through the owner's logged tail — the owner's full-seed
+# counter must not move.
 # Exits non-zero on any failure.
 set -eu
 
@@ -17,6 +21,9 @@ B_ADDR="${B_ADDR:-127.0.0.1:8102}"
 C_ADDR="${C_ADDR:-127.0.0.1:8103}"
 TOKEN="${TOKEN:-shard-secret}"
 BIN_DIR="$(mktemp -d)"
+A_DIR="$(mktemp -d)"
+B_DIR="$(mktemp -d)"
+C_DIR="$(mktemp -d)"
 LOG="$(mktemp)"
 WRITE_CODES="$(mktemp)"
 READ_CODES="$(mktemp)"
@@ -72,18 +79,20 @@ append_row() { # -> response body (flushed, so the ack carries rowCount)
         -d "{\"table\":\"ontime\",\"rows\":[$ROW]}"
 }
 
-start_standby() { # ADDR -> pid on stdout
+start_standby() { # ADDR DATA_DIR -> pid on stdout
     "$BIN_DIR/pi-serve" -addr "$1" -workloads '' \
-        -token "$TOKEN" -shard-addr "http://$1" >>"$LOG" 2>&1 &
+        -token "$TOKEN" -shard-addr "http://$1" \
+        -data-dir "$2" -wal -wal-sync 0 >>"$LOG" 2>&1 &
     echo $!
 }
 
-echo "== start owner shard A (olap) on $A_ADDR, empty standbys on $B_ADDR and $C_ADDR"
+echo "== start owner shard A (olap) on $A_ADDR, empty standbys on $B_ADDR and $C_ADDR (all durable: -data-dir -wal)"
 "$BIN_DIR/pi-serve" -addr "$A_ADDR" -workloads olap -n 40 -rows 200 \
-    -token "$TOKEN" -shard-addr "http://$A_ADDR" >>"$LOG" 2>&1 &
+    -token "$TOKEN" -shard-addr "http://$A_ADDR" \
+    -data-dir "$A_DIR" -wal -wal-sync 0 >>"$LOG" 2>&1 &
 A_PID=$!
-B_PID=$(start_standby "$B_ADDR")
-C_PID=$(start_standby "$C_ADDR")
+B_PID=$(start_standby "$B_ADDR" "$B_DIR")
+C_PID=$(start_standby "$C_ADDR" "$C_DIR")
 wait_up "$A_ADDR" "shard A"
 wait_up "$B_ADDR" "shard B"
 wait_up "$C_ADDR" "shard C"
@@ -191,8 +200,8 @@ health=$(curl -s "http://$ROUTER_ADDR/v1/healthz")
 [ "$(printf '%s' "$health" | sed -n 's/^{"status":"\([^"]*\)".*/\1/p')" = "degraded" ] \
     || fail "health not degraded with a dead shard: $health"
 
-echo "== restart the dead shard empty; an explicit refresh clears probe backoff"
-A_PID=$(start_standby "$A_ADDR")
+echo "== restart the dead shard empty (fresh dir); an explicit refresh clears probe backoff"
+A_PID=$(start_standby "$A_ADDR" "$(mktemp -d)")
 wait_up "$A_ADDR" "restarted shard A"
 curl -s -X POST -H "Authorization: Bearer $TOKEN" \
     "http://$ROUTER_ADDR/v1/router/refresh" >/dev/null
@@ -214,5 +223,55 @@ code=$(curl -s -o /dev/null -w '%{http_code}' \
     -H "Authorization: Bearer $TOKEN" -H 'Content-Type: application/json' \
     -d '{"widgets":[],"limit":5}')
 [ "$code" = "200" ] || fail "steady-state query answered $code"
+
+echo "== bounce the synced follower: durable state resumes the stream, no full re-seed"
+owner=$(json_str "$(replication)" owner)
+if [ "$owner" = "http://$B_ADDR" ]; then
+    FOL_ADDR="$C_ADDR" FOL_PID="$C_PID" FOL_DIR="$C_DIR" FOL=C
+else
+    FOL_ADDR="$B_ADDR" FOL_PID="$B_PID" FOL_DIR="$B_DIR" FOL=B
+fi
+OWNER_HOST="${owner#http://}"
+owner_health() { curl -s "http://$OWNER_HOST/v1/healthz"; }
+
+seeds_before=$(json_int "$(owner_health)" seeds)
+[ -n "$seeds_before" ] || fail "owner health reports no seeds counter: $(owner_health)"
+pre_bounce=$(append_row)
+pre_count=$(json_int "$pre_bounce" rowCount)
+
+kill -9 "$FOL_PID"
+wait "$FOL_PID" 2>/dev/null || true
+
+echo "   writes land while the follower is down (it must catch up, not re-seed)"
+append_row >/dev/null
+append_row >/dev/null
+down_ack=$(append_row)
+down_count=$(json_int "$down_ack" rowCount)
+[ -n "$down_count" ] && [ "$down_count" -eq $((pre_count + 3)) ] \
+    || fail "writes during follower downtime did not ack: $down_ack"
+
+echo "   restart the follower on its own data dir ($FOL_DIR)"
+case "$FOL" in
+B) B_PID=$(start_standby "$B_ADDR" "$B_DIR") ;;
+C) C_PID=$(start_standby "$C_ADDR" "$C_DIR") ;;
+esac
+wait_up "$FOL_ADDR" "bounced follower"
+curl -s -X POST -H "Authorization: Bearer $TOKEN" \
+    "http://$ROUTER_ADDR/v1/router/refresh" >/dev/null
+
+i=0
+until printf '%s' "$(replication)" | grep -q '"synced":true'; do
+    i=$((i + 1))
+    [ "$i" -gt 120 ] && fail "bounced follower never re-synced: $(replication)"
+    sleep 0.5
+done
+
+seeds_after=$(json_int "$(owner_health)" seeds)
+catchups=$(json_int "$(owner_health)" catchUps)
+[ "$seeds_after" = "$seeds_before" ] \
+    || fail "bounce triggered a full re-seed (seeds $seeds_before -> $seeds_after): $(owner_health)"
+[ -n "$catchups" ] && [ "$catchups" -ge 1 ] \
+    || fail "no catch-up recorded on the owner: $(owner_health)"
+echo "   re-synced via WAL catch-up (seeds stayed $seeds_before, catchUps $catchups)"
 
 echo "replica smoke: ok"
