@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke
+.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke dml-smoke
 
 check: fmt-check vet build race
 
@@ -60,6 +60,14 @@ replica-smoke:
 # crash restoring through base + delta + tail.
 wal-smoke:
 	sh scripts/wal_smoke.sh
+
+# End-to-end smoke of the DML/MVCC path: acked UPDATE/DELETE mutations
+# that no snapshot covers, SIGKILL, restart, verify the WAL replayed
+# them (updated values live, deleted rows gone); then a follower bounce
+# that must catch the mutations up through the logged tail, not a
+# re-seed.
+dml-smoke:
+	sh scripts/dml_smoke.sh
 
 # Benchmark router-proxy overhead vs direct serve (BENCH_shard.json),
 # the replication layer's ack coupling + fan-out read

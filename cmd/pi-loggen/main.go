@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	pi-loggen -kind sdss|olap|adhoc|mixed [-n 200] [-seed 1] [-clients 1] [-arch lookup|radial|filter|slowburn]
+//	pi-loggen -kind sdss|olap|adhoc|mixed [-n 200] [-seed 1] [-clients 1] [-arch lookup|radial|filter|slowburn] [-mutate-frac 0.01]
+//
+// -mutate-frac weaves UPDATE/DELETE statements against the workload's
+// ontime table into the stream at the given fraction, for driving the
+// DML path (POST /interfaces/{id}/mutate) alongside read mining.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"repro/internal/qlog"
@@ -22,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	clients := flag.Int("clients", 1, "number of clients (sdss and mixed)")
 	arch := flag.String("arch", "lookup", "sdss archetype: lookup, radial, filter, slowburn")
+	mutateFrac := flag.Float64("mutate-frac", 0, "fraction of lines that are UPDATE/DELETE mutations against ontime (0 disables)")
 	flag.Parse()
 
 	var log *qlog.Log
@@ -42,10 +48,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pi-loggen: unknown kind %q\n", *kind)
 		os.Exit(1)
 	}
+	if *mutateFrac > 0 {
+		log = interleaveMutations(log, *mutateFrac, *seed)
+	}
 	if err := log.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pi-loggen:", err)
 		os.Exit(1)
 	}
+}
+
+// interleaveMutations weaves UPDATE/DELETE statements against the
+// ontime table into the stream: after each generated query, with
+// probability frac, one mutation follows under the same client.
+// Deterministic from seed, like the query generators. The mutations
+// target the OnTime schema's filter columns so they evaluate against
+// the synthetic dataset as written.
+func interleaveMutations(log *qlog.Log, frac float64, seed int64) *qlog.Log {
+	if frac > 1 {
+		frac = 1
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x6d7574)) // differs from the query generators' stream
+	out := &qlog.Log{}
+	for _, e := range log.Entries {
+		out.Entries = append(out.Entries, e)
+		if r.Float64() >= frac {
+			continue
+		}
+		var sql string
+		if r.Intn(2) == 0 {
+			sql = fmt.Sprintf("UPDATE ontime SET delay = %d WHERE month = %d AND day = %d",
+				r.Intn(240)-30, 1+r.Intn(12), 1+r.Intn(28))
+		} else {
+			sql = fmt.Sprintf("DELETE FROM ontime WHERE canceled = 1 AND month = %d AND dayofweek = %d",
+				1+r.Intn(12), 1+r.Intn(7))
+		}
+		out.Append(sql, e.Client)
+	}
+	return out
 }
 
 func parseArch(s string) workload.Archetype {

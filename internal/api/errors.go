@@ -60,6 +60,12 @@ const (
 	// its column count, or carry values the engine cannot represent
 	// (nested arrays/objects). 422.
 	CodeRowsRejected = "rows_rejected"
+
+	// CodeMutationConflict — a conditional mutation (ifEpoch set) found
+	// the store at a different data epoch: the snapshot the client
+	// planned against has been superseded by a concurrent write. The
+	// client re-reads and retries.
+	CodeMutationConflict = "mutation_conflict"
 	// CodePersistenceDisabled — the snapshot endpoint was called on a
 	// server running without a data dir. 501.
 	CodePersistenceDisabled = "persistence_disabled"

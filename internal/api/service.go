@@ -431,6 +431,35 @@ func (s *Service) AppendRows(id string, req RowsRequest, flush bool) (*RowsAck, 
 	return &ack, nil
 }
 
+// MutateRows evaluates one UPDATE or DELETE statement against the
+// interface's store and publishes the result as a versioned mutation
+// under a bumped epoch — post-mutation queries can never be answered
+// from a pre-mutation cache. The statement's predicate runs against
+// the snapshot current at submission (after buffered appends flush),
+// and the resulting rowid-keyed mutation set — not the predicate — is
+// what journals and replicates, so every copy of the interface lands
+// on byte-identical rows. Requires an ingestor that supports row
+// mutation (a store-backed one).
+func (s *Service) MutateRows(id string, req MutateRequest) (*MutateAck, error) {
+	h, apiErr := s.hosted(id)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	rm, ok := s.ing.(RowMutator)
+	if !ok {
+		return nil, Errf(CodeIngestDisabled, http.StatusNotImplemented,
+			"row mutation is not enabled on this server")
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, errBadRequest("mutation request needs a sql statement")
+	}
+	ack, err := rm.SubmitMutation(h.ID, req.SQL, req.IfEpoch)
+	if err != nil {
+		return nil, errOr(err, CodeRowsRejected, http.StatusUnprocessableEntity)
+	}
+	return &ack, nil
+}
+
 // decodeRows converts JSON row values into engine values. Only scalars
 // are representable; a nested array or object is a client error.
 // Numbers arrive as float64 — the engine's only numeric representation

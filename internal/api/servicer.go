@@ -33,6 +33,10 @@ type Servicer interface {
 	IngestLog(id string, entries []qlog.Entry, flush bool) (*IngestAck, error)
 	// AppendRows submits new dataset rows for one table.
 	AppendRows(id string, req RowsRequest, flush bool) (*RowsAck, error)
+	// MutateRows evaluates one UPDATE or DELETE statement against the
+	// interface's store and publishes the result as a versioned
+	// mutation.
+	MutateRows(id string, req MutateRequest) (*MutateAck, error)
 	// DeleteInterface unhosts the interface: it stops being served,
 	// its live feed detaches and its durable snapshot (if any) is
 	// removed.

@@ -133,6 +133,30 @@ type RowsAck struct {
 	RowCount  int    `json:"rowCount,omitempty"` // table rows visible to queries
 }
 
+// MutateRequest is the body of MutateRows: one UPDATE or DELETE
+// statement evaluated against the interface's current snapshot. When
+// IfEpoch is nonzero the mutation is conditional — it is rejected with
+// mutation_conflict unless the store's data epoch still equals IfEpoch
+// after buffered appends flush, giving clients optimistic concurrency
+// over read-modify-write cycles.
+type MutateRequest struct {
+	SQL     string `json:"sql"`
+	IfEpoch uint64 `json:"ifEpoch,omitempty"`
+}
+
+// MutateAck reports what happened to one MutateRows call. Matched is
+// how many visible rows the predicate selected; Updated/Deleted how
+// many row versions the publish retired or replaced (zero matches ack
+// without publishing, leaving the epochs untouched).
+type MutateAck struct {
+	Table     string `json:"table,omitempty"`
+	Matched   int    `json:"matched"`
+	Updated   int    `json:"updated,omitempty"`
+	Deleted   int    `json:"deleted,omitempty"`
+	Epoch     uint64 `json:"epoch"`     // interface epoch after the call
+	DataEpoch uint64 `json:"dataEpoch"` // store version after the call
+}
+
 // SnapshotInterface is one interface's row in a snapshot result.
 type SnapshotInterface struct {
 	ID         string `json:"id"`
@@ -180,6 +204,16 @@ type IngestStatuser interface {
 // makes every pre-append cached result unreachable.
 type RowIngestor interface {
 	SubmitRows(id, table string, rows [][]engine.Value, flush bool) (RowsAck, error)
+}
+
+// RowMutator is optionally implemented by an Ingestor whose hosted
+// interfaces sit on a versioned store: SubmitMutation evaluates one
+// UPDATE or DELETE statement against the interface's current snapshot
+// and publishes the resulting row-version changes under a bumped
+// epoch, so every pre-mutation cached result becomes unreachable the
+// moment the ack returns.
+type RowMutator interface {
+	SubmitMutation(id, sql string, ifEpoch uint64) (MutateAck, error)
 }
 
 // IngestDetacher is optionally implemented by an Ingestor that keeps
@@ -243,6 +277,8 @@ type IngestStatus struct {
 	RowsAppended uint64 `json:"rowsAppended,omitempty"`
 	RowsBuffered int    `json:"rowsBuffered,omitempty"`
 	RowFlushes   uint64 `json:"rowFlushes,omitempty"`
+	RowsMutated  uint64 `json:"rowsMutated,omitempty"`
+	Mutations    uint64 `json:"mutations,omitempty"`
 	LastError    string `json:"lastError,omitempty"`
 }
 

@@ -67,6 +67,28 @@ func writeSQL(b *strings.Builder, n *Node) {
 		writeSQL(b, n.Child(1))
 		b.WriteString(" ON ")
 		writeSQL(b, n.Child(2))
+	case TypeUpdate:
+		b.WriteString("UPDATE ")
+		writeSQL(b, n.Child(0))
+		b.WriteString(" SET ")
+		writeSQL(b, n.Child(1))
+		if w := n.Child(2); !IsEmptyClause(w) {
+			b.WriteString(" WHERE ")
+			writeSQL(b, w)
+		}
+	case TypeDelete:
+		b.WriteString("DELETE FROM ")
+		writeSQL(b, n.Child(0))
+		if w := n.Child(1); !IsEmptyClause(w) {
+			b.WriteString(" WHERE ")
+			writeSQL(b, w)
+		}
+	case TypeSet:
+		writeList(b, n.Children)
+	case TypeSetItem:
+		b.WriteString(n.Attr("col"))
+		b.WriteString(" = ")
+		writeSQL(b, n.Child(0))
 	case TypeTabExpr:
 		b.WriteString(n.Value())
 	case TypeTabFunc:

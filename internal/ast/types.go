@@ -35,6 +35,15 @@ const (
 	TypeBetween    = "BetweenExpr" // three children: operand, low, high; attr "not" optional
 	TypeParen      = "ParenExpr"   // one child, preserved so unparse round-trips
 
+	// DML statement nodes. These are produced only by
+	// sqlparser.ParseStatement — the mining pipeline (Parse/ParseMany)
+	// stays SELECT-only, so no Slot layout, widget kind or collection
+	// annotation applies to them.
+	TypeUpdate  = "Update"  // children: TabExpr, Set, Where (empty clause when absent)
+	TypeDelete  = "Delete"  // children: TabExpr, Where (empty clause when absent)
+	TypeSet     = "Set"     // collection of SetItem
+	TypeSetItem = "SetItem" // attr "col" = target column; one value expression child
+
 	TypeColExpr  = "ColExpr"  // terminal, value = column name, attr "table" optional qualifier
 	TypeStrExpr  = "StrExpr"  // terminal string literal
 	TypeNumExpr  = "NumExpr"  // terminal numeric literal (decimal or 0x hex), attr "fmt" = "hex" for hex

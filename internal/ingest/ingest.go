@@ -103,6 +103,8 @@ type feed struct {
 	fullRemines  uint64
 	rowsAppended uint64
 	rowFlushes   uint64
+	rowsMutated  uint64
+	mutations    uint64
 	lastError    string
 }
 
@@ -177,7 +179,10 @@ func (ing *Ingester) PrepareSnapshot(snap *store.Snapshot, live core.LiveOptions
 	if live.Generate.Library == nil {
 		live = core.DefaultLiveOptions()
 	}
-	st := snap.Restore()
+	st, err := snap.Restore()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: host snapshot %q: %w", snap.ID, err)
+	}
 	if funcs != nil {
 		funcs(snap.ID, st)
 	}
@@ -422,7 +427,7 @@ func (ing *Ingester) flushLocked(f *feed) (int, error) {
 	// error (the owner was fenced off by a newer term) fails the
 	// submission so the client never holds an ack a promoted follower
 	// lacks.
-	if err := ing.firePublish(f, entries, nil); err != nil {
+	if err := ing.firePublish(f, entries, nil, nil); err != nil {
 		return st.ParseErrors, err
 	}
 	return st.ParseErrors, nil
@@ -477,6 +482,8 @@ func (ing *Ingester) IngestStatus(id string) (api.IngestStatus, bool) {
 		RowsAppended: f.rowsAppended,
 		RowsBuffered: f.rowBuffered,
 		RowFlushes:   f.rowFlushes,
+		RowsMutated:  f.rowsMutated,
+		Mutations:    f.mutations,
 		LastError:    f.lastError,
 	}, true
 }

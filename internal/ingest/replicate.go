@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/qlog"
+	"repro/internal/store"
 )
 
 // This file is the ingestion side of the replication contract
@@ -26,17 +27,21 @@ type TableRows struct {
 }
 
 // Publication is one epoch-bumping publish on the owner: a re-mined
-// log batch (Entries), a row append (Rows), or a bare epoch bump
-// (neither — promotion fencing). Seq is the per-interface monotone
-// sequence number of the publish; Epoch is the interface epoch after
-// it. A follower that applies the same publications in the same order
-// to the same seed is byte-identical to the owner (the miner is
-// deterministic), so Seq+Epoch double-check lockstep.
+// log batch (Entries), a row append (Rows), a rowid-keyed mutation set
+// (Muts — the physical form of an UPDATE/DELETE, already evaluated
+// against the owner's snapshot), or a bare epoch bump (none of them —
+// promotion fencing). Seq is the per-interface monotone sequence
+// number of the publish; Epoch is the interface epoch after it. A
+// follower that applies the same publications in the same order to the
+// same seed is byte-identical to the owner (the miner is deterministic
+// and mutations carry resolved rowids, not predicates), so Seq+Epoch
+// double-check lockstep.
 type Publication struct {
 	Seq     uint64
 	Epoch   uint64
 	Entries []qlog.Entry
 	Rows    []TableRows
+	Muts    []store.TableMutation
 }
 
 // PublishHook observes every epoch-bumping publish of every owned
@@ -65,13 +70,14 @@ func (ing *Ingester) publishHook() PublishHook {
 // publication and runs the replication hook — in that order, so a
 // write is durable locally before it fans out, and an ack implies
 // both. Caller holds f.mu and has already published the swap.
-func (ing *Ingester) firePublish(f *feed, entries []qlog.Entry, rows []TableRows) error {
+func (ing *Ingester) firePublish(f *feed, entries []qlog.Entry, rows []TableRows, muts []store.TableMutation) error {
 	f.seq++
 	p := Publication{
 		Seq:     f.seq,
 		Epoch:   f.hosted.Epoch(),
 		Entries: entries,
 		Rows:    rows,
+		Muts:    muts,
 	}
 	if err := ing.journalLocked(f, p); err != nil {
 		return err
@@ -121,7 +127,7 @@ func (ing *Ingester) PublishBump(id string) (uint64, uint64, error) {
 	if _, err := f.hosted.Swap(f.hosted.Iface(), nil); err != nil {
 		return 0, 0, fmt.Errorf("ingest: bump %q: %w", id, err)
 	}
-	if err := ing.firePublish(f, nil, nil); err != nil {
+	if err := ing.firePublish(f, nil, nil, nil); err != nil {
 		return f.hosted.Epoch(), f.seq, err
 	}
 	return f.hosted.Epoch(), f.seq, nil
@@ -228,6 +234,42 @@ func (ing *Ingester) ApplyRows(id string, rows []TableRows, wantEpoch, wantSeq u
 		return err
 	}
 	return ing.journalLocked(f, Publication{Seq: wantSeq, Epoch: f.hosted.Epoch(), Rows: rows})
+}
+
+// ApplyMutations applies one replicated mutation publication to a
+// follower feed: the rowid-keyed updates and deletes the owner's DML
+// evaluation produced, published under a single epoch bump exactly
+// like the owner's mutation publish. Replication is physical — no
+// predicate re-evaluation, so the follower lands on byte-identical
+// rows even if its apply runs arbitrarily later. The WAL restore path
+// replays through this same method.
+func (ing *Ingester) ApplyMutations(id string, muts []store.TableMutation, wantEpoch, wantSeq uint64) error {
+	f, err := ing.feed(id)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.applyCheck(id, wantSeq); err != nil {
+		return err
+	}
+	for _, tm := range muts {
+		if _, err := f.store.MutateRows(tm.Table, tm.Updates, tm.Deletes); err != nil {
+			f.lastError = err.Error()
+			return fmt.Errorf("ingest: %q apply mutations to %q: %v: %w",
+				id, tm.Table, err, ErrReplicaDiverged)
+		}
+		f.rowsMutated += uint64(len(tm.Updates) + len(tm.Deletes))
+	}
+	f.mutations++
+	if _, err := f.hosted.Swap(f.hosted.Iface(), f.store.Snapshot()); err != nil {
+		f.lastError = err.Error()
+		return fmt.Errorf("ingest: %q apply swap: %v: %w", id, err, ErrReplicaDiverged)
+	}
+	if err := f.applySettle(id, wantEpoch, wantSeq); err != nil {
+		return err
+	}
+	return ing.journalLocked(f, Publication{Seq: wantSeq, Epoch: f.hosted.Epoch(), Muts: muts})
 }
 
 // ApplyBump applies a bare epoch bump (the promotion fence) to a

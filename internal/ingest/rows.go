@@ -135,7 +135,7 @@ func (ing *Ingester) flushRowsLocked(f *feed) error {
 		// Replicate the published batches before the ack propagates
 		// (see flushLocked); one publication covers every table flushed
 		// under this swap.
-		if err := ing.firePublish(f, nil, published); err != nil {
+		if err := ing.firePublish(f, nil, published, nil); err != nil {
 			if failErr == nil {
 				failErr = err
 			}

@@ -39,7 +39,7 @@ import (
 // already holds are no-ops, which is what makes restore-time replay
 // (driving the same Apply paths that journal live traffic) safe.
 func (p *Persister) Append(id string, pub Publication) error {
-	rec := wal.Record{Seq: pub.Seq, Epoch: pub.Epoch, Entries: pub.Entries}
+	rec := wal.Record{Seq: pub.Seq, Epoch: pub.Epoch, Entries: pub.Entries, Muts: pub.Muts}
 	for _, tr := range pub.Rows {
 		rec.Rows = append(rec.Rows, wal.TableRows{Table: tr.Table, Rows: tr.Rows})
 	}
@@ -133,7 +133,7 @@ func (p *Persister) saveWAL(snap *store.Snapshot) (api.SnapshotInterface, error)
 			}
 			return snapshotRow(snap, 0), nil
 		}
-		d, err := store.CutDelta(snap, m.Seq, m.LogLen, m.TableRows)
+		d, err := store.CutDelta(snap, m.Seq, m.LogLen, m.TableRows, m.TableMuts)
 		if err == nil {
 			size, name, err := store.SaveDelta(p.dir, d)
 			if err != nil {
@@ -141,7 +141,7 @@ func (p *Persister) saveWAL(snap *store.Snapshot) (api.SnapshotInterface, error)
 			}
 			m.Deltas = append(m.Deltas, name)
 			m.Seq, m.Epoch, m.DataEpoch = snap.Seq, snap.Epoch, snap.DataEpoch
-			m.LogLen, m.TableRows = store.CoveredCounts(snap)
+			m.LogLen, m.TableRows, m.TableMuts = store.CoveredCounts(snap)
 			if rs != nil {
 				m.Replication = rs
 			}
@@ -169,7 +169,7 @@ func (p *Persister) saveFull(snap *store.Snapshot, rs *store.ReplState) (api.Sna
 		return api.SnapshotInterface{}, fmt.Errorf("ingest: save %q: %w", snap.ID, err)
 	}
 	old := p.manifests[snap.ID]
-	logLen, tableRows := store.CoveredCounts(snap)
+	logLen, tableRows, tableMuts := store.CoveredCounts(snap)
 	m := &store.Manifest{
 		ID:          snap.ID,
 		Base:        snap.ID + ".snap",
@@ -178,6 +178,7 @@ func (p *Persister) saveFull(snap *store.Snapshot, rs *store.ReplState) (api.Sna
 		DataEpoch:   snap.DataEpoch,
 		LogLen:      logLen,
 		TableRows:   tableRows,
+		TableMuts:   tableMuts,
 		Replication: rs,
 	}
 	if rs == nil && old != nil {
@@ -193,6 +194,12 @@ func (p *Persister) saveFull(snap *store.Snapshot, rs *store.ReplState) (api.Sna
 		}
 	}
 	_ = p.opts.WAL.Truncate(snap.ID, snap.Seq)
+	// A full rewrite is the point where no delta will ever again be cut
+	// against pre-rewrite state, so superseded MVCC row versions (old
+	// UPDATE/DELETE residue) can fold out of the live store's arenas.
+	if st, err := p.ing.Store(snap.ID); err == nil {
+		st.Compact()
+	}
 	return snapshotRow(snap, bytes), nil
 }
 
@@ -277,7 +284,7 @@ func (p *Persister) CatchUp(id string, fromSeq uint64) ([]Publication, bool) {
 		if len(pubs) >= maxCatchUp {
 			return fmt.Errorf("wal: catch-up range exceeds %d records", maxCatchUp)
 		}
-		pub := Publication{Seq: rec.Seq, Epoch: rec.Epoch, Entries: rec.Entries}
+		pub := Publication{Seq: rec.Seq, Epoch: rec.Epoch, Entries: rec.Entries, Muts: rec.Muts}
 		for _, tr := range rec.Rows {
 			pub.Rows = append(pub.Rows, TableRows{Table: tr.Table, Rows: tr.Rows})
 		}
@@ -344,7 +351,7 @@ func (p *Persister) restoreOneWAL(id string) (*store.Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		logLen, tableRows := store.CoveredCounts(snap)
+		logLen, tableRows, tableMuts := store.CoveredCounts(snap)
 		m = &store.Manifest{
 			ID:        id,
 			Base:      id + ".snap",
@@ -353,6 +360,7 @@ func (p *Persister) restoreOneWAL(id string) (*store.Snapshot, error) {
 			DataEpoch: snap.DataEpoch,
 			LogLen:    logLen,
 			TableRows: tableRows,
+			TableMuts: tableMuts,
 		}
 		if err := store.SaveManifest(p.dir, m); err != nil {
 			return nil, err
@@ -380,6 +388,8 @@ func (p *Persister) restoreOneWAL(id string) (*store.Snapshot, error) {
 				rows = append(rows, TableRows{Table: tr.Table, Rows: tr.Rows})
 			}
 			return p.ing.ApplyRows(id, rows, rec.Epoch, rec.Seq)
+		case len(rec.Muts) > 0:
+			return p.ing.ApplyMutations(id, rec.Muts, rec.Epoch, rec.Seq)
 		default:
 			return p.ing.ApplyBump(id, rec.Epoch, rec.Seq)
 		}

@@ -680,6 +680,8 @@ func (m *Manager) Apply(ev Event) error {
 		err = m.cfg.Ing.ApplyBatch(ev.ID, p.Entries, p.Epoch, p.Seq)
 	case len(p.Rows) > 0:
 		err = m.cfg.Ing.ApplyRows(ev.ID, p.Rows, p.Epoch, p.Seq)
+	case len(p.Muts) > 0:
+		err = m.cfg.Ing.ApplyMutations(ev.ID, p.Muts, p.Epoch, p.Seq)
 	default:
 		err = m.cfg.Ing.ApplyBump(ev.ID, p.Epoch, p.Seq)
 	}

@@ -15,6 +15,7 @@
 //	POST /v1/interfaces/{id}/query  — bind widget state, execute, return rows (auth)
 //	POST /v1/interfaces/{id}/log    — ingest new query-log entries (auth)
 //	POST /v1/interfaces/{id}/rows   — append dataset rows to one table (auth)
+//	POST /v1/interfaces/{id}/mutate — run one UPDATE/DELETE as a versioned mutation (auth)
 //	DELETE /v1/interfaces/{id}      — unhost an interface (auth)
 //	POST /v1/snapshot               — persist every interface to the data dir (auth)
 //	GET  /v1/healthz                — build info, uptime, per-interface epoch + cache hit rate
@@ -109,6 +110,7 @@ func (s *Server) routes() {
 	handle("POST /interfaces/{id}/query", s.protected(s.handleQuery))
 	handle("POST /interfaces/{id}/log", s.protected(s.handleLog))
 	handle("POST /interfaces/{id}/rows", s.protected(s.handleRows))
+	handle("POST /interfaces/{id}/mutate", s.protected(s.handleMutate))
 	handle("DELETE /interfaces/{id}", s.protected(s.handleDelete))
 	// Snapshot is server-wide: it is guarded by the default token (the
 	// empty path id resolves to AuthConfig.Token).
@@ -232,6 +234,23 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ack, err := s.svc.AppendRows(r.PathValue("id"), req, r.URL.Query().Get("flush") != "")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ack)
+}
+
+// handleMutate runs one UPDATE or DELETE statement against the
+// interface's store as a versioned mutation; the ack carries how many
+// rows matched and the epochs after the publish.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req api.MutateRequest
+	if apiErr := decodeJSON(w, r, maxQueryBody, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	ack, err := s.svc.MutateRows(r.PathValue("id"), req)
 	if err != nil {
 		writeError(w, err)
 		return

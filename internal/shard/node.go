@@ -290,6 +290,13 @@ func (n *Node) AppendRows(id string, req api.RowsRequest, flush bool) (*api.Rows
 	return n.Service.AppendRows(id, req, flush)
 }
 
+func (n *Node) MutateRows(id string, req api.MutateRequest) (*api.MutateAck, error) {
+	if e := n.writeErr(id); e != nil {
+		return nil, e
+	}
+	return n.Service.MutateRows(id, req)
+}
+
 func (n *Node) DeleteInterface(id string) (*api.DeleteAck, error) {
 	if e := n.writeErr(id); e != nil {
 		return nil, e

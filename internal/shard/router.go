@@ -622,6 +622,19 @@ func (rt *Router) AppendRows(id string, req api.RowsRequest, flush bool) (*api.R
 	return out, nil
 }
 
+func (rt *Router) MutateRows(id string, req api.MutateRequest) (*api.MutateAck, error) {
+	var out *api.MutateAck
+	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {
+		ack, err := c.MutateRows(ctx, id, req.SQL, req.IfEpoch)
+		out = ack
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func (rt *Router) DeleteInterface(id string) (*api.DeleteAck, error) {
 	var out *api.DeleteAck
 	err := rt.proxy(id, func(ctx context.Context, c *client.Client) error {

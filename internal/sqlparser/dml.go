@@ -1,0 +1,109 @@
+package sqlparser
+
+import "repro/internal/ast"
+
+// ParseStatement parses a single SQL statement — SELECT, UPDATE or
+// DELETE — into its AST. It is the entry point for the DML path
+// (interface mutations); the mining pipeline keeps using Parse, which
+// stays SELECT-only so query logs containing stray DML are dropped per
+// entry instead of poisoning a re-mine.
+func ParseStatement(sql string) (*ast.Node, error) {
+	p, err := newParser(sql)
+	if err != nil {
+		return nil, err
+	}
+	var stmt *ast.Node
+	var perr *Error
+	switch {
+	case p.atKeyword("update"):
+		stmt, perr = p.parseUpdate()
+	case p.atKeyword("delete"):
+		stmt, perr = p.parseDelete()
+	default:
+		stmt, perr = p.parseSelect()
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	if p.peek().kind == tokSemi {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %s", p.peek())
+	}
+	return stmt, nil
+}
+
+// parseUpdate parses UPDATE table SET col = expr {, col = expr}
+// [WHERE expr]. The target is a plain (possibly qualified) table name —
+// no joins, aliases or subqueries on the write path.
+func (p *parser) parseUpdate() (*ast.Node, *Error) {
+	if err := p.expectKeyword("update"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	set := ast.New(ast.TypeSet)
+	for {
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.kind != tokOp || t.text != "=" {
+			return nil, p.errorf("expected '=' after SET column %q, got %s", col.text, t)
+		}
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		set.Children = append(set.Children, ast.NewAttr(ast.TypeSetItem, "col", col.text, e))
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	where, perr := p.parseOptWhere()
+	if perr != nil {
+		return nil, perr
+	}
+	return ast.New(ast.TypeUpdate, ast.Leaf(ast.TypeTabExpr, name), set, where), nil
+}
+
+// parseDelete parses DELETE FROM table [WHERE expr].
+func (p *parser) parseDelete() (*ast.Node, *Error) {
+	if err := p.expectKeyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	where, perr := p.parseOptWhere()
+	if perr != nil {
+		return nil, perr
+	}
+	return ast.New(ast.TypeDelete, ast.Leaf(ast.TypeTabExpr, name), where), nil
+}
+
+// parseOptWhere parses an optional WHERE clause, returning an empty
+// Where node when absent (same shape as Select's fixed slot, so
+// IsEmptyClause works uniformly).
+func (p *parser) parseOptWhere() (*ast.Node, *Error) {
+	if !p.acceptKeyword("where") {
+		return ast.New(ast.TypeWhere), nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return ast.New(ast.TypeWhere, e), nil
+}

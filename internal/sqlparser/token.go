@@ -80,7 +80,8 @@ var keywords = map[string]bool{
 	"null": true, "case": true, "when": true, "then": true, "else": true,
 	"end": true, "cast": true, "asc": true, "desc": true, "true": true,
 	"false": true, "join": true, "inner": true, "left": true,
-	"outer": true, "on": true,
+	"outer": true, "on": true, "update": true, "delete": true,
+	"set": true,
 }
 
 // Error is a parse error with the byte offset where it occurred.

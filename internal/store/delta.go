@@ -43,7 +43,16 @@ type Delta struct {
 	Tables []TableDelta
 }
 
-// TableDelta is one table's appended tail.
+// TableDelta is one table's change since the previous save. Two
+// shapes, discriminated by Replace:
+//
+//   - append tail (Replace false): Rows/RowIDs hold only the rows
+//     added past FromRow — the common case, tiny files.
+//   - replacement (Replace true): the table absorbed UPDATE/DELETE
+//     mutations since the last save, so a tail cut cannot describe it;
+//     Rows/RowIDs carry the full visible table and Apply swaps it
+//     wholesale. Still differential at the save level: unmutated
+//     tables and the log keep riding as tails.
 type TableDelta struct {
 	Name string
 	Cols []string
@@ -52,6 +61,15 @@ type TableDelta struct {
 	// where it left off (a gap would silently drop acked rows).
 	FromRow int
 	Rows    [][]engine.Value
+
+	// RowIDs aligns with Rows (appended rows' ids, or the full table's
+	// for a replacement). NextRowID/MutGen snapshot the table's rowid
+	// allocator and mutation generation at the cut.
+	RowIDs    []uint64
+	NextRowID uint64
+	MutGen    uint64
+	// Replace marks a full-table replacement delta.
+	Replace bool
 }
 
 // DeltaFormatVersion is the current delta file format.
@@ -67,10 +85,15 @@ func DeltaFile(dir, id string, toSeq uint64) string {
 }
 
 // CutDelta derives the delta between a previous save — described by
-// its covered log length and per-table row counts, as the manifest
-// records them — and a fresh full capture. Sharing is safe: the
-// returned slices alias the capture's immutable tails.
-func CutDelta(snap *Snapshot, fromSeq uint64, logLen int, tableRows map[string]int) (*Delta, error) {
+// its covered log length, per-table row counts and per-table mutation
+// generations, as the manifest records them — and a fresh full
+// capture. A table whose mutation generation moved since the last save
+// has been updated or deleted from, so its tail is not a sound
+// description of the change: it rides as a full-table replacement
+// delta instead, while unmutated tables keep the cheap tail cut.
+// Sharing is safe: the returned slices alias the capture's immutable
+// rows.
+func CutDelta(snap *Snapshot, fromSeq uint64, logLen int, tableRows map[string]int, tableMuts map[string]uint64) (*Delta, error) {
 	if logLen > len(snap.Log) {
 		return nil, fmt.Errorf("store: delta of %q: capture has %d log entries, previous save covered %d",
 			snap.ID, len(snap.Log), logLen)
@@ -85,6 +108,18 @@ func CutDelta(snap *Snapshot, fromSeq uint64, logLen int, tableRows map[string]i
 		Log:           snap.Log[logLen:],
 	}
 	for _, td := range snap.Tables {
+		if td.MutGen != tableMuts[td.Name] {
+			d.Tables = append(d.Tables, TableDelta{
+				Name:      td.Name,
+				Cols:      td.Cols,
+				Rows:      td.Rows,
+				RowIDs:    td.RowIDs,
+				NextRowID: td.NextRowID,
+				MutGen:    td.MutGen,
+				Replace:   true,
+			})
+			continue
+		}
 		covered := tableRows[td.Name]
 		if covered > len(td.Rows) {
 			return nil, fmt.Errorf("store: delta of %q: table %q has %d rows, previous save covered %d",
@@ -93,11 +128,18 @@ func CutDelta(snap *Snapshot, fromSeq uint64, logLen int, tableRows map[string]i
 		if covered == len(td.Rows) && covered > 0 {
 			continue // unchanged table: nothing to carry
 		}
+		var ids []uint64
+		if len(td.RowIDs) == len(td.Rows) {
+			ids = td.RowIDs[covered:]
+		}
 		d.Tables = append(d.Tables, TableDelta{
-			Name:    td.Name,
-			Cols:    td.Cols,
-			FromRow: covered,
-			Rows:    td.Rows[covered:],
+			Name:      td.Name,
+			Cols:      td.Cols,
+			FromRow:   covered,
+			Rows:      td.Rows[covered:],
+			RowIDs:    ids,
+			NextRowID: td.NextRowID,
+			MutGen:    td.MutGen,
 		})
 	}
 	return d, nil
@@ -123,12 +165,23 @@ func (d *Delta) Apply(snap *Snapshot) error {
 				break
 			}
 		}
+		if td.Replace {
+			data := TableData{Name: td.Name, Cols: td.Cols, Rows: td.Rows,
+				RowIDs: td.RowIDs, NextRowID: td.NextRowID, MutGen: td.MutGen}
+			if idx < 0 {
+				snap.Tables = append(snap.Tables, data)
+			} else {
+				snap.Tables[idx] = data
+			}
+			continue
+		}
 		if idx < 0 {
 			if td.FromRow != 0 {
 				return fmt.Errorf("store: delta of %q grows unknown table %q from row %d",
 					d.ID, td.Name, td.FromRow)
 			}
-			snap.Tables = append(snap.Tables, TableData{Name: td.Name, Cols: td.Cols, Rows: td.Rows})
+			snap.Tables = append(snap.Tables, TableData{Name: td.Name, Cols: td.Cols, Rows: td.Rows,
+				RowIDs: td.RowIDs, NextRowID: td.NextRowID, MutGen: td.MutGen})
 			continue
 		}
 		have := len(snap.Tables[idx].Rows)
@@ -136,7 +189,19 @@ func (d *Delta) Apply(snap *Snapshot) error {
 			return fmt.Errorf("store: delta of %q continues table %q at row %d but snapshot holds %d rows",
 				d.ID, td.Name, td.FromRow, have)
 		}
-		snap.Tables[idx].Rows = append(snap.Tables[idx].Rows, td.Rows...)
+		t := &snap.Tables[idx]
+		if len(td.RowIDs) == len(td.Rows) && len(t.RowIDs) == len(t.Rows) {
+			t.RowIDs = append(t.RowIDs, td.RowIDs...)
+		} else {
+			t.RowIDs = nil // legacy mix: Restore re-assigns sequentially
+		}
+		t.Rows = append(t.Rows, td.Rows...)
+		if td.NextRowID > t.NextRowID {
+			t.NextRowID = td.NextRowID
+		}
+		if td.MutGen > t.MutGen {
+			t.MutGen = td.MutGen
+		}
 	}
 	snap.Log = append(snap.Log, d.Log...)
 	snap.Seq = d.ToSeq

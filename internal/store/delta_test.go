@@ -31,12 +31,12 @@ func testSnap(id string, seq uint64, rows int) *Snapshot {
 
 func TestCutDeltaApplyRoundTrip(t *testing.T) {
 	base := testSnap("iface", 3, 10)
-	logLen, tableRows := CoveredCounts(base)
+	logLen, tableRows, tableMuts := CoveredCounts(base)
 
 	// Grow: 5 more rows, 2 more log entries, seq 3 -> 5.
 	grown := testSnap("iface", 5, 15)
 
-	d, err := CutDelta(grown, base.Seq, logLen, tableRows)
+	d, err := CutDelta(grown, base.Seq, logLen, tableRows, tableMuts)
 	if err != nil {
 		t.Fatalf("CutDelta: %v", err)
 	}
@@ -68,12 +68,12 @@ func TestCutDeltaSkipsUnchangedTables(t *testing.T) {
 	snap := testSnap("iface", 4, 8)
 	snap.Tables = append(snap.Tables, TableData{Name: "carriers", Cols: []string{"code"},
 		Rows: [][]engine.Value{{engine.Str("AA")}}})
-	logLen, tableRows := CoveredCounts(snap)
+	logLen, tableRows, tableMuts := CoveredCounts(snap)
 
 	grown := testSnap("iface", 6, 12)
 	grown.Tables = append(grown.Tables, snap.Tables[1]) // carriers unchanged
 
-	d, err := CutDelta(grown, snap.Seq, logLen, tableRows)
+	d, err := CutDelta(grown, snap.Seq, logLen, tableRows, tableMuts)
 	if err != nil {
 		t.Fatalf("CutDelta: %v", err)
 	}
@@ -85,8 +85,8 @@ func TestCutDeltaSkipsUnchangedTables(t *testing.T) {
 func TestApplyRefusesGaps(t *testing.T) {
 	base := testSnap("iface", 3, 10)
 	grown := testSnap("iface", 5, 15)
-	logLen, tableRows := CoveredCounts(base)
-	d, err := CutDelta(grown, base.Seq, logLen, tableRows)
+	logLen, tableRows, tableMuts := CoveredCounts(base)
+	d, err := CutDelta(grown, base.Seq, logLen, tableRows, tableMuts)
 	if err != nil {
 		t.Fatalf("CutDelta: %v", err)
 	}
@@ -112,7 +112,7 @@ func TestApplyRefusesGaps(t *testing.T) {
 
 func TestDeltaEncodeDecodeDetectsCorruption(t *testing.T) {
 	grown := testSnap("iface", 5, 15)
-	d, err := CutDelta(grown, 3, 3, map[string]int{"ontime": 10})
+	d, err := CutDelta(grown, 3, 3, map[string]int{"ontime": 10}, map[string]uint64{"ontime": 0})
 	if err != nil {
 		t.Fatalf("CutDelta: %v", err)
 	}
@@ -145,7 +145,7 @@ func TestManifestChainSaveRestore(t *testing.T) {
 	if _, err := Save(dir, base); err != nil {
 		t.Fatalf("Save base: %v", err)
 	}
-	logLen, tableRows := CoveredCounts(base)
+	logLen, tableRows, tableMuts := CoveredCounts(base)
 	m := &Manifest{
 		ID:        "iface",
 		Base:      "iface.snap",
@@ -154,6 +154,7 @@ func TestManifestChainSaveRestore(t *testing.T) {
 		DataEpoch: base.DataEpoch,
 		LogLen:    logLen,
 		TableRows: tableRows,
+		TableMuts: tableMuts,
 		Replication: &ReplState{Role: "owner", Term: 7,
 			Followers: map[string]uint64{"http://127.0.0.1:9001": 3}},
 	}
@@ -164,7 +165,7 @@ func TestManifestChainSaveRestore(t *testing.T) {
 	// Two differential saves.
 	for _, to := range []uint64{5, 9} {
 		grown := testSnap("iface", to, 10+int(to-3)*5)
-		d, err := CutDelta(grown, m.Seq, m.LogLen, m.TableRows)
+		d, err := CutDelta(grown, m.Seq, m.LogLen, m.TableRows, m.TableMuts)
 		if err != nil {
 			t.Fatalf("CutDelta to %d: %v", to, err)
 		}
@@ -174,7 +175,7 @@ func TestManifestChainSaveRestore(t *testing.T) {
 		}
 		m.Deltas = append(m.Deltas, name)
 		m.Seq, m.Epoch, m.DataEpoch = grown.Seq, grown.Epoch, grown.DataEpoch
-		m.LogLen, m.TableRows = CoveredCounts(grown)
+		m.LogLen, m.TableRows, m.TableMuts = CoveredCounts(grown)
 		if err := SaveManifest(dir, m); err != nil {
 			t.Fatalf("SaveManifest after %d: %v", to, err)
 		}
@@ -234,7 +235,7 @@ func TestListIgnoresDeltaAndManifestFiles(t *testing.T) {
 	if _, err := Save(dir, base); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	d, err := CutDelta(testSnap("iface", 4, 3), 3, 3, map[string]int{"ontime": 2})
+	d, err := CutDelta(testSnap("iface", 4, 3), 3, 3, map[string]int{"ontime": 2}, map[string]uint64{"ontime": 0})
 	if err != nil {
 		t.Fatalf("CutDelta: %v", err)
 	}

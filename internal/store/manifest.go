@@ -32,9 +32,12 @@ type Manifest struct {
 	Epoch     uint64 `json:"epoch"`
 	DataEpoch uint64 `json:"dataEpoch"`
 	// LogLen and TableRows are the covered counts the next differential
-	// save cuts its delta against.
-	LogLen    int            `json:"logLen"`
-	TableRows map[string]int `json:"tableRows,omitempty"`
+	// save cuts its delta against; TableMuts are the covered mutation
+	// generations — a table whose generation moved since the last save
+	// rides the next delta as a full replacement, not a tail.
+	LogLen    int               `json:"logLen"`
+	TableRows map[string]int    `json:"tableRows,omitempty"`
+	TableMuts map[string]uint64 `json:"tableMuts,omitempty"`
 	// Replication, when present, is the interface's crash-proof
 	// replication control state.
 	Replication *ReplState `json:"replication,omitempty"`
@@ -148,11 +151,14 @@ func RestoreChain(dir string, m *Manifest) (*Snapshot, error) {
 }
 
 // CoveredCounts summarizes a snapshot's covered positions for the
-// manifest: log length and per-table row counts.
-func CoveredCounts(snap *Snapshot) (logLen int, tableRows map[string]int) {
+// manifest: log length, per-table row counts and per-table mutation
+// generations.
+func CoveredCounts(snap *Snapshot) (logLen int, tableRows map[string]int, tableMuts map[string]uint64) {
 	tableRows = make(map[string]int, len(snap.Tables))
+	tableMuts = make(map[string]uint64, len(snap.Tables))
 	for _, t := range snap.Tables {
 		tableRows[t.Name] = len(t.Rows)
+		tableMuts[t.Name] = t.MutGen
 	}
-	return len(snap.Log), tableRows
+	return len(snap.Log), tableRows, tableMuts
 }

@@ -48,11 +48,21 @@ type Snapshot struct {
 	Tables []TableData
 }
 
-// TableData is one serialized table.
+// TableData is one serialized table. RowIDs, NextRowID and MutGen
+// carry the MVCC identity state: each row's stable rowid (aligned with
+// Rows), the next id the table would assign, and how many mutation
+// publishes the table has absorbed. All three gob-decode to zero on
+// snapshots written before MVCC existed; Restore detects the
+// misalignment and assigns fresh sequential rowids, so old files keep
+// loading.
 type TableData struct {
 	Name string
 	Cols []string
 	Rows [][]engine.Value
+
+	RowIDs    []uint64
+	NextRowID uint64
+	MutGen    uint64
 }
 
 // FormatVersion is the current snapshot file format.
@@ -90,18 +100,28 @@ func validSnapID(id string) bool {
 }
 
 // CaptureTables serializes the store's current snapshot into table
-// data, in sorted name order for deterministic files.
+// data, in sorted name order for deterministic files. Rows and rowids
+// come from the current view's materialization (immutable, shared with
+// readers); the rowid allocator and mutation generation come from the
+// writer state under the writer lock.
 func (s *Store) CaptureTables() []TableData {
-	db := s.Snapshot()
-	names := db.TableNames()
-	sort.Strings(names)
+	view := s.Snapshot()
+	names := view.TableNames()
 	out := make([]TableData, 0, len(names))
 	for _, name := range names {
-		t, ok := db.Table(name)
+		t, ok := view.Table(name)
 		if !ok {
 			continue
 		}
-		out = append(out, TableData{Name: t.Name, Cols: t.Cols, Rows: t.Rows})
+		ids, _ := view.RowIDs(name)
+		td := TableData{Name: t.Name, Cols: t.Cols, Rows: t.Rows, RowIDs: ids}
+		s.mu.Lock()
+		if wt, _, ok := s.lookupWriter(name); ok {
+			td.NextRowID = wt.NextID()
+			td.MutGen = wt.MutGen()
+		}
+		s.mu.Unlock()
+		out = append(out, td)
 	}
 	return out
 }
@@ -226,23 +246,13 @@ func List(dir string) ([]string, error) {
 }
 
 // Restore rebuilds a store from the snapshot's tables: each table's
-// rows are loaded as-is under a fresh catalog. Function values are not
-// part of a snapshot; callers re-attach them with AddFunc.
-func (snap *Snapshot) Restore() *Store {
-	db := engine.NewDB()
-	for _, td := range snap.Tables {
-		db.AddTable(&engine.Table{Name: td.Name, Cols: td.Cols, Rows: td.Rows})
-	}
-	st := FromDB(db)
-	// Fast-forward the data epoch so restored writers continue the
-	// saved sequence rather than restarting at 1.
-	st.mu.Lock()
-	cur := st.v.Load()
-	if snap.DataEpoch > cur.epoch {
-		st.v.Store(&version{epoch: snap.DataEpoch, db: cur.db})
-	}
-	st.mu.Unlock()
-	return st
+// rows load as-is, keeping their saved rowids (legacy snapshots
+// without rowids get fresh sequential ones), and the store resumes at
+// the saved data epoch so restored writers continue the sequence
+// rather than restarting at 1. Function values are not part of a
+// snapshot; callers re-attach them with AddFunc.
+func (snap *Snapshot) Restore() (*Store, error) {
+	return seed(snap.Tables, snap.DataEpoch)
 }
 
 // RestoredLog rebuilds the qlog from the snapshot's entries.

@@ -1,70 +1,240 @@
 // Package store is the versioned storage layer under the serving
-// system: a copy-on-write wrapper around the engine's catalog that
-// turns the "immutable after build" DB into a sequence of immutable
-// versions. Readers take a Snapshot — a plain *engine.DB that
-// satisfies engine.Catalog and never changes — while writers append
-// rows through AppendRows, which publishes a new version under a
-// bumped data epoch without copying row data: the new table version
-// shares the old backing array, old snapshots keep reading their own
-// prefix, and the catalog map is the only thing copied (O(#tables),
-// not O(#rows)). This is the Berkholz-style answering-under-updates
-// discipline PR 2 applied to interfaces, applied to the data itself:
-// queries always run against an immutable snapshot, so result caches
-// keyed to a snapshot stay correct by construction.
+// system: an MVCC row store (internal/mvcc) behind a copy-on-write
+// catalog that turns the "immutable after build" DB into a sequence of
+// immutable versions. Readers take a Snapshot — a *View that satisfies
+// engine.Catalog and never changes — while writers publish through
+// AppendRows and MutateRows, each bumping the data epoch without
+// copying row data: appends extend the version arena, updates and
+// deletes retire row versions by stamping an end epoch and (for
+// updates) appending a replacement, so every publish is O(rows
+// touched), never O(table). A snapshot taken at epoch E sees exactly
+// the rows live at E, forever — the Berkholz-style
+// answering-under-updates discipline PR 2 applied to interfaces,
+// applied to the data itself: queries always run against an immutable
+// snapshot, so result caches keyed to a snapshot stay correct by
+// construction.
 //
 // The package also owns durable persistence (persist.go): a hosted
 // interface's (log, dataset, epoch) triple serializes to a single
 // checksummed snapshot file written with an atomic rename, so a
-// SIGKILLed server restores without the original log.
+// SIGKILLed server restores without the original log. Row identities
+// (rowids) persist too, so replicated mutations keep applying across
+// crash/restore.
 package store
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/mvcc"
 )
 
-// version is one immutable store state: the catalog plus the data
-// epoch that produced it.
-type version struct {
-	epoch uint64
-	db    *engine.DB
+// RowUpdate is one row replacement in a mutation: the row identified
+// by RowID gets the new values. It is the wire unit of the DML path —
+// publications, WAL records and follower applies all carry it.
+type RowUpdate struct {
+	RowID uint64
+	Vals  []engine.Value
 }
 
-// Store is a copy-on-write versioned catalog. It is safe for
-// concurrent use: any number of readers call Snapshot while writers
-// call AppendRows/AddFunc; writers are serialized internally.
+// TableMutation is one table's share of a mutation publication:
+// updates and deletes keyed by rowid. Replication is physical — the
+// owner evaluates the DML predicate once and everyone else (followers,
+// WAL replay) re-applies the recorded rowid-level operations, so a
+// predicate over data that has since moved on can never diverge.
+type TableMutation struct {
+	Table   string
+	Updates []RowUpdate
+	Deletes []uint64
+}
+
+// version is one immutable store state: the published table views plus
+// the function catalog at one data epoch.
+type version struct {
+	view View
+}
+
+// View is an immutable snapshot of the store at one data epoch: it
+// satisfies engine.Catalog (name matching is case-insensitive and
+// accepts the final component of qualified names, like engine.DB), and
+// additionally exposes the epoch and per-table rowids the DML path
+// needs. Views are safe for concurrent use and never change — old
+// views keep serving their exact row set while the store moves on.
+type View struct {
+	epoch  uint64
+	tables map[string]*mvcc.View // keyed by lowercase name
+	funcs  map[string]engine.TableFunc
+}
+
+// Epoch returns the data epoch the view was taken at.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+func (v *View) lookup(name string) (*mvcc.View, bool) {
+	t, ok := v.tables[strings.ToLower(name)]
+	if !ok {
+		// Accept the final path component of qualified names (dbo.X).
+		parts := strings.Split(name, ".")
+		t, ok = v.tables[strings.ToLower(parts[len(parts)-1])]
+	}
+	return t, ok
+}
+
+// Table implements engine.Catalog: the flattened visible rows of the
+// named table at this view's epoch.
+func (v *View) Table(name string) (*engine.Table, bool) {
+	t, ok := v.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return t.Table(), true
+}
+
+// Func implements engine.Catalog.
+func (v *View) Func(name string) (engine.TableFunc, bool) {
+	f, ok := v.funcs[strings.ToLower(name)]
+	if !ok {
+		parts := strings.Split(name, ".")
+		f, ok = v.funcs[strings.ToLower(parts[len(parts)-1])]
+	}
+	return f, ok
+}
+
+// RowIDs returns the stable row identity for each row of Table(name),
+// index-aligned — how a predicate match at row i becomes a mutation of
+// a concrete rowid.
+func (v *View) RowIDs(name string) ([]uint64, bool) {
+	t, ok := v.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return t.RowIDs(), true
+}
+
+// NumTables returns the number of tables in the view.
+func (v *View) NumTables() int { return len(v.tables) }
+
+// TableNames lists the view's tables (lowercased) in sorted order.
+func (v *View) TableNames() []string {
+	out := make([]string, 0, len(v.tables))
+	for n := range v.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FuncNames lists the view's table-valued functions in sorted order.
+func (v *View) FuncNames() []string {
+	out := make([]string, 0, len(v.funcs))
+	for n := range v.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Store is the MVCC versioned catalog. It is safe for concurrent use:
+// any number of readers call Snapshot while writers call
+// AppendRows/MutateRows/AddFunc; writers are serialized internally.
 type Store struct {
-	mu sync.Mutex // serializes writers; readers never take it
-	v  atomic.Pointer[version]
+	mu     sync.Mutex // serializes writers; readers never take it
+	tables map[string]*mvcc.Table
+	v      atomic.Pointer[version]
 }
 
 // FromDB seeds a store from a built database. The store takes over the
 // write path: the caller must not mutate db (or its tables) afterwards
 // — exactly the contract the serving layer already imposed, with
-// AppendRows now providing the sanctioned way to grow tables.
+// AppendRows/MutateRows now providing the sanctioned ways to change
+// tables. Rows get fresh sequential rowids.
 func FromDB(db *engine.DB) *Store {
-	s := &Store{}
-	s.v.Store(&version{epoch: 1, db: db})
+	s := &Store{tables: map[string]*mvcc.Table{}}
+	views := map[string]*mvcc.View{}
+	for _, name := range db.TableNames() {
+		t, _ := db.Table(name)
+		wt, err := mvcc.Seed(t.Name, t.Cols, t.Rows, nil, 0, 0, 1)
+		if err != nil { // unreachable: nil ids cannot collide
+			panic(err)
+		}
+		s.tables[name] = wt
+		views[name] = wt.Publish(1, 0)
+	}
+	funcs := map[string]engine.TableFunc{}
+	for _, name := range db.FuncNames() {
+		fn, _ := db.Func(name)
+		funcs[name] = fn
+	}
+	s.v.Store(&version{view: View{epoch: 1, tables: views, funcs: funcs}})
 	return s
 }
 
 // New returns an empty store at data epoch 1.
 func New() *Store { return FromDB(engine.NewDB()) }
 
-// Snapshot returns the current catalog version: an *engine.DB that is
-// immutable from the caller's point of view and therefore a drop-in
-// execution target (engine.Exec consumes the engine.Catalog interface
-// both it and a frozen DB satisfy). Snapshots are O(1): no rows are
-// copied.
-func (s *Store) Snapshot() *engine.DB { return s.v.Load().db }
+// seed builds a store directly from persisted table state (rows with
+// their saved rowids plus the rowid allocator and mutation generation)
+// at the given epoch — the restore path. ids may be nil per table for
+// legacy snapshots, which assign fresh sequential rowids.
+func seed(tables []TableData, epoch uint64) (*Store, error) {
+	if epoch == 0 {
+		epoch = 1
+	}
+	s := &Store{tables: map[string]*mvcc.Table{}}
+	views := map[string]*mvcc.View{}
+	for _, td := range tables {
+		ids := td.RowIDs
+		if len(ids) != len(td.Rows) {
+			ids = nil // legacy snapshot without rowids
+		}
+		wt, err := mvcc.Seed(td.Name, td.Cols, td.Rows, ids, td.NextRowID, td.MutGen, epoch)
+		if err != nil {
+			return nil, fmt.Errorf("store: restore table %q: %w", td.Name, err)
+		}
+		key := strings.ToLower(td.Name)
+		s.tables[key] = wt
+		views[key] = wt.Publish(epoch, 0)
+	}
+	s.v.Store(&version{view: View{epoch: epoch, tables: views, funcs: map[string]engine.TableFunc{}}})
+	return s, nil
+}
+
+// Snapshot returns the current store version: an immutable *View that
+// satisfies engine.Catalog and is therefore a drop-in execution
+// target. Snapshots are O(1): no rows are copied.
+func (s *Store) Snapshot() *View { return &s.v.Load().view }
 
 // Epoch returns the current data epoch (starts at 1, bumped by every
 // publishing write).
-func (s *Store) Epoch() uint64 { return s.v.Load().epoch }
+func (s *Store) Epoch() uint64 { return s.v.Load().view.epoch }
+
+// lookupWriter resolves a table name against the writer map with the
+// same name rules the catalog uses. Callers hold s.mu.
+func (s *Store) lookupWriter(name string) (*mvcc.Table, string, bool) {
+	key := strings.ToLower(name)
+	t, ok := s.tables[key]
+	if !ok {
+		parts := strings.Split(name, ".")
+		key = strings.ToLower(parts[len(parts)-1])
+		t, ok = s.tables[key]
+	}
+	return t, key, ok
+}
+
+// publish installs a new version that replaces exactly one table's
+// view, sharing everything else. Callers hold s.mu.
+func (s *Store) publish(epoch uint64, key string, tv *mvcc.View) {
+	cur := &s.v.Load().view
+	tables := make(map[string]*mvcc.View, len(cur.tables)+1)
+	for k, v := range cur.tables {
+		tables[k] = v
+	}
+	tables[key] = tv
+	s.v.Store(&version{view: View{epoch: epoch, tables: tables, funcs: cur.funcs}})
+}
 
 // ValidateRows checks that the table exists and every row matches its
 // column count, without publishing anything — the cheap pre-flight the
@@ -85,46 +255,81 @@ func (s *Store) ValidateRows(table string, rows [][]engine.Value) error {
 
 // AppendRows appends rows to the named table and publishes a new
 // version under a bumped data epoch. The append is copy-on-write at
-// the catalog level: the new table version's row slice extends the old
-// backing array (readers of older snapshots only ever index their own
-// shorter prefix, so sharing is race-free), and only the table map is
-// duplicated. Either every row is appended or none is (validation runs
-// before publishing). The caller must not mutate rows afterwards.
-// Returns the new data epoch.
+// the catalog level: new row versions extend the table's arena
+// (readers of older snapshots only ever see their own epoch's rows),
+// and only the view map is duplicated. Either every row is appended or
+// none is (validation runs before publishing). The caller must not
+// mutate rows afterwards. Returns the new data epoch.
 func (s *Store) AppendRows(table string, rows [][]engine.Value) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.v.Load()
-	t, ok := cur.db.Table(table)
+	t, key, ok := s.lookupWriter(table)
 	if !ok {
-		return cur.epoch, fmt.Errorf("store: unknown table %q", table)
+		return cur.view.epoch, fmt.Errorf("store: unknown table %q", table)
 	}
 	for i, r := range rows {
-		if len(r) != t.NumCols() {
-			return cur.epoch, fmt.Errorf("store: table %q has %d columns, row %d has %d",
-				t.Name, t.NumCols(), i, len(r))
+		if len(r) != len(t.Cols) {
+			return cur.view.epoch, fmt.Errorf("store: table %q has %d columns, row %d has %d",
+				t.Name, len(t.Cols), i, len(r))
 		}
 	}
 	if len(rows) == 0 {
-		return cur.epoch, nil
+		return cur.view.epoch, nil
 	}
-	grown := &engine.Table{
-		Name: t.Name,
-		Cols: t.Cols,
-		Rows: append(t.Rows, rows...),
+	epoch := cur.view.epoch + 1
+	t.Append(rows, epoch)
+	s.publish(epoch, key, t.Publish(epoch, len(rows)))
+	return epoch, nil
+}
+
+// MutateRows applies one mutation set — row updates and deletes keyed
+// by rowid — to the named table and publishes a new version under a
+// bumped data epoch. Updates retire the row's current version and
+// append a replacement; deletes just retire: O(rows touched), never a
+// table rewrite, and every snapshot taken before the publish keeps
+// serving its exact pre-mutation rows. Either the whole set applies or
+// none of it (validation runs before the first retire). Returns the
+// new data epoch; an empty set publishes nothing.
+func (s *Store) MutateRows(table string, updates []RowUpdate, deletes []uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.v.Load()
+	if len(updates) == 0 && len(deletes) == 0 {
+		return cur.view.epoch, nil
 	}
-	s.v.Store(&version{epoch: cur.epoch + 1, db: cur.db.WithTable(grown)})
-	return cur.epoch + 1, nil
+	t, key, ok := s.lookupWriter(table)
+	if !ok {
+		return cur.view.epoch, fmt.Errorf("store: unknown table %q", table)
+	}
+	ups := make([]mvcc.Update, len(updates))
+	for i, u := range updates {
+		ups[i] = mvcc.Update{RowID: u.RowID, Vals: u.Vals}
+	}
+	epoch := cur.view.epoch + 1
+	if err := t.Mutate(ups, deletes, epoch); err != nil {
+		return cur.view.epoch, err
+	}
+	s.publish(epoch, key, t.Publish(epoch, 0))
+	return epoch, nil
 }
 
 // AddTable registers a (possibly non-empty) table under a new version.
-// Replacing an existing name swaps the whole table.
+// Replacing an existing name swaps the whole table; its rows get fresh
+// rowids.
 func (s *Store) AddTable(t *engine.Table) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.v.Load()
-	s.v.Store(&version{epoch: cur.epoch + 1, db: cur.db.WithTable(t)})
-	return cur.epoch + 1
+	epoch := cur.view.epoch + 1
+	wt, err := mvcc.Seed(t.Name, t.Cols, t.Rows, nil, 0, 0, epoch)
+	if err != nil { // unreachable: nil ids cannot collide
+		panic(err)
+	}
+	key := strings.ToLower(t.Name)
+	s.tables[key] = wt
+	s.publish(epoch, key, wt.Publish(epoch, 0))
+	return epoch
 }
 
 // AddFunc registers a table-valued function under a new version —
@@ -133,9 +338,32 @@ func (s *Store) AddTable(t *engine.Table) uint64 {
 func (s *Store) AddFunc(name string, fn engine.TableFunc) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur := s.v.Load()
-	s.v.Store(&version{epoch: cur.epoch + 1, db: cur.db.WithFunc(name, fn)})
-	return cur.epoch + 1
+	cur := &s.v.Load().view
+	epoch := cur.epoch + 1
+	funcs := make(map[string]engine.TableFunc, len(cur.funcs)+1)
+	for k, v := range cur.funcs {
+		funcs[k] = v
+	}
+	funcs[strings.ToLower(name)] = fn
+	s.v.Store(&version{view: View{epoch: epoch, tables: cur.tables, funcs: funcs}})
+	return epoch
+}
+
+// Compact folds fully-superseded row versions out of every table's
+// arena — pure memory reclamation after updates and deletes, invisible
+// to readers (old views hold their own arena slices) and to
+// persistence (visible row order is unchanged). The persister calls
+// this at every full base rewrite, so a long-lived interface's dead
+// versions are bounded by the delta-chain length. Returns the total
+// number of versions dropped.
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, t := range s.tables {
+		dropped += t.Compact()
+	}
+	return dropped
 }
 
 // RowCount returns the current row count of the named table.
@@ -150,10 +378,10 @@ func (s *Store) RowCount(table string) (int, bool) {
 // RowCounts returns every table's current row count, keyed by the
 // catalog's (lowercased) table name in sorted order.
 func (s *Store) RowCounts() map[string]int {
-	db := s.Snapshot()
-	out := make(map[string]int, db.NumTables())
-	for _, name := range db.TableNames() {
-		if t, ok := db.Table(name); ok {
+	v := s.Snapshot()
+	out := make(map[string]int, v.NumTables())
+	for _, name := range v.TableNames() {
+		if t, ok := v.Table(name); ok {
 			out[name] = t.NumRows()
 		}
 	}
@@ -162,7 +390,5 @@ func (s *Store) RowCounts() map[string]int {
 
 // TableNames lists the catalog's tables in sorted order.
 func (s *Store) TableNames() []string {
-	names := s.Snapshot().TableNames()
-	sort.Strings(names)
-	return names
+	return s.Snapshot().TableNames()
 }

@@ -208,7 +208,10 @@ func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
 	if len(got.Log) != 2 || got.Log[1].Client != "c9" {
 		t.Fatalf("log mismatch: %+v", got.Log)
 	}
-	restored := got.Restore()
+	restored, err := got.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if restored.Epoch() != snap.DataEpoch {
 		t.Fatalf("restored data epoch = %d, want %d", restored.Epoch(), snap.DataEpoch)
 	}

@@ -57,13 +57,16 @@ type TableRows struct {
 
 // Record is one acked publication: the per-interface monotone
 // sequence number, the interface epoch after the publish, and the
-// payload — log entries (re-mine batch), table rows (row append), or
-// neither (a bare epoch bump / promotion fence).
+// payload — log entries (re-mine batch), table rows (row append),
+// rowid-keyed mutations (UPDATE/DELETE publish), or none of them (a
+// bare epoch bump / promotion fence). Muts gob-decodes empty on
+// records written before DML existed, so old logs keep replaying.
 type Record struct {
 	Seq     uint64
 	Epoch   uint64
 	Entries []qlog.Entry
 	Rows    []TableRows
+	Muts    []store.TableMutation
 }
 
 // Options configure a Manager.

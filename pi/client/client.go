@@ -214,6 +214,24 @@ func (c *Client) AppendRows(ctx context.Context, id, table string, rows [][]any,
 	return &out, nil
 }
 
+// MutateRows submits one UPDATE or DELETE statement against a hosted
+// interface's versioned store. The server evaluates the predicate
+// against its current snapshot and publishes the matched rows as a
+// versioned mutation before the ack returns. ifEpoch, when nonzero,
+// makes the call conditional (rejected with mutation_conflict if the
+// data epoch moved). Like AppendRows, the call is not idempotent and
+// is never retried: replaying a lost response would apply the
+// mutation twice.
+func (c *Client) MutateRows(ctx context.Context, id, sql string, ifEpoch uint64) (*api.MutateAck, error) {
+	p := "/v1/interfaces/" + url.PathEscape(id) + "/mutate"
+	var out api.MutateAck
+	err := c.doOnce(ctx, http.MethodPost, p, api.MutateRequest{SQL: sql, IfEpoch: ifEpoch}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // DeleteInterface unhosts an interface: it stops being served, its
 // live feed detaches and its durable snapshot (if any) is removed.
 // Transient failures are retried like any idempotent call; note that a

@@ -316,6 +316,9 @@ type ExecCatalog = engine.Catalog
 // RowsAck reports what happened to one batch of appended rows.
 type RowsAck = api.RowsAck
 
+// MutateAck reports what happened to one UPDATE/DELETE mutation.
+type MutateAck = api.MutateAck
+
 // SnapshotResult reports what a durable snapshot persisted.
 type SnapshotResult = api.SnapshotResult
 
@@ -335,6 +338,15 @@ func NewStore(db *DB) *Store { return store.FromDB(db) }
 // reflects the rows.
 func AppendRows(ing *Ingester, id, table string, flush bool, rows ...[]engine.Value) (RowsAck, error) {
 	return ing.SubmitRows(id, table, rows, flush)
+}
+
+// MutateRows runs one UPDATE or DELETE statement against a live-hosted
+// interface's store. The predicate evaluates against the current
+// snapshot; the matched rows publish as a versioned mutation under a
+// bumped epoch before the ack returns. ifEpoch (nonzero) makes the
+// call conditional on the store's data epoch.
+func MutateRows(ing *Ingester, id, sql string, ifEpoch uint64) (MutateAck, error) {
+	return ing.SubmitMutation(id, sql, ifEpoch)
 }
 
 // NewPersister returns a snapshot/restore coordinator writing under

@@ -2,8 +2,10 @@
 # Benchmark the router-proxy overhead against direct serve on the
 # cached-plan path and record the result as BENCH_shard.json, then the
 # replication layer's ack coupling (replicated vs unreplicated append
-# ack, fan-out read) as BENCH_replica.json, so the perf trajectory of
-# the serving layer is tracked in-repo run over run.
+# ack, fan-out read) as BENCH_replica.json, WAL/snapshot costs as
+# BENCH_wal.json, and cached-plan query latency percentiles + allocs
+# as BENCH_query.json, so the perf trajectory of the serving layer is
+# tracked in-repo run over run.
 # Exits non-zero if any benchmark fails to produce a number.
 set -eu
 
@@ -100,3 +102,37 @@ awk -v n="$nowal" -v s="$strict" -v g="$group" -v f="$full" -v d="$diff" \
 
 echo "== $WAL_OUT"
 cat "$WAL_OUT"
+
+QUERY_OUT="${QUERY_OUT:-BENCH_query.json}"
+
+echo "== go test -bench QueryPlanCached -benchtime $BENCHTIME -benchmem ./internal/api"
+raw=$(go test -run '^$' -bench 'BenchmarkQueryPlanCached$' \
+    -benchtime "$BENCHTIME" -benchmem ./internal/api)
+printf '%s\n' "$raw"
+
+line=$(printf '%s\n' "$raw" | awk '/^BenchmarkQueryPlanCached/ { print; exit }')
+mean=$(printf '%s\n' "$line" | awk '{ for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") { print $i; exit } }')
+p50=$(printf '%s\n' "$line" | awk '{ for (i = 2; i < NF; i++) if ($(i+1) == "p50_ns") { print $i; exit } }')
+p99=$(printf '%s\n' "$line" | awk '{ for (i = 2; i < NF; i++) if ($(i+1) == "p99_ns") { print $i; exit } }')
+bytes=$(printf '%s\n' "$line" | awk '{ for (i = 2; i <= NF; i++) if ($i == "B/op") { print $(i-1); exit } }')
+allocs=$(printf '%s\n' "$line" | awk '{ for (i = 2; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit } }')
+if [ -z "$mean" ] || [ -z "$p50" ] || [ -z "$p99" ] || [ -z "$bytes" ] || [ -z "$allocs" ]; then
+    echo "FAIL: query benchmark produced no numbers" >&2
+    exit 1
+fi
+
+awk -v m="$mean" -v p50="$p50" -v p99="$p99" -v by="$bytes" -v al="$allocs" \
+    -v go_ver="$(go env GOVERSION)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"cached-plan query latency (plan-cache hit path)\",\n"
+    printf "  \"go\": \"%s\",\n", go_ver
+    printf "  \"mean_ns_op\": %.1f,\n", m
+    printf "  \"p50_ns\": %.1f,\n", p50
+    printf "  \"p99_ns\": %.1f,\n", p99
+    printf "  \"bytes_op\": %d,\n", by
+    printf "  \"allocs_op\": %d\n", al
+    printf "}\n"
+}' >"$QUERY_OUT"
+
+echo "== $QUERY_OUT"
+cat "$QUERY_OUT"
