@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench bench-json ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke dml-smoke
+.PHONY: check fmt-check vet build test race bench bench-json perf-gate ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke dml-smoke
 
 check: fmt-check vet build race
 
@@ -76,3 +76,9 @@ dml-smoke:
 # trajectory is tracked run over run.
 bench-json:
 	sh scripts/bench_json.sh
+
+# Gate the cached-plan query path against the checked-in
+# BENCH_query.json: fresh p50 must stay within 3x (CI noise tolerance)
+# and allocs/op must not exceed the baseline.
+perf-gate:
+	sh scripts/perf_gate.sh

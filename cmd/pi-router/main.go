@@ -79,12 +79,15 @@ func main() {
 	replicas := flag.Int("replicas", 1, "copies per interface incl. the owner (>1 keeps warm followers on other shards)")
 	readFanout := flag.Bool("read-fanout", false, "spread read-only operations across in-sync replicas")
 	failover := flag.Bool("failover", false, "auto-promote the best follower when an owner shard dies")
+	pprofAddr := flag.String("pprof-addr", "", "private listen address for net/http/pprof, e.g. localhost:6061 (empty = disabled; keep it off public interfaces)")
 	flag.Parse()
 
 	tok, err := server.ResolveToken(*token, *tokenFile)
 	if err != nil {
 		fatal(err)
 	}
+
+	server.StartPprof(*pprofAddr, log.Printf)
 
 	var addrs []string
 	for _, a := range strings.Split(*shards, ",") {

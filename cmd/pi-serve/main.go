@@ -117,6 +117,7 @@ func main() {
 	token := flag.String("token", "", "bearer token required on query/log endpoints (empty = open)")
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
 	shardAddr := flag.String("shard-addr", "", "advertised base URL for shard mode, e.g. http://10.0.0.5:8081 (enables the /v1/shard admin surface; needs -ingest)")
+	pprofAddr := flag.String("pprof-addr", "", "private listen address for net/http/pprof, e.g. localhost:6060 (empty = disabled; keep it off public interfaces)")
 	check := flag.Bool("check", false, "probe a running pi-serve at -addr via the Go SDK and exit")
 	flag.Parse()
 
@@ -131,6 +132,8 @@ func main() {
 		}
 		return
 	}
+
+	server.StartPprof(*pprofAddr, log.Printf)
 
 	reg := api.NewRegistryWithCache(*cache)
 	ing := ingest.New(reg, ingest.Options{BatchSize: *batch, FlushInterval: *flushEvery})

@@ -27,10 +27,20 @@ type Cache struct {
 	misses uint64
 }
 
+// CachedResult is what the result cache hands the query path: the
+// result relation plus its full JSON-scalar projection, computed once
+// when the entry is stored. Serving a page is then a subslice of Rows
+// — no per-request value conversion, no per-request allocation. Both
+// fields are shared across requests and must be treated as immutable.
+type CachedResult struct {
+	Res  *engine.Table
+	Rows [][]any // rowsJSON(Res, 0, len(Res.Rows)), index-aligned
+}
+
 type cacheEntry struct {
 	key ast.Hash
 	sql string // canonical rendering, verified on hit
-	res *engine.Table
+	res *CachedResult
 }
 
 // NewCache returns an LRU holding at most capacity results. A capacity
@@ -44,9 +54,9 @@ func NewCache(capacity int) *Cache {
 }
 
 // Get returns the cached result for the query hash, verifying the
-// canonical SQL to rule out hash collisions. The returned table is
+// canonical SQL to rule out hash collisions. The returned result is
 // shared and must be treated as immutable by callers.
-func (c *Cache) Get(key ast.Hash, sql string) (*engine.Table, bool) {
+func (c *Cache) Get(key ast.Hash, sql string) (*CachedResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -61,25 +71,31 @@ func (c *Cache) Get(key ast.Hash, sql string) (*engine.Table, bool) {
 	return nil, false
 }
 
-// Put stores a result, evicting the least recently used entry when the
-// cache is full. The caller must not mutate res after handing it over.
-func (c *Cache) Put(key ast.Hash, sql string, res *engine.Table) {
+// Put wraps a fresh result with its JSON projection, stores it
+// (evicting the least recently used entry when the cache is full) and
+// returns the wrapped entry so the miss path serves from the same
+// projection a later hit would. With caching disabled the wrapping
+// still happens — the current request needs it — it just isn't kept.
+// The caller must not mutate res after handing it over.
+func (c *Cache) Put(key ast.Hash, sql string, res *engine.Table) *CachedResult {
+	cr := &CachedResult{Res: res, Rows: rowsJSON(res, 0, len(res.Rows))}
 	if c.cap <= 0 {
-		return
+		return cr
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value = &cacheEntry{key: key, sql: sql, res: res}
+		el.Value = &cacheEntry{key: key, sql: sql, res: cr}
 		c.ll.MoveToFront(el)
-		return
+		return cr
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sql: sql, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, sql: sql, res: cr})
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
 	}
+	return cr
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness,

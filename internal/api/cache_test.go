@@ -65,7 +65,7 @@ func TestCacheConcurrent(t *testing.T) {
 				k := ast.Hash(i % 32)
 				sql := fmt.Sprintf("q%d", i%32)
 				if res, ok := c.Get(k, sql); ok {
-					_ = res.NumRows()
+					_ = res.Res.NumRows()
 				} else {
 					c.Put(k, sql, tableOf(i))
 				}

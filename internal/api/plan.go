@@ -1,6 +1,7 @@
 package api
 
 import (
+	"bytes"
 	"container/list"
 	"sort"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/engine"
 )
 
 // Plan is a bound, rendered, hashed query — everything the query
@@ -20,6 +22,11 @@ type Plan struct {
 	Query *ast.Node
 	SQL   string
 	Hash  ast.Hash
+	// Col is the columnar compilation of Query when its shape is one
+	// the vectorized kernels support (nil otherwise, or when the
+	// service was built with DisableColumnar). Compiled once per plan,
+	// so the per-request execution choice is a nil check.
+	Col *engine.ColPlan
 }
 
 // PlanCache is a concurrency-safe LRU of Plans keyed by the canonical
@@ -51,6 +58,22 @@ func (c *PlanCache) Get(key string) (*Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*planEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// GetBytes is Get for a key assembled in a reusable byte buffer
+// (AppendPlanKey). The string conversion inside the map index is
+// recognized by the compiler and does not allocate, so a plan-cache
+// hit costs zero heap — the point of building the key as bytes.
+func (c *PlanCache) GetBytes(key []byte) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[string(key)]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		return el.Value.(*planEntry).plan, true
@@ -135,4 +158,90 @@ func writeField(sb *strings.Builder, s string) {
 	sb.WriteString(strconv.Itoa(len(s)))
 	sb.WriteByte(':')
 	sb.WriteString(s)
+}
+
+// planKeyScratch is the reusable state one AppendPlanKey call needs:
+// the key buffer itself, a per-binding rendering area for multi-binding
+// requests (which must sort before joining), and a small number buffer
+// so float rendering never escapes to the heap. Pooled so the steady
+// state of the hot query path allocates nothing.
+type planKeyScratch struct {
+	buf   []byte
+	parts [][]byte
+	num   []byte
+}
+
+var planKeyPool = sync.Pool{New: func() any { return &planKeyScratch{num: make([]byte, 0, 32)} }}
+
+// AppendPlanKey renders the same canonical widget-state key as PlanKey
+// into sc.buf — byte-identical, so GetBytes hits exactly the entries
+// Put stored under PlanKey-formed strings. The single-binding case
+// (the common dashboard interaction: one widget changed) needs no
+// sort and no join; multi-binding requests render each part into
+// reused scratch slices, insertion-sort them (binding counts are
+// widget counts — single digits) and join with '|'.
+func (sc *planKeyScratch) AppendPlanKey(bindings []WidgetBinding) {
+	sc.buf = sc.buf[:0]
+	switch len(bindings) {
+	case 0:
+		return
+	case 1:
+		sc.buf = sc.appendBinding(sc.buf, &bindings[0])
+		return
+	}
+	if cap(sc.parts) < len(bindings) {
+		sc.parts = make([][]byte, len(bindings))
+	}
+	parts := sc.parts[:len(bindings)]
+	for i := range bindings {
+		parts[i] = sc.appendBinding(parts[i][:0], &bindings[i])
+	}
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && bytes.Compare(parts[j], parts[j-1]) < 0; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	for i, p := range parts {
+		if i > 0 {
+			sc.buf = append(sc.buf, '|')
+		}
+		sc.buf = append(sc.buf, p...)
+	}
+}
+
+// appendBinding renders one binding exactly as PlanKey's per-binding
+// loop does.
+func (sc *planKeyScratch) appendBinding(dst []byte, b *WidgetBinding) []byte {
+	dst = appendFieldStr(dst, b.Path)
+	switch {
+	case b.Absent:
+		dst = append(dst, 'a')
+	case b.Number != nil:
+		dst = append(dst, 'n')
+		sc.num = strconv.AppendFloat(sc.num[:0], *b.Number, 'g', -1, 64)
+		dst = appendFieldBytes(dst, sc.num)
+	case b.Text != nil:
+		dst = append(dst, 't')
+		dst = appendFieldStr(dst, *b.Text)
+	case b.Value != nil:
+		dst = append(dst, 'v')
+		sc.num = strconv.AppendUint(sc.num[:0], uint64(ast.HashOf(b.Value)), 16)
+		dst = appendFieldBytes(dst, sc.num)
+		dst = appendFieldStr(dst, ast.SQL(b.Value))
+	default:
+		dst = append(dst, '?')
+	}
+	return dst
+}
+
+func appendFieldStr(dst []byte, s string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	return append(dst, s...)
+}
+
+func appendFieldBytes(dst []byte, s []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	return append(dst, s...)
 }

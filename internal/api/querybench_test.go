@@ -7,11 +7,14 @@ import (
 )
 
 // BenchmarkQueryPlanCached measures the full cached-plan query path a
-// warm dashboard pays per interaction — PlanKey render, plan-cache
+// warm dashboard pays per interaction — pooled key render, plan-cache
 // hit, bound execution against the hosted snapshot — and reports tail
 // latency (p50_ns/p99_ns) alongside the mean, because the mean hides
-// exactly the stalls a slider drag feels. scripts/bench_json.sh folds
-// the numbers into BENCH_query.json.
+// exactly the stalls a slider drag feels. It drives QueryInto with a
+// reused response, the same shape the HTTP handler's response pool
+// produces, so the number is the serving path's cost, not the
+// caller's allocation discipline. scripts/bench_json.sh folds the
+// numbers into BENCH_query.json.
 func BenchmarkQueryPlanCached(b *testing.B) {
 	svc, h := newTestService(b)
 	w := sliderWidget(b, h.Iface())
@@ -26,12 +29,13 @@ func BenchmarkQueryPlanCached(b *testing.B) {
 		b.Fatalf("warmup did not cache the plan: %+v (%v)", resp, err)
 	}
 
+	var resp QueryResponse
 	lat := make([]time.Duration, 0, b.N)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
-		if _, err := svc.Query("olap", req); err != nil {
+		if err := svc.QueryInto("olap", req, &resp); err != nil {
 			b.Fatal(err)
 		}
 		lat = append(lat, time.Since(t0))

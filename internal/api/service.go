@@ -38,6 +38,11 @@ type ServiceOptions struct {
 	// and epoch endpoints ("" means "/v1/interfaces"). Transports that
 	// mount the API elsewhere set it to match.
 	PageBase string
+	// DisableColumnar turns off the vectorized execution kernels: every
+	// query runs the row-at-a-time path. The columnar path is selected
+	// per plan and produces byte-identical results, so this exists for
+	// A/B comparison and as an escape hatch, not as a semantic switch.
+	DisableColumnar bool
 }
 
 func (o ServiceOptions) withDefaults() ServiceOptions {
@@ -216,29 +221,53 @@ func (s *Service) Page(id string) (string, error) {
 // that bind and execute — advance the interface's query counter;
 // malformed or rejected requests do not inflate traffic stats.
 func (s *Service) Query(id string, req QueryRequest) (*QueryResponse, error) {
+	resp := new(QueryResponse)
+	if err := s.QueryInto(id, req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// QueryInto is Query writing into a caller-provided response, the
+// allocation-free fast path: when the plan and result caches both hit,
+// the whole bind→execute→serialize round trip is a pooled key render,
+// two cache probes and a page subslice — zero heap allocations — so
+// transports can pool responses and a warm dashboard's per-interaction
+// cost is pure lookup. resp is fully overwritten.
+func (s *Service) QueryInto(id string, req QueryRequest, resp *QueryResponse) error {
 	h, apiErr := s.hosted(id)
 	if apiErr != nil {
-		return nil, apiErr
+		return apiErr
 	}
 	st := h.load()
 
 	limit, apiErr := s.pageLimit(req.Limit)
 	if apiErr != nil {
-		return nil, apiErr
+		return apiErr
 	}
 
 	// Plan lookup first: a repeated widget-state shape skips binding,
-	// rendering and hashing even when its result has been evicted.
-	planKey := PlanKey(req.Widgets)
-	plan, planHit := st.plans.Get(planKey)
+	// rendering and hashing even when its result has been evicted. The
+	// key is rendered into a pooled buffer and looked up as bytes, so
+	// a hit never materializes a key string.
+	sc := planKeyPool.Get().(*planKeyScratch)
+	sc.AppendPlanKey(req.Widgets)
+	plan, planHit := st.plans.GetBytes(sc.buf)
 	if !planHit {
 		q, err := Bind(st.iface, req.Widgets)
 		if err != nil {
-			return nil, bindToError(err)
+			planKeyPool.Put(sc)
+			return bindToError(err)
 		}
 		plan = &Plan{Query: q, SQL: ast.SQL(q), Hash: ast.HashOf(q)}
-		st.plans.Put(planKey, plan)
+		if !s.opts.DisableColumnar {
+			if col, ok := engine.CompileColumnar(q); ok {
+				plan.Col = col
+			}
+		}
+		st.plans.Put(string(sc.buf), plan)
 	}
+	planKeyPool.Put(sc)
 
 	// The cursor can only be validated once the plan is known: it is
 	// bound to the exact query that produced the first page, not just
@@ -246,25 +275,24 @@ func (s *Service) Query(id string, req QueryRequest) (*QueryResponse, error) {
 	offset := 0
 	if req.Cursor != "" {
 		if offset, apiErr = parseCursor(req.Cursor, st.epoch, plan.Hash); apiErr != nil {
-			return nil, apiErr
+			return apiErr
 		}
 	}
 
-	res, hit := st.cache.Get(plan.Hash, plan.SQL)
+	cr, hit := st.cache.Get(plan.Hash, plan.SQL)
 	if !hit {
-		var err error
-		res, err = engine.Exec(st.db, plan.Query)
+		res, err := s.exec(st, plan)
 		if err != nil {
 			// The closure can contain queries the dataset cannot answer
 			// (e.g. a column the sample lacks); that is a client-state
 			// problem, not a server fault.
-			return nil, Errf(CodeExecFailed, http.StatusUnprocessableEntity, "exec: %v", err)
+			return Errf(CodeExecFailed, http.StatusUnprocessableEntity, "exec: %v", err)
 		}
-		st.cache.Put(plan.Hash, plan.SQL, res)
+		cr = st.cache.Put(plan.Hash, plan.SQL, res)
 	}
 	h.queries.Add(1)
 
-	total := len(res.Rows)
+	total := len(cr.Res.Rows)
 	if offset > total {
 		offset = total
 	}
@@ -272,11 +300,11 @@ func (s *Service) Query(id string, req QueryRequest) (*QueryResponse, error) {
 	if end > total {
 		end = total
 	}
-	resp := &QueryResponse{
+	*resp = QueryResponse{
 		SQL:        plan.SQL,
 		Epoch:      st.epoch,
-		Cols:       res.Cols,
-		Rows:       rowsJSON(res, offset, end),
+		Cols:       cr.Res.Cols,
+		Rows:       cr.Rows[offset:end],
 		RowCount:   total,
 		Offset:     offset,
 		Truncated:  end < total,
@@ -293,7 +321,21 @@ func (s *Service) Query(id string, req QueryRequest) (*QueryResponse, error) {
 	if planHit {
 		resp.Plan = "hit"
 	}
-	return resp, nil
+	return nil
+}
+
+// exec runs one bound plan against the epoch's catalog: the vectorized
+// kernels when the plan compiled to a columnar shape and the catalog
+// can serve columns, the row-at-a-time interpreter otherwise. The two
+// paths produce byte-identical results (including error text), so the
+// choice is invisible above this line.
+func (s *Service) exec(st *epochState, plan *Plan) (*engine.Table, error) {
+	if plan.Col != nil {
+		if res, ran, err := engine.ExecColumnar(st.db, plan.Col); ran {
+			return res, err
+		}
+	}
+	return engine.Exec(st.db, plan.Query)
 }
 
 // pageLimit resolves the requested page size against the service caps.

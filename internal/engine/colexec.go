@@ -1,0 +1,585 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExecColumnar runs a compiled columnar plan against the catalog's
+// cached column vectors. The second return reports whether the plan
+// could run here at all: false means "use the row path" (no columnar
+// provider, unknown/unsupported column, qualifier mismatch) and
+// carries no error. When it does run, the result is value-identical to
+// Exec on the same catalog: same column names, same row order, same
+// Value structs bit-for-bit.
+func ExecColumnar(cat Catalog, p *ColPlan) (*Table, bool, error) {
+	prov, ok := cat.(ColumnarProvider)
+	if !ok {
+		return nil, false, nil
+	}
+	ct, ok := prov.Columnar(p.Table)
+	if !ok {
+		return nil, false, nil
+	}
+	alias := p.alias
+	if alias == "" {
+		alias = ct.Name
+	}
+	resolve := func(r colRef) int {
+		if r.qual != "" && !strings.EqualFold(r.qual, alias) {
+			return -1
+		}
+		return ct.colIndexOf(r.name)
+	}
+
+	predCols := make([]int, len(p.preds))
+	for i := range p.preds {
+		if predCols[i] = resolve(p.preds[i].col); predCols[i] < 0 {
+			return nil, false, nil
+		}
+	}
+	groupCols := make([]int, len(p.groupBy))
+	for i, r := range p.groupBy {
+		gi := resolve(r)
+		if gi < 0 || ct.cols[gi].Kind == ColMixed {
+			return nil, false, nil
+		}
+		groupCols[i] = gi
+	}
+	projCols := make([]int, len(p.projs))
+	for i := range p.projs {
+		pj := &p.projs[i]
+		projCols[i] = -1
+		if pj.kind == projCol || (pj.kind == projAgg && pj.agg != aggCountStar) {
+			if projCols[i] = resolve(pj.col); projCols[i] < 0 {
+				return nil, false, nil
+			}
+		}
+	}
+
+	// Selection: start from a secondary-index equality lookup when one
+	// applies, then narrow with the vectorized predicate kernels.
+	var sel []int32
+	selAll := true
+	usedIdx := -1
+	if ic, ok := cat.(IndexedCatalog); ok {
+		for i := range p.preds {
+			if p.preds[i].op != "=" {
+				continue
+			}
+			if pos, ok := ic.IndexLookup(p.Table, p.preds[i].col.name, p.preds[i].lit); ok {
+				sel, selAll, usedIdx = pos, false, i
+				break
+			}
+		}
+	}
+	for i := range p.preds {
+		if i == usedIdx {
+			continue
+		}
+		f, ok := ct.predEval(&p.preds[i], predCols[i])
+		if !ok {
+			return nil, false, nil
+		}
+		if selAll {
+			sel = make([]int32, 0, ct.N/4+1)
+			for r := int32(0); r < int32(ct.N); r++ {
+				if f(r) {
+					sel = append(sel, r)
+				}
+			}
+			selAll = false
+		} else {
+			kept := sel[:0]
+			for _, r := range sel {
+				if f(r) {
+					kept = append(kept, r)
+				}
+			}
+			sel = kept
+		}
+	}
+
+	outCols, out, err := ct.project(p, alias, sel, selAll, groupCols, projCols)
+	if err != nil {
+		return nil, true, err
+	}
+	if p.limit >= 0 && p.limit < len(out) {
+		out = out[:p.limit]
+	}
+	return &Table{Name: "result", Cols: outCols, Rows: out}, true, nil
+}
+
+func (ct *ColumnarTable) project(p *ColPlan, alias string, sel []int32, selAll bool, groupCols, projCols []int) ([]string, [][]Value, error) {
+	each := func(f func(i int32) bool) {
+		if selAll {
+			for i := int32(0); i < int32(ct.N); i++ {
+				if !f(i) {
+					return
+				}
+			}
+			return
+		}
+		for _, i := range sel {
+			if !f(i) {
+				return
+			}
+		}
+	}
+
+	if !p.grouped {
+		var outCols []string
+		var outIdx []int
+		for k, pj := range p.projs {
+			if pj.kind == projStar {
+				// Single-source star: the qualifier either matches the
+				// binding alias (all columns) or nothing.
+				if pj.starQual == "" || strings.EqualFold(alias, pj.starQual) {
+					for ci, c := range ct.Cols {
+						outCols = append(outCols, c)
+						outIdx = append(outIdx, ci)
+					}
+				}
+				continue
+			}
+			outCols = append(outCols, pj.name)
+			outIdx = append(outIdx, projCols[k])
+		}
+		var out [][]Value
+		each(func(i int32) bool {
+			if p.limit >= 0 && len(out) >= p.limit {
+				return false
+			}
+			if len(outIdx) == 0 {
+				out = append(out, nil)
+				return true
+			}
+			row := make([]Value, len(outIdx))
+			for k, ci := range outIdx {
+				row[k] = ct.valueAt(ci, i)
+			}
+			out = append(out, row)
+			return true
+		})
+		return outCols, out, nil
+	}
+
+	// Aggregated mode: one pass assigns group ids in first-appearance
+	// order and folds every aggregate as rows stream by, mirroring the
+	// row path's per-group accumulation order (groups collect rows in
+	// row order, so streaming row-major gives identical float sums and
+	// identical min/max tie-breaks).
+	keyers := make([]groupKeyer, len(groupCols))
+	for k, gi := range groupCols {
+		keyers[k] = newGroupKeyer(&ct.cols[gi])
+	}
+	gkeys := map[[maxGroupCols]int32]int32{}
+	var firstPos []int32
+	var sizes []int64
+	aggs := make([]aggAcc, len(p.projs))
+	for k := range p.projs {
+		aggs[k] = aggAcc{kind: p.projs[k].agg, ci: projCols[k], ct: ct}
+	}
+	grow := func(first int32) int32 {
+		gid := int32(len(firstPos))
+		firstPos = append(firstPos, first)
+		sizes = append(sizes, 0)
+		for k := range aggs {
+			aggs[k].grow()
+		}
+		return gid
+	}
+	if len(groupCols) == 0 {
+		grow(-1) // global aggregation always yields exactly one group
+	}
+	each(func(i int32) bool {
+		var gid int32
+		if len(groupCols) == 0 {
+			gid = 0
+			if sizes[0] == 0 {
+				firstPos[0] = i
+			}
+		} else {
+			var key [maxGroupCols]int32
+			for k := range keyers {
+				key[k] = keyers[k].id(i)
+			}
+			var ok bool
+			gid, ok = gkeys[key]
+			if !ok {
+				gid = grow(i)
+				gkeys[key] = gid
+			}
+		}
+		sizes[gid]++
+		for k := range aggs {
+			aggs[k].add(gid, i)
+		}
+		return true
+	})
+
+	// Row-path quirk, preserved: with no GROUP BY and an empty
+	// selection, groupRows hands the evaluator a nil group, and every
+	// aggregate errors with "outside grouping context" — the global
+	// aggregate over zero rows never returns 0/NULL. Surface the same
+	// error for the first aggregate projection, left to right.
+	if len(groupCols) == 0 && sizes[0] == 0 {
+		for k := range p.projs {
+			if p.projs[k].kind == projAgg {
+				return nil, nil, fmt.Errorf("engine: aggregate %s outside grouping context", aggName(p.projs[k].agg))
+			}
+		}
+	}
+
+	outCols := make([]string, len(p.projs))
+	for k := range p.projs {
+		outCols[k] = p.projs[k].name
+	}
+	var out [][]Value
+	for gid := range firstPos {
+		row := make([]Value, len(p.projs))
+		for k := range p.projs {
+			pj := &p.projs[k]
+			if pj.kind == projCol {
+				if fp := firstPos[gid]; fp >= 0 {
+					row[k] = ct.valueAt(projCols[k], fp)
+				}
+				continue
+			}
+			v, err := aggs[k].finalize(int32(gid), sizes[gid])
+			if err != nil {
+				return nil, nil, err
+			}
+			row[k] = v
+		}
+		out = append(out, row)
+	}
+	return outCols, out, nil
+}
+
+func aggName(k aggKind) string {
+	switch k {
+	case aggCountStar, aggCount:
+		return "count"
+	case aggSum:
+		return "sum"
+	case aggAvg:
+		return "avg"
+	case aggMin:
+		return "min"
+	case aggMax:
+		return "max"
+	}
+	return "?"
+}
+
+// groupKeyer maps row positions of one group-by column to small dense
+// ids whose equality matches Value.Key() equality: dictionary codes
+// for string columns; per-distinct-float ids (with one shared id for
+// NaN, whose Key renders "NaN") for numeric columns. NULL is id -1,
+// matching Key's single NULL bucket.
+type groupKeyer struct {
+	col    *Column
+	numIDs map[float64]int32
+	nanID  int32
+	next   int32
+}
+
+func newGroupKeyer(col *Column) groupKeyer {
+	k := groupKeyer{col: col, nanID: -2}
+	if col.Kind == ColNum {
+		k.numIDs = make(map[float64]int32)
+	}
+	return k
+}
+
+func (k *groupKeyer) id(i int32) int32 {
+	if k.col.Kind == ColStr {
+		return k.col.Codes[i] // -1 is the NULL code
+	}
+	if k.col.Nulls != nil && k.col.Nulls[i] {
+		return -1
+	}
+	f := k.col.Nums[i]
+	if f != f { // NaN: one shared group id
+		if k.nanID == -2 {
+			k.nanID = k.next
+			k.next++
+		}
+		return k.nanID
+	}
+	id, ok := k.numIDs[f]
+	if !ok {
+		id = k.next
+		k.next++
+		k.numIDs[f] = id
+	}
+	return id
+}
+
+// aggAcc folds one aggregate projection across all groups. Errors
+// (sum/avg over a non-numeric value) are recorded per group rather
+// than aborting the scan, then surfaced in (group, projection) order
+// by finalize — the order the row path would have hit them in.
+type aggAcc struct {
+	kind aggKind
+	ci   int
+	ct   *ColumnarTable
+
+	sums []float64
+	cnts []int64
+	best []Value
+	has  []bool
+	errs []error
+}
+
+func (a *aggAcc) grow() {
+	switch a.kind {
+	case aggNone, aggCountStar:
+	case aggCount:
+		a.cnts = append(a.cnts, 0)
+	case aggSum, aggAvg:
+		a.sums = append(a.sums, 0)
+		a.cnts = append(a.cnts, 0)
+		a.has = append(a.has, false)
+		a.errs = append(a.errs, nil)
+	case aggMin, aggMax:
+		a.best = append(a.best, Value{})
+		a.has = append(a.has, false)
+	}
+}
+
+func (a *aggAcc) add(gid, i int32) {
+	switch a.kind {
+	case aggNone, aggCountStar:
+		return
+	}
+	col := &a.ct.cols[a.ci]
+	// Fast non-null numeric read for ColNum; everything else boxes.
+	if col.Kind == ColNum && (a.kind == aggSum || a.kind == aggAvg || a.kind == aggCount) {
+		if col.Nulls != nil && col.Nulls[i] {
+			return
+		}
+		switch a.kind {
+		case aggCount:
+			a.cnts[gid]++
+		default:
+			if a.errs[gid] == nil {
+				a.sums[gid] += col.Nums[i]
+				a.cnts[gid]++
+				a.has[gid] = true
+			}
+		}
+		return
+	}
+	v := a.ct.valueAt(a.ci, i)
+	if v.IsNull() {
+		return
+	}
+	switch a.kind {
+	case aggCount:
+		a.cnts[gid]++
+	case aggSum, aggAvg:
+		if a.errs[gid] != nil {
+			return
+		}
+		f, ok := v.AsNumber()
+		if !ok {
+			name := "sum"
+			if a.kind == aggAvg {
+				name = "avg"
+			}
+			a.errs[gid] = fmt.Errorf("engine: %s over non-numeric value %s", name, v)
+			return
+		}
+		a.sums[gid] += f
+		a.cnts[gid]++
+		a.has[gid] = true
+	case aggMin, aggMax:
+		if !a.has[gid] {
+			a.best[gid] = v
+			a.has[gid] = true
+			return
+		}
+		cmp := Compare(v, a.best[gid])
+		if (a.kind == aggMin && cmp < 0) || (a.kind == aggMax && cmp > 0) {
+			a.best[gid] = v
+		}
+	}
+}
+
+func (a *aggAcc) finalize(gid int32, size int64) (Value, error) {
+	switch a.kind {
+	case aggCountStar:
+		return Num(float64(size)), nil
+	case aggCount:
+		return Num(float64(a.cnts[gid])), nil
+	case aggSum, aggAvg:
+		if a.errs[gid] != nil {
+			return Value{}, a.errs[gid]
+		}
+		if !a.has[gid] {
+			return Null(), nil
+		}
+		if a.kind == aggAvg {
+			return Num(a.sums[gid] / float64(a.cnts[gid])), nil
+		}
+		return Num(a.sums[gid]), nil
+	case aggMin, aggMax:
+		if !a.has[gid] {
+			return Null(), nil
+		}
+		return a.best[gid], nil
+	}
+	return Value{}, fmt.Errorf("engine: columnar finalize of non-aggregate")
+}
+
+// predEval compiles one predicate against one column into a per-row
+// closure. String columns evaluate the predicate once per dictionary
+// entry (through the real Equal/Compare/Like, so cross-kind coercion
+// like "5" = 5 is preserved) and then test codes; numeric columns get
+// branch-light float compares when the literal is numeric; everything
+// else falls through to boxing each value into the shared predValue,
+// which mirrors evalBinary exactly.
+func (ct *ColumnarTable) predEval(pr *colPred, ci int) (func(i int32) bool, bool) {
+	col := &ct.cols[ci]
+	switch col.Kind {
+	case ColStr:
+		matches := make([]bool, len(col.Dict))
+		for code, s := range col.Dict {
+			matches[code] = predValue(Str(s), pr)
+		}
+		nullMatch := predValue(Null(), pr)
+		codes := col.Codes
+		return func(i int32) bool {
+			c := codes[i]
+			if c < 0 {
+				return nullMatch
+			}
+			return matches[c]
+		}, true
+	case ColNum:
+		nums := col.Nums
+		nulls := col.Nulls
+		notNull := func(i int32) bool { return nulls == nil || !nulls[i] }
+		switch pr.op {
+		case "is":
+			return func(i int32) bool { return !notNull(i) }, true
+		case "is not":
+			return notNull, true
+		case "=", "<>", "<", "<=", ">", ">=":
+			if pr.lit.Kind == KindNumber {
+				lf := pr.lit.Num
+				op := pr.op
+				return func(i int32) bool {
+					if !notNull(i) {
+						return false
+					}
+					cmp := cmpFloat(nums[i], lf)
+					switch op {
+					case "=":
+						return cmp == 0
+					case "<>":
+						return cmp != 0
+					case "<":
+						return cmp < 0
+					case "<=":
+						return cmp <= 0
+					case ">":
+						return cmp > 0
+					default:
+						return cmp >= 0
+					}
+				}, true
+			}
+		case "between":
+			if pr.lo.Kind == KindNumber && pr.hi.Kind == KindNumber {
+				lo, hi, not := pr.lo.Num, pr.hi.Num, pr.not
+				return func(i int32) bool {
+					if !notNull(i) {
+						return false
+					}
+					in := cmpFloat(nums[i], lo) >= 0 && cmpFloat(nums[i], hi) <= 0
+					return in != not
+				}, true
+			}
+		}
+		return func(i int32) bool {
+			if !notNull(i) {
+				return predValue(Null(), pr)
+			}
+			return predValue(Num(nums[i]), pr)
+		}, true
+	default:
+		vals := col.Vals
+		return func(i int32) bool { return predValue(vals[i], pr) }, true
+	}
+}
+
+// cmpFloat mirrors Compare on two numbers: NaN compares equal to
+// everything there (both < and > fail), so it must here too.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// predValue evaluates one compiled predicate against one boxed value
+// with exactly evalBinary/evalIn/evalBetween's semantics, including
+// LIKE stringifying NULL to "NULL" and BETWEEN's NULL-before-NOT rule.
+func predValue(v Value, pr *colPred) bool {
+	switch pr.op {
+	case "is":
+		return v.IsNull()
+	case "is not":
+		return !v.IsNull()
+	case "=":
+		return Equal(v, pr.lit)
+	case "<>":
+		if v.IsNull() || pr.lit.IsNull() {
+			return false
+		}
+		return !Equal(v, pr.lit)
+	case "<", "<=", ">", ">=":
+		if v.IsNull() || pr.lit.IsNull() {
+			return false
+		}
+		cmp := Compare(v, pr.lit)
+		switch pr.op {
+		case "<":
+			return cmp < 0
+		case "<=":
+			return cmp <= 0
+		case ">":
+			return cmp > 0
+		default:
+			return cmp >= 0
+		}
+	case "like", "not like":
+		res := Like(v.String(), pr.lit.String())
+		if pr.op == "not like" {
+			res = !res
+		}
+		return res
+	case "between":
+		if v.IsNull() || pr.lo.IsNull() || pr.hi.IsNull() {
+			return false
+		}
+		in := Compare(v, pr.lo) >= 0 && Compare(v, pr.hi) <= 0
+		return in != pr.not
+	case "in":
+		found := false
+		for _, it := range pr.items {
+			if Equal(v, it) {
+				found = true
+				break
+			}
+		}
+		return found != pr.not
+	}
+	return false
+}

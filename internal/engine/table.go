@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Table is an in-memory relation: named columns over rows of values.
@@ -11,6 +13,11 @@ type Table struct {
 	Name string
 	Cols []string
 	Rows [][]Value
+
+	// colIdx caches lowercased column name -> first index, built
+	// lazily by ColIndex. Cols never changes after a table is built
+	// (AddRow only appends rows), so the cache cannot go stale.
+	colIdx atomic.Pointer[map[string]int]
 }
 
 // NewTable returns an empty table with the given columns.
@@ -55,7 +62,27 @@ func (t *Table) Clone() *Table {
 }
 
 // ColIndex returns the index of a column (case-insensitive), or -1.
+// The first call builds a name->index map; later calls are a single
+// map probe instead of a linear scan (this sits under every bound
+// predicate evaluation). Unicode names whose ToLower form differs
+// from their EqualFold class still hit the linear fallback, so the
+// result is identical to the original scan in all cases.
 func (t *Table) ColIndex(name string) int {
+	m := t.colIdx.Load()
+	if m == nil {
+		idx := make(map[string]int, len(t.Cols))
+		for i, c := range t.Cols {
+			key := strings.ToLower(c)
+			if _, dup := idx[key]; !dup {
+				idx[key] = i
+			}
+		}
+		t.colIdx.Store(&idx)
+		m = &idx
+	}
+	if i, ok := (*m)[strings.ToLower(name)]; ok {
+		return i
+	}
 	for i, c := range t.Cols {
 		if strings.EqualFold(c, name) {
 			return i
@@ -94,6 +121,12 @@ type Catalog interface {
 type DB struct {
 	tables map[string]*Table
 	funcs  map[string]TableFunc
+
+	// colTabs lazily caches the columnar projection of each table
+	// (lowercased name -> *ColumnarTable). Safe under the DB's
+	// immutable-after-build contract; the copy-on-write primitives
+	// hand out clones with a fresh, empty cache.
+	colTabs sync.Map
 }
 
 // NewDB returns an empty database.
@@ -126,6 +159,22 @@ func (db *DB) Func(name string) (TableFunc, bool) {
 		f, ok = db.funcs[strings.ToLower(parts[len(parts)-1])]
 	}
 	return f, ok
+}
+
+// Columnar returns the cached columnar projection of a table,
+// building it on first use — the ColumnarProvider hook for plain
+// catalogs (store snapshots provide their own per-epoch variant).
+func (db *DB) Columnar(name string) (*ColumnarTable, bool) {
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, false
+	}
+	key := strings.ToLower(t.Name)
+	if c, ok := db.colTabs.Load(key); ok {
+		return c.(*ColumnarTable), true
+	}
+	actual, _ := db.colTabs.LoadOrStore(key, BuildColumnar(t))
+	return actual.(*ColumnarTable), true
 }
 
 // NumTables returns the number of registered tables.

@@ -82,6 +82,7 @@ type Table struct {
 	nextID   uint64                 // next rowid to assign
 	mutGen   uint64                 // bumped by every Mutate publish
 	head     *View                  // most recently published view
+	indexes  map[string]*colIndex   // secondary indexes (index.go), keyed by lowercased column
 }
 
 // NewTable returns an empty writer table. RowIDs start at 1.
@@ -151,6 +152,7 @@ func (t *Table) Append(rows [][]engine.Value, epoch uint64) []uint64 {
 		rv := &RowVersion{RowID: id, Begin: epoch, Vals: r}
 		t.versions = append(t.versions, rv)
 		t.live[id] = rv
+		t.indexAdd(rv)
 		ids[i] = id
 	}
 	return ids
@@ -184,6 +186,7 @@ func (t *Table) Mutate(updates []Update, deletes []uint64, epoch uint64) error {
 		rv := &RowVersion{RowID: u.RowID, Begin: epoch, Vals: u.Vals}
 		t.versions = append(t.versions, rv)
 		t.live[u.RowID] = rv
+		t.indexAdd(rv)
 	}
 	for _, id := range deletes {
 		t.live[id].retire(epoch)
@@ -206,6 +209,7 @@ func (t *Table) Publish(epoch uint64, rowsAdded int) *View {
 		cols:     t.Cols,
 		epoch:    epoch,
 		versions: t.versions[:len(t.versions):len(t.versions)],
+		indexes:  t.snapIndexes(),
 	}
 	if prev := t.head; prev != nil && rowsAdded > 0 && prev.mutGen == t.mutGen {
 		if m := prev.mat.Load(); m != nil {
@@ -248,6 +252,13 @@ func (t *Table) Compact() int {
 	}
 	dropped := len(t.versions) - len(kept)
 	t.versions = kept
+	// Rebuild indexes over the surviving versions: retired entries drop
+	// out. Safe for every future epoch (a retired version's end is <=
+	// the current epoch, so no later view could see it anyway); views
+	// already published keep their own snapshots of the old runs.
+	for _, ix := range t.indexes {
+		ix.rebuild(t.versions)
+	}
 	return dropped
 }
 
@@ -270,9 +281,12 @@ type View struct {
 	epoch    uint64
 	mutGen   uint64
 	versions []*RowVersion
+	indexes  map[string]ixSnap // per-publish secondary index snapshots (index.go)
 
 	mu  sync.Mutex // serializes the one-time materialization
 	mat atomic.Pointer[matState]
+	pos atomic.Pointer[map[uint64]int32]     // lazy rowid -> row position
+	col atomic.Pointer[engine.ColumnarTable] // lazy columnar projection
 }
 
 // Name returns the table's declared (original-case) name.

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns the net/http/pprof surface on an explicit mux,
+// for mounting on a private listener (-pprof-addr) separate from the
+// serving port: profiles expose heap contents and must never ride the
+// public API's address, and building the mux explicitly keeps the
+// pprof import from registering handlers on http.DefaultServeMux
+// behind the server's back.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartPprof serves PprofHandler on addr in a background goroutine
+// when addr is non-empty. Listener failures are reported through
+// logf (profiling is an operator convenience; it must not take the
+// serving process down).
+func StartPprof(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logf("pprof listening on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, PprofHandler()); err != nil {
+			logf("pprof listener on %s: %v", addr, err)
+		}
+	}()
+}

@@ -30,11 +30,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -190,10 +192,35 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(page))
 }
 
+// queryIntoServicer is the optional fast path a Servicer can offer:
+// filling a caller-provided response instead of allocating one.
+// *api.Service implements it; routed implementations (shard proxies)
+// fall back to Query.
+type queryIntoServicer interface {
+	QueryInto(id string, req api.QueryRequest, resp *api.QueryResponse) error
+}
+
+// respPool recycles query responses across requests. Entries are
+// zeroed before being pooled so a parked response never pins a
+// retired epoch's cached rows.
+var respPool = sync.Pool{New: func() any { return new(api.QueryResponse) }}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req api.QueryRequest
 	if apiErr := decodeJSON(w, r, maxQueryBody, &req); apiErr != nil {
 		writeError(w, apiErr)
+		return
+	}
+	if qi, ok := s.svc.(queryIntoServicer); ok {
+		resp := respPool.Get().(*api.QueryResponse)
+		err := qi.QueryInto(r.PathValue("id"), req, resp)
+		if err == nil {
+			writeJSON(w, http.StatusOK, resp)
+		} else {
+			writeError(w, err)
+		}
+		*resp = api.QueryResponse{}
+		respPool.Put(resp)
 		return
 	}
 	resp, err := s.svc.Query(r.PathValue("id"), req)
@@ -327,10 +354,40 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) *
 	return nil
 }
 
+// jsonEnc is a pooled (buffer, encoder) pair: json.NewEncoder per
+// response was one of the last steady-state allocations on the hot
+// query path. Encoding into the buffer first also means a response
+// that fails to marshal never reaches the wire half-written.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// maxPooledEncBuf caps the buffer size re-pooled after a response: one
+// huge page must not turn the pool into a permanent high-water-mark
+// memory hold.
+const maxPooledEncBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	err := e.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+	} else {
+		w.WriteHeader(status)
+		_, _ = w.Write(e.buf.Bytes())
+	}
+	if e.buf.Cap() <= maxPooledEncBuf {
+		encPool.Put(e)
+	}
 }
 
 // writeError encodes any error as the v1 envelope {"code", "error"}

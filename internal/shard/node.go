@@ -269,6 +269,18 @@ func (n *Node) Query(id string, req api.QueryRequest) (*api.QueryResponse, error
 	return n.Service.Query(id, req)
 }
 
+// QueryInto keeps the zero-alloc serving path available on a shard.
+// Without this override the server's pooled-response fast path would
+// reach the embedded Service's QueryInto directly and skip the
+// relinquish/tombstone check that turns queries for moved interfaces
+// into structured `moved` errors.
+func (n *Node) QueryInto(id string, req api.QueryRequest, resp *api.QueryResponse) error {
+	if e := n.readErr(id); e != nil {
+		return e
+	}
+	return n.Service.QueryInto(id, req, resp)
+}
+
 func (n *Node) IngestReady(id string) error {
 	if e := n.writeErr(id); e != nil {
 		return e

@@ -114,6 +114,33 @@ func (v *View) RowIDs(name string) ([]uint64, bool) {
 	return t.RowIDs(), true
 }
 
+// Columnar implements engine.ColumnarProvider: the cached columnar
+// projection of the named table's visible rows, built at most once per
+// table per data epoch (it lives on the underlying mvcc.View, which is
+// shared by every snapshot of the same epoch) and dropped automatically
+// when the epoch moves on — the same lifetime as every other epoch-
+// keyed cache above the store, so hot-swap, failover and WAL replay
+// need no extra invalidation.
+func (v *View) Columnar(name string) (*engine.ColumnarTable, bool) {
+	t, ok := v.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return t.Columnar(), true
+}
+
+// IndexLookup implements engine.IndexedCatalog: equality positions
+// from a secondary index at this view's epoch. ok=false (no index on
+// that column, or an unservable key) sends the executor to the scan
+// kernels.
+func (v *View) IndexLookup(table, col string, key engine.Value) ([]int32, bool) {
+	t, ok := v.lookup(table)
+	if !ok {
+		return nil, false
+	}
+	return t.Lookup(col, key)
+}
+
 // NumTables returns the number of tables in the view.
 func (v *View) NumTables() int { return len(v.tables) }
 
@@ -144,6 +171,11 @@ type Store struct {
 	mu     sync.Mutex // serializes writers; readers never take it
 	tables map[string]*mvcc.Table
 	v      atomic.Pointer[version]
+
+	// indexCols remembers which secondary indexes were requested per
+	// table key, so a table replaced via AddTable (re-mine, restore)
+	// gets them re-applied.
+	indexCols map[string]map[string]bool
 }
 
 // FromDB seeds a store from a built database. The store takes over the
@@ -328,8 +360,53 @@ func (s *Store) AddTable(t *engine.Table) uint64 {
 	}
 	key := strings.ToLower(t.Name)
 	s.tables[key] = wt
+	for col := range s.indexCols[key] {
+		wt.EnableIndex(col)
+	}
 	s.publish(epoch, key, wt.Publish(epoch, 0))
 	return epoch
+}
+
+// EnableIndex builds a secondary index on table.col (idempotent) and
+// republishes the current epoch's view so the live snapshot carries
+// it. Returns false when the table or column does not exist right
+// now; the selection is still recorded, so a table hosted (or
+// replaced) later under that name gets the index the moment AddTable
+// publishes it. The data epoch does not change: an index is not a
+// data mutation, and every epoch-keyed cache above stays valid.
+func (s *Store) EnableIndex(table, col string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(table)
+	if s.indexCols == nil {
+		s.indexCols = map[string]map[string]bool{}
+	}
+	if s.indexCols[key] == nil {
+		s.indexCols[key] = map[string]bool{}
+	}
+	s.indexCols[key][col] = true
+	t, key, ok := s.lookupWriter(table)
+	if !ok || !t.EnableIndex(col) {
+		return false
+	}
+	cur := &s.v.Load().view
+	s.publish(cur.epoch, key, t.Publish(cur.epoch, 0))
+	return true
+}
+
+// EnableIndexes applies a batch of auto-selected predicate columns
+// (engine.PredicateColumns output). Unknown columns are skipped —
+// mined ASTs can reference pseudo-columns — and unknown tables are
+// deferred until AddTable hosts them. Returns how many indexes are
+// now enabled from the batch.
+func (s *Store) EnableIndexes(cols []engine.PredicateColumn) int {
+	n := 0
+	for _, pc := range cols {
+		if s.EnableIndex(pc.Table, pc.Col) {
+			n++
+		}
+	}
+	return n
 }
 
 // AddFunc registers a table-valued function under a new version —

@@ -105,6 +105,18 @@ cat "$WAL_OUT"
 
 QUERY_OUT="${QUERY_OUT:-BENCH_query.json}"
 
+# Carry the previous run's numbers as prev_* fields before the file is
+# overwritten, so the committed artifact always shows before/after for
+# the change that regenerated it.
+prev_mean=""; prev_p50=""; prev_p99=""; prev_bytes=""; prev_allocs=""
+if [ -f "$QUERY_OUT" ]; then
+    prev_mean=$(awk -F'[:,]' '/"mean_ns_op"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$QUERY_OUT")
+    prev_p50=$(awk -F'[:,]' '/"p50_ns"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$QUERY_OUT")
+    prev_p99=$(awk -F'[:,]' '/"p99_ns"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$QUERY_OUT")
+    prev_bytes=$(awk -F'[:,]' '/"bytes_op"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$QUERY_OUT")
+    prev_allocs=$(awk -F'[:,]' '/"allocs_op"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$QUERY_OUT")
+fi
+
 echo "== go test -bench QueryPlanCached -benchtime $BENCHTIME -benchmem ./internal/api"
 raw=$(go test -run '^$' -bench 'BenchmarkQueryPlanCached$' \
     -benchtime "$BENCHTIME" -benchmem ./internal/api)
@@ -122,6 +134,8 @@ if [ -z "$mean" ] || [ -z "$p50" ] || [ -z "$p99" ] || [ -z "$bytes" ] || [ -z "
 fi
 
 awk -v m="$mean" -v p50="$p50" -v p99="$p99" -v by="$bytes" -v al="$allocs" \
+    -v pm="$prev_mean" -v pp50="$prev_p50" -v pp99="$prev_p99" \
+    -v pby="$prev_bytes" -v pal="$prev_allocs" \
     -v go_ver="$(go env GOVERSION)" 'BEGIN {
     printf "{\n"
     printf "  \"benchmark\": \"cached-plan query latency (plan-cache hit path)\",\n"
@@ -130,7 +144,16 @@ awk -v m="$mean" -v p50="$p50" -v p99="$p99" -v by="$bytes" -v al="$allocs" \
     printf "  \"p50_ns\": %.1f,\n", p50
     printf "  \"p99_ns\": %.1f,\n", p99
     printf "  \"bytes_op\": %d,\n", by
-    printf "  \"allocs_op\": %d\n", al
+    if (pm != "") {
+        printf "  \"allocs_op\": %d,\n", al
+        printf "  \"prev_mean_ns_op\": %.1f,\n", pm
+        printf "  \"prev_p50_ns\": %.1f,\n", pp50
+        printf "  \"prev_p99_ns\": %.1f,\n", pp99
+        printf "  \"prev_bytes_op\": %d,\n", pby
+        printf "  \"prev_allocs_op\": %d\n", pal
+    } else {
+        printf "  \"allocs_op\": %d\n", al
+    }
     printf "}\n"
 }' >"$QUERY_OUT"
 

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Perf-regression gate for the cached-plan query path: run
+# BenchmarkQueryPlanCached fresh and compare its p50 against the
+# checked-in BENCH_query.json. CI machines are noisy and heterogeneous,
+# so the tolerance is deliberately loose (3x by default) — this gate
+# catches "someone re-introduced an allocation storm or an O(rows)
+# walk on the hot path", not single-digit-percent drift. Allocations
+# are compared exactly: the zero-alloc property is the one number CI
+# noise cannot blur.
+#
+# Writes the fresh numbers to PERF_GATE_OUT (default
+# bench_fresh_query.json) so CI can upload them as an artifact next to
+# the checked-in baseline.
+set -eu
+
+BASELINE="${BASELINE:-BENCH_query.json}"
+TOLERANCE_X="${TOLERANCE_X:-3}"
+BENCHTIME="${BENCHTIME:-2000x}"
+PERF_GATE_OUT="${PERF_GATE_OUT:-bench_fresh_query.json}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "FAIL: baseline $BASELINE not found (run make bench-json and commit it)" >&2
+    exit 1
+fi
+
+base_p50=$(awk -F'[:,]' '/"p50_ns"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$BASELINE")
+base_allocs=$(awk -F'[:,]' '/"allocs_op"/ && !/prev/ { gsub(/ /, "", $2); print $2; exit }' "$BASELINE")
+if [ -z "$base_p50" ] || [ -z "$base_allocs" ]; then
+    echo "FAIL: $BASELINE has no p50_ns/allocs_op" >&2
+    exit 1
+fi
+
+echo "== go test -bench QueryPlanCached -benchtime $BENCHTIME -benchmem ./internal/api"
+raw=$(go test -run '^$' -bench 'BenchmarkQueryPlanCached$' \
+    -benchtime "$BENCHTIME" -benchmem ./internal/api)
+printf '%s\n' "$raw"
+
+line=$(printf '%s\n' "$raw" | awk '/^BenchmarkQueryPlanCached/ { print; exit }')
+p50=$(printf '%s\n' "$line" | awk '{ for (i = 2; i < NF; i++) if ($(i+1) == "p50_ns") { print $i; exit } }')
+allocs=$(printf '%s\n' "$line" | awk '{ for (i = 2; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit } }')
+if [ -z "$p50" ] || [ -z "$allocs" ]; then
+    echo "FAIL: benchmark produced no p50/allocs" >&2
+    exit 1
+fi
+
+awk -v p50="$p50" -v al="$allocs" -v bp50="$base_p50" -v bal="$base_allocs" \
+    -v go_ver="$(go env GOVERSION)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"perf gate: fresh cached-plan p50 vs checked-in baseline\",\n"
+    printf "  \"go\": \"%s\",\n", go_ver
+    printf "  \"fresh_p50_ns\": %.1f,\n", p50
+    printf "  \"fresh_allocs_op\": %d,\n", al
+    printf "  \"baseline_p50_ns\": %.1f,\n", bp50
+    printf "  \"baseline_allocs_op\": %d\n", bal
+    printf "}\n"
+}' >"$PERF_GATE_OUT"
+cat "$PERF_GATE_OUT"
+
+fail=0
+if awk -v p="$p50" -v b="$base_p50" -v t="$TOLERANCE_X" 'BEGIN { exit !(p > b * t) }'; then
+    echo "FAIL: fresh p50 ${p50}ns exceeds ${TOLERANCE_X}x the checked-in baseline ${base_p50}ns" >&2
+    fail=1
+fi
+if awk -v a="$allocs" -v b="$base_allocs" 'BEGIN { exit !(a > b) }'; then
+    echo "FAIL: fresh allocs/op $allocs exceeds the checked-in baseline $base_allocs" >&2
+    fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "PASS: p50 ${p50}ns <= ${TOLERANCE_X}x baseline ${base_p50}ns, allocs/op $allocs <= $base_allocs"
