@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check vet build test race bench bench-json perf-gate ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke dml-smoke
+.PHONY: check fmt-check vet build test race bench bench-json perf-gate ingest-demo api-smoke persist-smoke shard-smoke replica-smoke wal-smoke dml-smoke obs-smoke
 
 check: fmt-check vet build race
 
@@ -68,6 +68,15 @@ wal-smoke:
 # re-seed.
 dml-smoke:
 	sh scripts/dml_smoke.sh
+
+# End-to-end smoke of the observability layer: router + two WAL-backed
+# shards under -replicas 2, drive routed queries and acked appends,
+# scrape GET /v1/metrics on all three processes asserting the query,
+# WAL, replication and router-proxy series moved, and verify a
+# client-supplied Pi-Trace-Id round-trips router -> shard into the
+# request logs and both /v1/debug/slow rings.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Benchmark router-proxy overhead vs direct serve (BENCH_shard.json),
 # the replication layer's ack coupling + fan-out read

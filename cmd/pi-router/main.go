@@ -64,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -80,6 +81,10 @@ func main() {
 	readFanout := flag.Bool("read-fanout", false, "spread read-only operations across in-sync replicas")
 	failover := flag.Bool("failover", false, "auto-promote the best follower when an owner shard dies")
 	pprofAddr := flag.String("pprof-addr", "", "private listen address for net/http/pprof, e.g. localhost:6061 (empty = disabled; keep it off public interfaces)")
+	logFormat := flag.String("log-format", server.LogText, "request-log line shape: text or json (one JSON object per line)")
+	slowThresh := flag.Duration("slow-threshold", 250*time.Millisecond, "routed queries at or above this duration are recorded in GET /v1/debug/slow")
+	slowSample := flag.Int("slow-sample", 0, "also record every Nth routed query regardless of duration (0 = threshold only)")
+	slowCap := flag.Int("slow-ring", 256, "slow-query ring capacity (newest entries win)")
 	flag.Parse()
 
 	tok, err := server.ResolveToken(*token, *tokenFile)
@@ -152,9 +157,22 @@ func main() {
 		}()
 	}
 
+	// Observability: process gauges, the Prometheus exposition at
+	// GET /v1/metrics, and the router-side slow-query ring.
+	obs.Default.RegisterProcess()
+	ring := obs.NewSlowRing(*slowCap, *slowThresh, *slowSample)
+	rt.SetSlowRing(ring)
+	reqLog := log.Default()
+	if *logFormat == server.LogJSON {
+		// JSON lines must not carry the default date/time prefix.
+		reqLog = log.New(os.Stderr, "", 0)
+	}
 	auth := server.AuthConfig{Token: tok}
 	opts := []server.Option{
-		server.WithLogger(log.Default()),
+		server.WithLogger(reqLog),
+		server.WithLogFormat(*logFormat),
+		server.WithMetrics(obs.Default),
+		server.WithSlowRing(ring),
 		server.WithAdmin("/v1/router/", rt.AdminHandler(auth)),
 	}
 	if tok != "" {

@@ -89,6 +89,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -118,6 +119,10 @@ func main() {
 	tokenFile := flag.String("token-file", "", "file holding the bearer token (overrides -token)")
 	shardAddr := flag.String("shard-addr", "", "advertised base URL for shard mode, e.g. http://10.0.0.5:8081 (enables the /v1/shard admin surface; needs -ingest)")
 	pprofAddr := flag.String("pprof-addr", "", "private listen address for net/http/pprof, e.g. localhost:6060 (empty = disabled; keep it off public interfaces)")
+	logFormat := flag.String("log-format", server.LogText, "request-log line shape: text or json (one JSON object per line)")
+	slowThresh := flag.Duration("slow-threshold", 250*time.Millisecond, "queries at or above this duration are recorded in GET /v1/debug/slow")
+	slowSample := flag.Int("slow-sample", 0, "also record every Nth query regardless of duration (0 = threshold only)")
+	slowCap := flag.Int("slow-ring", 256, "slow-query ring capacity (newest entries win)")
 	check := flag.Bool("check", false, "probe a running pi-serve at -addr via the Go SDK and exit")
 	flag.Parse()
 
@@ -272,7 +277,22 @@ func main() {
 		fatal(fmt.Errorf("-tail needs -ingest"))
 	}
 
-	opts := []server.Option{server.WithLogger(log.Default())}
+	// Observability: process gauges, the Prometheus exposition at
+	// GET /v1/metrics, and the slow-query ring at GET /v1/debug/slow.
+	obs.Default.RegisterProcess()
+	ring := obs.NewSlowRing(*slowCap, *slowThresh, *slowSample)
+	svc.SetSlowRing(ring)
+	reqLog := log.Default()
+	if *logFormat == server.LogJSON {
+		// JSON lines must not carry the default date/time prefix.
+		reqLog = log.New(os.Stderr, "", 0)
+	}
+	opts := []server.Option{
+		server.WithLogger(reqLog),
+		server.WithLogFormat(*logFormat),
+		server.WithMetrics(obs.Default),
+		server.WithSlowRing(ring),
+	}
 	auth := server.AuthConfig{Token: tok}
 	if tok != "" {
 		opts = append(opts, server.WithAuth(auth))

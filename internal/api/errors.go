@@ -19,6 +19,24 @@ type Error struct {
 	// hosts the interface, so clients (and the router) can re-issue the
 	// request there instead of treating the move as a failure.
 	Addr string `json:"addr,omitempty"`
+	// TraceID is stamped onto the envelope by the HTTP transport so a
+	// failed request can be matched against request logs and the
+	// slow-query ring across hops. It is presentation-only: error
+	// identity (Code, Message) never depends on it.
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// WithTrace returns the error with the trace id stamped on. Service
+// errors are sometimes shared values (sentinels, pooled paths), so the
+// receiver is cloned rather than mutated; a nil receiver or empty id
+// passes through unchanged.
+func (e *Error) WithTrace(id string) *Error {
+	if e == nil || id == "" || e.TraceID == id {
+		return e
+	}
+	c := *e
+	c.TraceID = id
+	return &c
 }
 
 // The v1 error codes. These are part of the versioned contract: codes

@@ -1,0 +1,84 @@
+//go:build !race
+
+package api
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestMetricsOverhead pins the issue's overhead budget as an
+// executable check: the cached-plan query path with instrumentation
+// live must stay within 1.1x of the same path with metrics disabled.
+// The budget holds because the hot path pays only one atomic tick 7 of
+// 8 times (the 1:8 sampler) and every per-interface counter is a lazy
+// scrape-time closure.
+//
+// Measured as min-of-rounds on both sides (the minimum is the stable
+// statistic on a shared machine; means drift with scheduler noise),
+// with a few attempts before failing. OBS_OVERHEAD_X overrides the
+// bound; excluded under -race, whose instrumentation distorts both
+// sides unevenly.
+func TestMetricsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	limit := 1.1
+	if s := os.Getenv("OBS_OVERHEAD_X"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad OBS_OVERHEAD_X %q: %v", s, err)
+		}
+		limit = v
+	}
+
+	svcOn, reqOn := newBenchService(t, true)
+	svcOff, reqOff := newBenchService(t, false)
+
+	const perRound = 5000
+	const rounds = 6
+	measure := func(svc *Service, req QueryRequest) time.Duration {
+		var resp QueryResponse
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i := 0; i < perRound; i++ {
+				if err := svc.QueryInto("olap", req, &resp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm both paths out of any cold-start effects before timing.
+	measure(svcOn, reqOn)
+	measure(svcOff, reqOff)
+
+	const attempts = 5
+	var lines []string
+	for a := 0; a < attempts; a++ {
+		// Interleave so frequency scaling hits both sides alike.
+		off := measure(svcOff, reqOff)
+		on := measure(svcOn, reqOn)
+		ratio := float64(on) / float64(off)
+		lines = append(lines, fmt.Sprintf("attempt %d: off %v, on %v per %d queries, ratio %.3fx",
+			a, off, on, perRound, ratio))
+		if ratio <= limit {
+			for _, l := range lines {
+				t.Log(l)
+			}
+			return
+		}
+	}
+	for _, l := range lines {
+		t.Log(l)
+	}
+	t.Fatalf("instrumented cached-plan path exceeded %.2fx of the metrics-off baseline on every attempt", limit)
+}

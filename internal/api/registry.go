@@ -54,6 +54,16 @@ type Hosted struct {
 	cacheSize int
 	queries   atomic.Uint64 // total POST /query requests served
 
+	// mx holds the interface's preallocated metric handles (nil when
+	// the registry was built with metrics disabled). statsMu guards the
+	// cache hit/miss totals carried over from retired epochs, so the
+	// cumulative counters /v1/metrics and /v1/debug expose survive hot
+	// swaps even though each epoch starts with fresh caches.
+	mx        *hostedMetrics
+	statsMu   sync.Mutex
+	cacheBase CacheStats
+	planBase  CacheStats
+
 	swapMu sync.Mutex // serializes Swap; readers never take it
 	state  atomic.Pointer[epochState]
 }
@@ -102,6 +112,27 @@ func (h *Hosted) Epoch() uint64 { return h.load().epoch }
 // Queries returns the number of query requests this interface served.
 func (h *Hosted) Queries() uint64 { return h.queries.Load() }
 
+// CacheTotals returns the cumulative result- and plan-cache hit/miss
+// counters across every epoch this interface has served (each Swap
+// retires the per-epoch caches but folds their counters into the
+// base). Size/Capacity reflect the current epoch. Both /v1/debug and
+// the pi_query_*_cache_total metric series read through here, so the
+// two surfaces cannot drift.
+func (h *Hosted) CacheTotals() (res, plans CacheStats) {
+	h.statsMu.Lock()
+	res, plans = h.cacheBase, h.planBase
+	h.statsMu.Unlock()
+	st := h.load()
+	cs, ps := st.cache.Stats(), st.plans.Stats()
+	res.Hits += cs.Hits
+	res.Misses += cs.Misses
+	res.Size, res.Capacity = cs.Size, cs.Capacity
+	plans.Hits += ps.Hits
+	plans.Misses += ps.Misses
+	plans.Size, plans.Capacity = ps.Size, ps.Capacity
+	return res, plans
+}
+
 // Swap replaces the served interface under a bumped epoch: widget
 // domains widen (or change arbitrarily), the result and plan caches
 // start empty, and the compiled page is recompiled on next request — a
@@ -122,6 +153,16 @@ func (h *Hosted) Swap(iface *core.Interface, db engine.Catalog) (uint64, error) 
 		db = cur.db
 	}
 	next := h.newEpoch(cur.epoch+1, iface, db)
+	// Fold the retiring epoch's cache counters into the cumulative
+	// base before the swap; late hits recorded against the old caches
+	// after this point are the one tolerated undercount.
+	cs, ps := cur.cache.Stats(), cur.plans.Stats()
+	h.statsMu.Lock()
+	h.cacheBase.Hits += cs.Hits
+	h.cacheBase.Misses += cs.Misses
+	h.planBase.Hits += ps.Hits
+	h.planBase.Misses += ps.Misses
+	h.statsMu.Unlock()
 	h.state.Store(next)
 	return next.epoch, nil
 }
@@ -133,6 +174,7 @@ type Registry struct {
 	mu        sync.RWMutex
 	ifaces    map[string]*Hosted
 	cacheSize int
+	noMetrics bool
 }
 
 // DefaultCacheSize is the per-interface result LRU capacity used when
@@ -178,8 +220,21 @@ func (r *Registry) AddAt(id, title string, iface *core.Interface, db engine.Cata
 		epoch = 1
 	}
 	h := newHosted(id, title, iface, db, r.cacheSize, epoch)
+	if !r.noMetrics {
+		h.mx = newHostedMetrics(h)
+	}
 	r.ifaces[id] = h
 	return h, nil
+}
+
+// DisableMetrics stops interfaces hosted after this call from
+// registering with the process metric registry. It exists for the
+// instrumentation-overhead benchmark (a clean "metrics off" baseline),
+// not for production use.
+func (r *Registry) DisableMetrics() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noMetrics = true
 }
 
 // Swap replaces the interface hosted under id (see Hosted.Swap) and

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/engine"
 	"repro/internal/htmlgen"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 )
 
@@ -72,6 +74,7 @@ type Service struct {
 	per   Persister
 	opts  ServiceOptions
 	start time.Time
+	slow  *obs.SlowRing
 }
 
 // NewService builds a service over the registry. Interfaces may still
@@ -103,6 +106,14 @@ func NewPersistentService(reg *Registry, p Persister, opts ...ServiceOptions) (*
 // SetIngestor wires live log ingestion into IngestLog. Call before
 // serving begins.
 func (s *Service) SetIngestor(ing Ingestor) { s.ing = ing }
+
+// SetSlowRing wires a slow-query ring into the query path: queries
+// over the ring's threshold (or hit by its sampler) are recorded with
+// a per-stage timing breakdown. Call before serving begins. A nil (or
+// absent) ring keeps the query path on its cheapest configuration —
+// per-stage clocks are only read while a ring is armed or the 1:8
+// latency sampler fires.
+func (s *Service) SetSlowRing(r *obs.SlowRing) { s.slow = r }
 
 // SetPersister wires durable snapshots into Snapshot without the
 // restore-on-construct step (tests, or a first boot into an empty
@@ -235,10 +246,74 @@ func (s *Service) Query(id string, req QueryRequest) (*QueryResponse, error) {
 // transports can pool responses and a warm dashboard's per-interaction
 // cost is pure lookup. resp is fully overwritten.
 func (s *Service) QueryInto(id string, req QueryRequest, resp *QueryResponse) error {
+	return s.QueryIntoCtx(context.Background(), id, req, resp)
+}
+
+// QueryIntoCtx is QueryInto carrying a request context, which exists
+// solely so the trace id minted (or accepted) at the HTTP edge reaches
+// the slow-query ring — the Servicer seam itself stays context-free.
+// It is also the instrumented wrapper around the query proper: latency
+// lands in the per-interface histogram (sampled 1:8 when the slow ring
+// is not armed, so the untimed path pays one atomic tick and no clock
+// reads), and slow or sampled queries are recorded with their
+// bind/exec/serialize breakdown. The stage scratch is pooled: the warm
+// path stays at zero heap allocations with instrumentation live.
+func (s *Service) QueryIntoCtx(ctx context.Context, id string, req QueryRequest, resp *QueryResponse) error {
 	h, apiErr := s.hosted(id)
 	if apiErr != nil {
 		return apiErr
 	}
+	mx, ring := h.mx, s.slow
+	var qs *queryStages
+	if ring.Armed() || (mx != nil && mx.sample()) {
+		qs = stagesPool.Get().(*queryStages)
+		*qs = queryStages{t0: time.Now()}
+	}
+	err := s.queryInto(h, req, resp, qs)
+	if qs == nil {
+		if err != nil && mx != nil {
+			mx.errs.Inc()
+		}
+		return err
+	}
+	total := time.Since(qs.t0)
+	if mx != nil {
+		if err != nil {
+			mx.errs.Inc()
+		} else {
+			mx.dur[b2i(qs.planHit)][b2i(qs.columnar)].Observe(total)
+		}
+	}
+	if ring.Should(total) {
+		e := obs.SlowEntry{
+			TraceID:     obs.TraceID(ctx),
+			Interface:   h.ID,
+			Source:      "serve",
+			SQL:         qs.sql,
+			Epoch:       qs.epoch,
+			Time:        time.Now(),
+			TotalMS:     ms(total),
+			BindMS:      stageMS(qs.t0, qs.tBind),
+			ExecMS:      stageMS(qs.tBind, qs.tExec),
+			SerializeMS: stageMS(qs.tExec, qs.t0.Add(total)),
+		}
+		if err != nil {
+			e.Error = err.Error()
+		} else {
+			e.Plan = hitMiss(qs.planHit)
+			e.Cache = hitMiss(qs.cacheHit)
+		}
+		ring.Record(e)
+	}
+	stagesPool.Put(qs)
+	return err
+}
+
+// queryInto is the query proper: plan resolution, cursor validation,
+// result-cache probe / execution, page slicing. qs, when non-nil,
+// receives stage clock marks and outcome flags for the caller's
+// metrics and slow-ring entry.
+func (s *Service) queryInto(h *Hosted, req QueryRequest, resp *QueryResponse, qs *queryStages) error {
 	st := h.load()
 
 	limit, apiErr := s.pageLimit(req.Limit)
@@ -268,6 +343,13 @@ func (s *Service) QueryInto(id string, req QueryRequest, resp *QueryResponse) er
 		st.plans.Put(string(sc.buf), plan)
 	}
 	planKeyPool.Put(sc)
+	if qs != nil {
+		qs.tBind = time.Now()
+		qs.planHit = planHit
+		qs.columnar = plan.Col != nil
+		qs.sql = plan.SQL
+		qs.epoch = st.epoch
+	}
 
 	// The cursor can only be validated once the plan is known: it is
 	// bound to the exact query that produced the first page, not just
@@ -291,6 +373,10 @@ func (s *Service) QueryInto(id string, req QueryRequest, resp *QueryResponse) er
 		cr = st.cache.Put(plan.Hash, plan.SQL, res)
 	}
 	h.queries.Add(1)
+	if qs != nil {
+		qs.tExec = time.Now()
+		qs.cacheHit = hit
+	}
 
 	total := len(cr.Res.Rows)
 	if offset > total {
@@ -609,17 +695,26 @@ func (s *Service) Health() *Health {
 	return health
 }
 
-// Debug returns the cache and traffic counters per interface.
+// Debug returns the cache and traffic counters per interface: the
+// current epoch's point-in-time cache stats plus the cumulative
+// hit/miss totals across every epoch served. The totals come from
+// Hosted.CacheTotals — the same function the pi_query_*_cache_total
+// metric series read — so /v1/debug and /v1/metrics cannot disagree.
 func (s *Service) Debug() *DebugInfo {
 	info := &DebugInfo{Interfaces: []DebugInterface{}}
 	for _, h := range s.reg.List() {
 		st := h.load()
+		res, plans := h.CacheTotals()
 		info.Interfaces = append(info.Interfaces, DebugInterface{
-			ID:      h.ID,
-			Epoch:   st.epoch,
-			Queries: h.Queries(),
-			Cache:   st.cache.Stats(),
-			Plans:   st.plans.Stats(),
+			ID:           h.ID,
+			Epoch:        st.epoch,
+			Queries:      h.Queries(),
+			Cache:        st.cache.Stats(),
+			Plans:        st.plans.Stats(),
+			CacheTotals:  res,
+			PlanTotals:   plans,
+			CacheHitRate: hitRate(res),
+			PlanHitRate:  hitRate(plans),
 		})
 	}
 	return info

@@ -1,6 +1,10 @@
 package api
 
-import "repro/internal/qlog"
+import (
+	"context"
+
+	"repro/internal/qlog"
+)
 
 // Servicer is the extracted operation surface of the service layer —
 // the seam every transport is written against. *Service implements it
@@ -52,3 +56,16 @@ type Servicer interface {
 }
 
 var _ Servicer = (*Service)(nil)
+
+// CtxQuerier is the optional context-carrying query seam. The Servicer
+// surface is deliberately context-free, but the query path is where
+// cross-hop tracing matters: a transport that has a request context
+// (carrying the obs trace id) type-asserts for this interface and
+// prefers it, so the trace id minted at the edge reaches slow-query
+// rings and proxied hops. Implementations must behave exactly like
+// QueryInto otherwise.
+type CtxQuerier interface {
+	QueryIntoCtx(ctx context.Context, id string, req QueryRequest, resp *QueryResponse) error
+}
+
+var _ CtxQuerier = (*Service)(nil)

@@ -384,6 +384,14 @@ type DebugInterface struct {
 	ID      string     `json:"id"`
 	Epoch   uint64     `json:"epoch"`
 	Queries uint64     `json:"queries"`
-	Cache   CacheStats `json:"cache"`
-	Plans   CacheStats `json:"plans"`
+	Cache   CacheStats `json:"cache"` // current epoch only
+	Plans   CacheStats `json:"plans"` // current epoch only
+	// Cumulative across every epoch served (epoch swaps reset the live
+	// caches but fold their counters forward). Sourced from the same
+	// atomics as the pi_query_result_cache_total /
+	// pi_query_plan_cache_total metric series.
+	CacheTotals  CacheStats `json:"cacheTotals"`
+	PlanTotals   CacheStats `json:"planTotals"`
+	CacheHitRate float64    `json:"cacheHitRate"`
+	PlanHitRate  float64    `json:"planHitRate"`
 }

@@ -165,9 +165,11 @@ func (ing *Ingester) host(id, title string, m *core.Miner, st *store.Store, epoc
 	if err != nil {
 		return nil, err
 	}
+	f := &feed{hosted: h, miner: m, store: st, rowBuf: map[string][][]engine.Value{}, seq: seq}
 	ing.mu.Lock()
-	ing.feeds[id] = &feed{hosted: h, miner: m, store: st, rowBuf: map[string][][]engine.Value{}, seq: seq}
+	ing.feeds[id] = f
 	ing.mu.Unlock()
+	registerFeedMetrics(id, f)
 	return h, nil
 }
 

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one recorded query in the slow-query ring: the trace
+// id that crossed the fleet, where the time went stage by stage, and
+// what the caches did. Stage fields are milliseconds; a router entry
+// reports proxyMs (time inside the downstream shard call) instead of
+// the serve-side stages.
+type SlowEntry struct {
+	TraceID   string    `json:"traceId,omitempty"`
+	Interface string    `json:"interface"`
+	Source    string    `json:"source"` // "serve" or "router"
+	SQL       string    `json:"sql,omitempty"`
+	Epoch     uint64    `json:"epoch,omitempty"`
+	Time      time.Time `json:"time"`
+
+	TotalMS     float64 `json:"totalMs"`
+	BindMS      float64 `json:"bindMs,omitempty"`
+	ExecMS      float64 `json:"execMs,omitempty"`
+	SerializeMS float64 `json:"serializeMs,omitempty"`
+	ProxyMS     float64 `json:"proxyMs,omitempty"`
+
+	Plan  string `json:"plan,omitempty"`  // plan cache: "hit" | "miss"
+	Cache string `json:"cache,omitempty"` // result cache: "hit" | "miss"
+	Error string `json:"error,omitempty"`
+}
+
+// SlowRing is a bounded in-memory ring of slow (or sampled) queries.
+// The decision path (Armed/Should) is atomics only; the mutex is taken
+// only when an entry is actually recorded or the ring is read.
+type SlowRing struct {
+	threshold atomic.Int64  // ns; 0 disables threshold capture
+	sample    atomic.Int64  // record every Nth query; 0 disables
+	tick      atomic.Uint64 // sampling counter
+	recorded  atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []SlowEntry
+	next int
+	full bool
+}
+
+// NewSlowRing returns a ring of the given capacity. threshold <= 0
+// disables threshold capture; sampleEvery N > 0 additionally records
+// every Nth query regardless of duration (N=1: record everything).
+func NewSlowRing(capacity int, threshold time.Duration, sampleEvery int) *SlowRing {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	r := &SlowRing{buf: make([]SlowEntry, capacity)}
+	r.threshold.Store(int64(threshold))
+	r.sample.Store(int64(sampleEvery))
+	return r
+}
+
+// Armed reports whether any capture mode is on. Callers use it to skip
+// per-stage clock reads entirely when nothing would record them.
+func (r *SlowRing) Armed() bool {
+	return r != nil && (r.threshold.Load() > 0 || r.sample.Load() > 0)
+}
+
+// Should reports whether a query of duration d should be recorded.
+func (r *SlowRing) Should(d time.Duration) bool {
+	if r == nil {
+		return false
+	}
+	if th := r.threshold.Load(); th > 0 && int64(d) >= th {
+		return true
+	}
+	if s := r.sample.Load(); s > 0 && r.tick.Add(1)%uint64(s) == 0 {
+		return true
+	}
+	return false
+}
+
+// Record stores an entry, evicting the oldest when full.
+func (r *SlowRing) Record(e SlowEntry) {
+	if r == nil {
+		return
+	}
+	r.recorded.Add(1)
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// SlowReport is the /v1/debug/slow payload.
+type SlowReport struct {
+	ThresholdMS float64     `json:"thresholdMs"`
+	SampleEvery int64       `json:"sampleEvery"`
+	Capacity    int         `json:"capacity"`
+	Recorded    uint64      `json:"recorded"`
+	Entries     []SlowEntry `json:"entries"`
+}
+
+// Report snapshots the ring, newest entry first.
+func (r *SlowRing) Report() SlowReport {
+	if r == nil {
+		return SlowReport{}
+	}
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	entries := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recent write.
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		entries = append(entries, r.buf[idx])
+	}
+	r.mu.Unlock()
+	return SlowReport{
+		ThresholdMS: float64(r.threshold.Load()) / 1e6,
+		SampleEvery: r.sample.Load(),
+		Capacity:    len(r.buf),
+		Recorded:    r.recorded.Load(),
+		Entries:     entries,
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader carries the query trace id across hops: generated at the
+// edge (or accepted from the client when well-formed), echoed on every
+// response, forwarded by pi/client on proxied and replicated hops, and
+// attached to request-log lines, error envelopes, and slow-query ring
+// entries.
+const TraceHeader = "Pi-Trace-Id"
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace id.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace id carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// NewTraceID returns a fresh 32-hex-char id.
+func NewTraceID() string {
+	var b [16]byte
+	rand.Read(b[:]) // never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a client-supplied id is safe to adopt:
+// 1-64 chars of [A-Za-z0-9_-]. Anything else is replaced at the edge
+// so log lines and label values stay unambiguous.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context should carry no trace id")
+	}
+	ctx = WithTrace(ctx, "abc-123_XYZ")
+	if got := TraceID(ctx); got != "abc-123_XYZ" {
+		t.Fatalf("TraceID = %q", got)
+	}
+	// Empty id is a no-op, preserving any outer id.
+	if got := TraceID(WithTrace(ctx, "")); got != "abc-123_XYZ" {
+		t.Fatalf("WithTrace(\"\") clobbered the id: %q", got)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatal("two generated ids collided")
+	}
+	if len(a) != 32 || !ValidTraceID(a) {
+		t.Fatalf("generated id %q is not a valid 32-char id", a)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	valid := []string{"a", "abc123", "A-b_9", string(long[:64])}
+	invalid := []string{"", "has space", "semi;colon", "new\nline", `quo"te`, string(long), "héllo"}
+	for _, s := range valid {
+		if !ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = false, want true", s)
+		}
+	}
+	for _, s := range invalid {
+		if ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestSlowRingThresholdAndSampling(t *testing.T) {
+	r := NewSlowRing(4, 10*time.Millisecond, 0)
+	if r.Should(time.Millisecond) {
+		t.Fatal("1ms recorded against a 10ms threshold")
+	}
+	if !r.Should(10 * time.Millisecond) {
+		t.Fatal("threshold is inclusive")
+	}
+	// Sampling records every Nth regardless of duration.
+	s := NewSlowRing(4, 0, 3)
+	hits := 0
+	for i := 0; i < 9; i++ {
+		if s.Should(time.Nanosecond) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("sampleEvery=3 recorded %d of 9", hits)
+	}
+	// Nil ring: everything is off.
+	var nilRing *SlowRing
+	if nilRing.Armed() || nilRing.Should(time.Hour) {
+		t.Fatal("nil ring should be inert")
+	}
+	nilRing.Record(SlowEntry{})
+	if rep := nilRing.Report(); rep.Capacity != 0 || len(rep.Entries) != 0 {
+		t.Fatal("nil ring report should be empty")
+	}
+}
+
+func TestSlowRingEvictionAndOrder(t *testing.T) {
+	r := NewSlowRing(3, time.Nanosecond, 0)
+	for i := 1; i <= 5; i++ {
+		r.Record(SlowEntry{TotalMS: float64(i)})
+	}
+	rep := r.Report()
+	if rep.Recorded != 5 || rep.Capacity != 3 {
+		t.Fatalf("recorded=%d capacity=%d", rep.Recorded, rep.Capacity)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(rep.Entries))
+	}
+	// Newest first: 5, 4, 3 — 1 and 2 evicted.
+	for i, want := range []float64{5, 4, 3} {
+		if rep.Entries[i].TotalMS != want {
+			t.Fatalf("entry %d = %v, want %v", i, rep.Entries[i].TotalMS, want)
+		}
+	}
+}

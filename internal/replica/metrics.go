@@ -1,0 +1,57 @@
+package replica
+
+import (
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// Replication metric families. Everything here is lazy: the closures
+// registered per interface read the live ifaceState under its mutex
+// at scrape time, so the publish/apply hot paths carry no metric
+// bookkeeping of their own and the exposed numbers cannot drift from
+// the counters the replica smoke test already pins.
+var (
+	mxSeeds = obs.Default.CounterVec("pi_replica_seeds_total",
+		"Full snapshot seeds shipped from this owner, per interface.", "iface")
+	mxCatchups = obs.Default.CounterVec("pi_replica_catchups_total",
+		"Followers re-synced from the WAL instead of a full seed, per interface.", "iface")
+	mxSeq = obs.Default.GaugeVec("pi_replica_seq",
+		"Replication position: last published seq on an owner, last applied seq on a follower.", "iface")
+	mxLag = obs.Default.GaugeVec("pi_replica_lag",
+		"Owner-side max follower lag in publications (0 on followers and unreplicated owners).", "iface")
+)
+
+// registerMetrics hooks one interface's state into the registry. Safe
+// to call again after Forget/re-host: re-registering a Func replaces
+// the closure, so the newest state wins.
+func registerMetrics(id string, s *ifaceState) {
+	mxSeeds.Func(func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.fullSeeds
+	}, id)
+	mxCatchups.Func(func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.catchUps
+	}, id)
+	mxSeq.Func(func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.role == api.RoleFollower {
+			return float64(s.seq)
+		}
+		return float64(s.pubSeq)
+	}, id)
+	mxLag.Func(func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var max uint64
+		for _, fo := range s.followers {
+			if fo.mode == fSynced && s.pubSeq > fo.seq && s.pubSeq-fo.seq > max {
+				max = s.pubSeq - fo.seq
+			}
+		}
+		return float64(max)
+	}, id)
+}

@@ -128,6 +128,7 @@ type ifaceState struct {
 	owner     string // follower: the owner's base URL
 	stale     bool   // follower: gap detected, awaiting re-seed
 	seq       uint64 // follower: last applied sequence number
+	pubSeq    uint64 // owner: last sequence number published to followers
 	followers map[string]*follower
 
 	// fullSeeds counts complete snapshot seeds shipped from this owner;
@@ -191,6 +192,7 @@ func (m *Manager) ensure(id string) *ifaceState {
 	if !ok {
 		s = &ifaceState{role: api.RoleOwner, followers: map[string]*follower{}}
 		m.states[id] = s
+		registerMetrics(id, s)
 	}
 	return s
 }
@@ -275,6 +277,7 @@ func (m *Manager) publish(id string, p ingest.Publication) error {
 		s.mu.Unlock()
 		return api.ErrNotOwner(id, owner)
 	}
+	s.pubSeq = p.Seq
 	ev := Event{ID: id, Term: s.term, Owner: m.cfg.Self, Pub: p}
 	var fenced *api.Error
 	for _, fo := range s.followers {

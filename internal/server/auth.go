@@ -96,7 +96,7 @@ func bearerToken(r *http.Request) (string, bool) {
 func (s *Server) protected(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if apiErr := s.auth.Check(r.PathValue("id"), r); apiErr != nil {
-			writeError(w, apiErr)
+			writeError(w, r, apiErr)
 			return
 		}
 		next(w, r)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"compress/gzip"
+	"encoding/json"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 )
 
 // Middleware wraps an http.Handler with one cross-cutting concern.
@@ -19,9 +21,9 @@ type Middleware func(http.Handler) http.Handler
 // Chain applies the middlewares so the first listed becomes the
 // innermost layer and the last listed the outermost:
 //
-//	Chain(h, Gzip, RequestLog(l), Recover(l))
+//	Chain(h, Gzip, RequestLog(l, "text"), Trace, Recover(l))
 //
-// serves requests through Recover → RequestLog → Gzip → h.
+// serves requests through Recover → Trace → RequestLog → Gzip → h.
 func Chain(h http.Handler, mws ...Middleware) http.Handler {
 	for _, mw := range mws {
 		if mw != nil {
@@ -49,7 +51,7 @@ func Recover(logger *log.Logger) Middleware {
 				if logger != nil {
 					logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 				}
-				writeError(w, api.Errf(api.CodeInternal, http.StatusInternalServerError,
+				writeError(w, r, api.Errf(api.CodeInternal, http.StatusInternalServerError,
 					"internal server error"))
 			}()
 			next.ServeHTTP(w, r)
@@ -57,18 +59,132 @@ func Recover(logger *log.Logger) Middleware {
 	}
 }
 
-// RequestLog logs one line per request: method, path, status, duration.
-// A nil logger disables the layer entirely (Chain skips nil).
-func RequestLog(logger *log.Logger) Middleware {
+// LogFormat selects the request-log line shape.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// accessLine is the JSON request-log record. Field order mirrors the
+// text format: what happened, how it went, who it was.
+type accessLine struct {
+	Method  string  `json:"method"`
+	Path    string  `json:"path"`
+	Route   string  `json:"route,omitempty"`
+	Status  int     `json:"status"`
+	DurMS   float64 `json:"durMs"`
+	TraceID string  `json:"traceId,omitempty"`
+	Iface   string  `json:"iface,omitempty"`
+}
+
+// RequestLog logs one structured line per request: method, path,
+// status, duration, trace id and interface id — as plain text (the
+// default) or as one JSON object per line. It must sit inside the
+// Trace layer (Trace outermost) so the context already carries the
+// trace id. A nil logger disables the layer entirely (Chain skips
+// nil); an unknown format falls back to text.
+func RequestLog(logger *log.Logger, format string) Middleware {
 	if logger == nil {
 		return nil
+	}
+	asJSON := format == LogJSON
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			// Pattern and path values are populated by the mux during
+			// ServeHTTP on this same request, so they are readable here.
+			trace := obs.TraceID(r.Context())
+			iface := r.PathValue("id")
+			if asJSON {
+				b, err := json.Marshal(accessLine{
+					Method:  r.Method,
+					Path:    r.URL.Path,
+					Route:   r.Pattern,
+					Status:  sw.Status(),
+					DurMS:   float64(time.Since(start)) / 1e6,
+					TraceID: trace,
+					Iface:   iface,
+				})
+				if err == nil {
+					logger.Printf("%s", b)
+				}
+				return
+			}
+			line := r.Method + " " + r.URL.Path + " "
+			logger.Printf("%s%d %s trace=%s iface=%s",
+				line, sw.Status(), time.Since(start).Round(time.Microsecond), trace, iface)
+		})
+	}
+}
+
+// Trace ensures every request carries a trace id: a well-formed
+// client-supplied Pi-Trace-Id is adopted (that is how an id minted at
+// the router edge follows the request onto a shard), anything else is
+// replaced with a fresh one. The id is echoed on the response header
+// and stored in the request context for the request log, error
+// envelopes and the slow-query ring.
+func Trace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), id)))
+	})
+}
+
+// routeMetrics is one route's resolved handle set: a latency histogram
+// and a counter per status class. Handles resolve once per route (the
+// route set is small and fixed), so steady state is one lock-free
+// sync.Map load per request.
+type routeMetrics struct {
+	dur     *obs.Histogram
+	byClass [6]*obs.Counter // index status/100; [0] collects the weird
+}
+
+// Metrics records HTTP request counts, durations and status classes
+// per route into the registry (families pi_http_requests_total and
+// pi_http_request_duration_seconds, route label = mux pattern). A nil
+// registry disables the layer.
+func Metrics(reg *obs.Registry) Middleware {
+	if reg == nil {
+		return nil
+	}
+	durVec := reg.HistogramVec("pi_http_request_duration_seconds",
+		"HTTP request latency by route (route = mux pattern).",
+		obs.LatencyBuckets, "route")
+	cntVec := reg.CounterVec("pi_http_requests_total",
+		"HTTP requests by route and status class.", "route", "class")
+	classes := [6]string{"0xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	var routes sync.Map // pattern -> *routeMetrics
+	resolve := func(route string) *routeMetrics {
+		if rm, ok := routes.Load(route); ok {
+			return rm.(*routeMetrics)
+		}
+		rm := &routeMetrics{dur: durVec.With(route)}
+		for i, c := range classes {
+			rm.byClass[i] = cntVec.With(route, c)
+		}
+		got, _ := routes.LoadOrStore(route, rm)
+		return got.(*routeMetrics)
 	}
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sw := &statusWriter{ResponseWriter: w}
 			start := time.Now()
 			next.ServeHTTP(sw, r)
-			logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.Status(), time.Since(start).Round(time.Microsecond))
+			route := r.Pattern
+			if route == "" {
+				route = "unmatched"
+			}
+			rm := resolve(route)
+			rm.dur.Observe(time.Since(start))
+			if cls := sw.Status() / 100; cls >= 0 && cls < len(rm.byClass) {
+				rm.byClass[cls].Inc()
+			}
 		})
 	}
 }

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// TestMetricsEndpoint drives real traffic through a server with the
+// exposition mounted and asserts the scrape is valid Prometheus text
+// covering the HTTP and query families.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, WithMetrics(obs.Default))
+
+	if _, err := http.Get(ts.URL + "/v1/interfaces"); err != nil {
+		t.Fatal(err)
+	}
+	// Enough queries that the 1:8 sampled latency histogram observes at
+	// least one, and the lazy per-interface counters have traffic.
+	for i := 0; i < 20; i++ {
+		code, _, _ := postQuery(t, ts.URL+"/v1/interfaces/olap/query", api.QueryRequest{Limit: 1})
+		if code != http.StatusOK {
+			t.Fatalf("query %d = %d", i, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentType)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	for _, want := range []string{
+		"# TYPE pi_http_requests_total counter",
+		`pi_http_requests_total{route="GET /v1/interfaces",class="2xx"}`,
+		"# TYPE pi_http_request_duration_seconds histogram",
+		"# TYPE pi_query_duration_seconds histogram",
+		`pi_queries_total{iface="olap"} 20`,
+		`pi_query_result_cache_total{iface="olap",outcome="hit"}`,
+		`pi_interface_epoch{iface="olap"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// The scrape itself must not 500 on a second pass (lazy closures
+	// re-evaluate cleanly).
+	if resp2, err := http.Get(ts.URL + "/v1/metrics"); err != nil || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second scrape: %v %v", err, resp2)
+	} else {
+		resp2.Body.Close()
+	}
+}
+
+// TestTraceIDRoundTripHTTP pins the cross-hop contract: a well-formed
+// client-supplied Pi-Trace-Id is adopted and echoed; garbage is
+// replaced with a fresh server-minted id.
+func TestTraceIDRoundTripHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/interfaces", nil)
+	req.Header.Set(obs.TraceHeader, "client-supplied-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != "client-supplied-trace-42" {
+		t.Fatalf("trace header = %q, want the client's id back", got)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/interfaces", nil)
+	req.Header.Set(obs.TraceHeader, "has spaces -- not valid")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get(obs.TraceHeader)
+	if got == "has spaces -- not valid" || !obs.ValidTraceID(got) {
+		t.Fatalf("invalid client id must be replaced with a valid one, got %q", got)
+	}
+}
+
+// TestErrorEnvelopeCarriesTraceID: a failing request's JSON error body
+// names the trace id, so a user-reported error is greppable in the
+// request log.
+func TestErrorEnvelopeCarriesTraceID(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/interfaces/nope/query",
+		strings.NewReader(`{"widgets":[]}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, "envelope-trace-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || e.Code != api.CodeNotFound {
+		t.Fatalf("= %d %q, want 404 not_found", resp.StatusCode, e.Code)
+	}
+	if e.TraceID != "envelope-trace-7" {
+		t.Fatalf("error envelope traceId = %q, want the request's id", e.TraceID)
+	}
+}
+
+// TestSlowQueryRingEndpoint: with sampling at 1 every query lands in
+// the ring, and the report carries the trace id, interface and stage
+// timings.
+func TestSlowQueryRingEndpoint(t *testing.T) {
+	ring := obs.NewSlowRing(8, 0, 1)
+	// The ring needs wiring on both ends, as the cmds do it: the server
+	// mounts the report endpoint, the service records into it.
+	iface, db := minedOLAP(t)
+	reg := api.NewRegistry()
+	if _, err := reg.Add("olap", "OnTime OLAP dashboard", iface, db); err != nil {
+		t.Fatal(err)
+	}
+	svc := api.NewService(reg)
+	svc.SetSlowRing(ring)
+	ts := httptest.NewServer(New(svc, WithSlowRing(ring)).Handler())
+	t.Cleanup(ts.Close)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/interfaces/olap/query",
+		strings.NewReader(`{"widgets":[],"limit":1}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, "slowring-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d", resp.StatusCode)
+	}
+
+	var report obs.SlowReport
+	if code := getJSON(t, ts.URL+"/v1/debug/slow", &report); code != http.StatusOK {
+		t.Fatalf("GET /v1/debug/slow = %d", code)
+	}
+	if len(report.Entries) == 0 {
+		t.Fatal("slow ring is empty after a sampled query")
+	}
+	var found *obs.SlowEntry
+	for i := range report.Entries {
+		if report.Entries[i].TraceID == "slowring-trace-1" {
+			found = &report.Entries[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no entry with the request's trace id: %+v", report.Entries)
+	}
+	if found.Interface != "olap" || found.Source != "serve" {
+		t.Fatalf("entry = %+v, want iface olap source serve", found)
+	}
+	if found.SQL == "" || found.TotalMS < 0 {
+		t.Fatalf("entry missing SQL/timing: %+v", found)
+	}
+}
+
+// TestJSONRequestLog pins the -log-format json contract: one JSON
+// object per line carrying method, route, status and trace id.
+func TestJSONRequestLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), "", 0)
+	ts, _ := newTestServer(t, WithLogger(logger), WithLogFormat(LogJSON))
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/interfaces/olap/epoch", nil)
+	req.Header.Set(obs.TraceHeader, "jsonlog-trace-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	var rec struct {
+		Method  string  `json:"method"`
+		Path    string  `json:"path"`
+		Route   string  `json:"route"`
+		Status  int     `json:"status"`
+		DurMS   float64 `json:"durMs"`
+		TraceID string  `json:"traceId"`
+		Iface   string  `json:"iface"`
+	}
+	var hit bool
+	for _, line := range lines {
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q (%v)", line, err)
+		}
+		if rec.TraceID == "jsonlog-trace-9" {
+			hit = true
+			if rec.Method != "GET" || rec.Status != http.StatusOK ||
+				rec.Iface != "olap" || !strings.Contains(rec.Route, "/epoch") {
+				t.Fatalf("bad json log record: %+v", rec)
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("no log line carried the trace id: %v", lines)
+	}
+}

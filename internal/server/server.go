@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 )
 
@@ -52,11 +53,14 @@ const (
 // Server is the HTTP front over an api.Servicer — a local *api.Service
 // or a shard router; the transport cannot tell the difference.
 type Server struct {
-	svc    api.Servicer
-	mux    *http.ServeMux
-	auth   AuthConfig
-	logger *log.Logger
-	admin  []adminMount
+	svc       api.Servicer
+	mux       *http.ServeMux
+	auth      AuthConfig
+	logger    *log.Logger
+	logFormat string
+	metrics   *obs.Registry
+	slowRing  *obs.SlowRing
+	admin     []adminMount
 }
 
 // adminMount is an extra handler subtree (shard-admin or router-admin
@@ -73,9 +77,26 @@ type Option func(*Server)
 // (see AuthConfig).
 func WithAuth(a AuthConfig) Option { return func(s *Server) { s.auth = a } }
 
-// WithLogger enables request logging (method, path, status, duration)
-// and directs panic reports to the logger.
+// WithLogger enables request logging (method, path, route, status,
+// duration, trace id, interface id) and directs panic reports to the
+// logger.
 func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithLogFormat selects the request-log line shape: LogText (default)
+// or LogJSON (one JSON object per line; pair it with a logger that has
+// no prefix flags so the lines stay machine-parseable).
+func WithLogFormat(format string) Option { return func(s *Server) { s.logFormat = format } }
+
+// WithMetrics mounts the registry's Prometheus exposition at
+// GET /v1/metrics (and /metrics) and records per-route HTTP request
+// counts, durations and status classes into it.
+func WithMetrics(reg *obs.Registry) Option { return func(s *Server) { s.metrics = reg } }
+
+// WithSlowRing mounts the slow-query ring at GET /v1/debug/slow (and
+// /debug/slow). Recording into the ring is the Servicer's job (see
+// api.Service.SetSlowRing / shard.Router.SetSlowRing); the server only
+// exposes it.
+func WithSlowRing(ring *obs.SlowRing) Option { return func(s *Server) { s.slowRing = ring } }
 
 // WithAdmin mounts an extra handler at the given path prefix (e.g.
 // "/v1/shard/" for a shard node's admin surface, "/v1/router/" for the
@@ -119,6 +140,12 @@ func (s *Server) routes() {
 	handle("POST /snapshot", s.protected(s.handleSnapshot))
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /debug", s.handleDebug)
+	if s.metrics != nil {
+		handle("GET /metrics", s.handleMetrics)
+	}
+	if s.slowRing != nil {
+		handle("GET /debug/slow", s.handleSlow)
+	}
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	for _, m := range s.admin {
 		s.mux.Handle(m.prefix, m.handler)
@@ -126,10 +153,14 @@ func (s *Server) routes() {
 }
 
 // Handler returns the http.Handler serving the API, wrapped in the
-// middleware stack (outermost first): panic recovery, request logging
-// (when a logger is configured), gzip.
+// middleware stack (outermost first): panic recovery, trace-id
+// adoption, request logging (when a logger is configured), HTTP
+// metrics (when a registry is configured), gzip. Trace sits outside
+// the log and metrics layers so both see the request's trace context;
+// metrics sits inside the log layer so the logged duration includes
+// metric recording.
 func (s *Server) Handler() http.Handler {
-	return Chain(s.mux, Gzip, RequestLog(s.logger), Recover(s.logger))
+	return Chain(s.mux, Gzip, Metrics(s.metrics), RequestLog(s.logger, s.logFormat), Trace, Recover(s.logger))
 }
 
 // HTTPServer returns a production-configured http.Server for the API:
@@ -167,7 +198,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	d, err := s.svc.GetInterface(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, d)
@@ -176,7 +207,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	e, err := s.svc.Epoch(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, e)
@@ -185,7 +216,7 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 	page, err := s.svc.Page(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -208,7 +239,19 @@ var respPool = sync.Pool{New: func() any { return new(api.QueryResponse) }}
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req api.QueryRequest
 	if apiErr := decodeJSON(w, r, maxQueryBody, &req); apiErr != nil {
-		writeError(w, apiErr)
+		writeError(w, r, apiErr)
+		return
+	}
+	if cq, ok := s.svc.(api.CtxQuerier); ok {
+		resp := respPool.Get().(*api.QueryResponse)
+		err := cq.QueryIntoCtx(r.Context(), r.PathValue("id"), req, resp)
+		if err == nil {
+			writeJSON(w, http.StatusOK, resp)
+		} else {
+			writeError(w, r, err)
+		}
+		*resp = api.QueryResponse{}
+		respPool.Put(resp)
 		return
 	}
 	if qi, ok := s.svc.(queryIntoServicer); ok {
@@ -217,7 +260,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			writeJSON(w, http.StatusOK, resp)
 		} else {
-			writeError(w, err)
+			writeError(w, r, err)
 		}
 		*resp = api.QueryResponse{}
 		respPool.Put(resp)
@@ -225,7 +268,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.svc.Query(r.PathValue("id"), req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -235,17 +278,17 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	// Cheap checks first: don't parse up to 8 MiB of log body just to
 	// answer 404 or 501.
 	if err := s.svc.IngestReady(r.PathValue("id")); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	entries, apiErr := readLogEntries(w, r)
 	if apiErr != nil {
-		writeError(w, apiErr)
+		writeError(w, r, apiErr)
 		return
 	}
 	ack, err := s.svc.IngestLog(r.PathValue("id"), entries, r.URL.Query().Get("flush") != "")
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, ack)
@@ -257,12 +300,12 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 	var req api.RowsRequest
 	if apiErr := decodeJSON(w, r, maxLogBody, &req); apiErr != nil {
-		writeError(w, apiErr)
+		writeError(w, r, apiErr)
 		return
 	}
 	ack, err := s.svc.AppendRows(r.PathValue("id"), req, r.URL.Query().Get("flush") != "")
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, ack)
@@ -274,12 +317,12 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	var req api.MutateRequest
 	if apiErr := decodeJSON(w, r, maxQueryBody, &req); apiErr != nil {
-		writeError(w, apiErr)
+		writeError(w, r, apiErr)
 		return
 	}
 	ack, err := s.svc.MutateRows(r.PathValue("id"), req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, ack)
@@ -290,7 +333,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	ack, err := s.svc.DeleteInterface(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ack)
@@ -300,7 +343,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	res, err := s.svc.Snapshot()
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -312,6 +355,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Debug())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format. The endpoint is read-only and unauthenticated, like /healthz
+// — scrapers should reach it without credentials.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.metrics.WritePrometheus(w)
+}
+
+// handleSlow serves the slow-query ring, newest entry first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slowRing.Report())
 }
 
 // readLogEntries decodes the /log request body: JSON ({"entries":
@@ -391,9 +447,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError encodes any error as the v1 envelope {"code", "error"}
-// with the status the service layer chose.
-func writeError(w http.ResponseWriter, err error) {
-	e := api.FromErr(err)
+// with the status the service layer chose, stamping the request's
+// trace id onto the envelope (WithTrace clones, so shared error values
+// are never mutated).
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	e := api.FromErr(err).WithTrace(obs.TraceID(r.Context()))
 	if e.Code == api.CodeUnauthorized {
 		w.Header().Set("WWW-Authenticate", `Bearer realm="pi"`)
 	}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"repro/internal/obs"
+)
+
+// Router-side metric families, registered on the process-wide obs
+// registry. The per-shard proxy counters double as the durable load
+// signal the rebalancer has wanted (ROADMAP item 1): scraping
+// pi_router_proxy_total over time gives request-weighted shard load,
+// not just interface counts.
+var (
+	mxProxy = obs.Default.CounterVec("pi_router_proxy_total",
+		"Proxied operations attempted per shard (each moved-follow hop counts).", "shard")
+	mxProxyErrs = obs.Default.CounterVec("pi_router_proxy_errors_total",
+		"Proxied operations that failed at the transport (shard unreachable).", "shard")
+	mxProxyDur = obs.Default.HistogramVec("pi_router_proxy_seconds",
+		"Latency of one proxied hop (router -> shard), per shard.",
+		obs.LatencyBuckets, "shard")
+	mxProbeFails = obs.Default.CounterVec("pi_router_probe_failures_total",
+		"Failed shard contacts that bumped the probe backoff.", "shard")
+	mxShardDown = obs.Default.GaugeVec("pi_router_shard_down",
+		"1 while the shard is in probe backoff after a failed contact, 0 when healthy.", "shard")
+	mxShardIfaces = obs.Default.GaugeVec("pi_router_shard_interfaces",
+		"Interfaces currently placed on the shard (ownership, not replicas).", "shard")
+
+	mxMovedFollows = obs.Default.CounterVec("pi_router_moved_follows_total",
+		"Placement repairs: moved / not-owner errors the router followed to the real owner.").With()
+	mxFanouts = obs.Default.CounterVec("pi_router_fanouts_total",
+		"Fleet-wide operations fanned out to every shard (list, health, debug, snapshot).").With()
+	mxFailovers = obs.Default.CounterVec("pi_router_failovers_total",
+		"Successful follower promotions after a dead owner.").With()
+)
+
+// shardMetrics is one shard's resolved handle set, built once in
+// addShard so the proxy path never does a registry lookup.
+type shardMetrics struct {
+	proxied   *obs.Counter
+	errs      *obs.Counter
+	probeFail *obs.Counter
+	dur       *obs.Histogram
+	down      *obs.Gauge
+}
+
+func newShardMetrics(addr string) *shardMetrics {
+	return &shardMetrics{
+		proxied:   mxProxy.With(addr),
+		errs:      mxProxyErrs.With(addr),
+		probeFail: mxProbeFails.With(addr),
+		dur:       mxProxyDur.With(addr),
+		down:      mxShardDown.With(addr),
+	}
+}
+
+// ownedCount counts interfaces currently placed on addr. It backs the
+// lazy pi_router_shard_interfaces gauge, so the walk over the
+// placement map happens only at scrape time.
+func (rt *Router) ownedCount(addr string) float64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	n := 0
+	for _, owner := range rt.place {
+		if owner == addr {
+			n++
+		}
+	}
+	return float64(n)
+}

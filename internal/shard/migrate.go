@@ -95,7 +95,7 @@ func (rt *Router) Migrate(ctx context.Context, id, target string) (*MigrateResul
 			// Structured refusal: the source provably still owns the
 			// interface, so the copy the target accepted is stale —
 			// delete it so two shards never diverge on one interface.
-			dctx, cancel := rt.callCtx()
+			dctx, cancel := rt.callCtx(nil)
 			_, derr := tgt.c.DeleteInterface(dctx, id)
 			cancel()
 			// A lost-response replay answers not_found for a delete that

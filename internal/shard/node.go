@@ -28,6 +28,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -279,6 +280,18 @@ func (n *Node) QueryInto(id string, req api.QueryRequest, resp *api.QueryRespons
 		return e
 	}
 	return n.Service.QueryInto(id, req, resp)
+}
+
+// QueryIntoCtx mirrors QueryInto for the context-carrying fast path.
+// Required for the same reason: the embedded Service satisfies
+// api.CtxQuerier by promotion, and without this override the
+// transport's type assertion would bypass the relinquish/tombstone
+// check.
+func (n *Node) QueryIntoCtx(ctx context.Context, id string, req api.QueryRequest, resp *api.QueryResponse) error {
+	if e := n.readErr(id); e != nil {
+		return e
+	}
+	return n.Service.QueryIntoCtx(ctx, id, req, resp)
 }
 
 func (n *Node) IngestReady(id string) error {

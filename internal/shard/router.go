@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/qlog"
 	"repro/internal/replica"
 	"repro/pi/client"
@@ -69,6 +70,10 @@ type shardConn struct {
 	down      bool
 	failures  int
 	nextProbe time.Time
+
+	// mx holds this shard's resolved metric handles. Set once in
+	// addShard, immutable afterwards — safe to use without rt.mu.
+	mx *shardMetrics
 }
 
 // Router owns the interface→shard placement map and implements
@@ -96,7 +101,15 @@ type Router struct {
 	// for its outcome instead of racing a second promote.
 	foMu       sync.Mutex
 	foInflight map[string]chan struct{}
+
+	// slow is the router-side slow-query ring (nil = disabled). Set
+	// once via SetSlowRing before serving.
+	slow *obs.SlowRing
 }
+
+// SetSlowRing attaches the slow-query ring the router records routed
+// queries into (Source "router"). Call before serving traffic.
+func (rt *Router) SetSlowRing(r *obs.SlowRing) { rt.slow = r }
 
 var _ api.Servicer = (*Router)(nil)
 
@@ -181,6 +194,11 @@ func (rt *Router) addShard(addr string) (*shardConn, error) {
 		rep:       replica.NewClient(norm, rt.opts.Token, defaultAdminHTTPClient()),
 		ingestion: true,
 	}
+	conn.mx = newShardMetrics(norm)
+	// Lazy load gauge: the placement walk happens at scrape time, not
+	// on any serving path. Re-registering after a restart just swaps
+	// the closure in.
+	mxShardIfaces.Func(func() float64 { return rt.ownedCount(norm) }, norm)
 	rt.shards[norm] = conn
 	rt.order = append(rt.order, norm)
 	sort.Strings(rt.order)
@@ -205,9 +223,16 @@ func (rt *Router) Placement() map[string]string {
 	return out
 }
 
-// callCtx is the per-proxied-operation budget.
-func (rt *Router) callCtx() (context.Context, context.CancelFunc) {
-	return context.WithTimeout(context.Background(), rt.opts.Timeout)
+// callCtx is the per-proxied-operation budget, derived from the
+// caller's context when there is one (that is how a trace id minted at
+// the router edge rides the proxied hop — pi/client forwards it as the
+// Pi-Trace-Id header) and from Background on internal control-plane
+// calls.
+func (rt *Router) callCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	return context.WithTimeout(parent, rt.opts.Timeout)
 }
 
 // Refresh re-discovers placement by asking every shard what it hosts.
@@ -357,6 +382,7 @@ func (rt *Router) Refresh(ctx context.Context) []api.ShardHealth {
 			conn.down = false
 			conn.failures = 0
 			conn.nextProbe = time.Time{}
+			conn.mx.down.Set(0)
 		} else {
 			rt.bumpBackoffLocked(conn)
 		}
@@ -445,18 +471,21 @@ func (rt *Router) drop(id, addr string) {
 // number of times, and translating transport failures into structured
 // shard_unavailable errors.
 func (rt *Router) proxy(id string, fn func(ctx context.Context, c *client.Client) error) error {
-	return rt.proxyOp(id, false, fn)
+	return rt.proxyOp(context.Background(), id, false, fn)
 }
 
-func (rt *Router) proxyOp(id string, readOnly bool, fn func(ctx context.Context, c *client.Client) error) error {
+func (rt *Router) proxyOp(parent context.Context, id string, readOnly bool, fn func(ctx context.Context, c *client.Client) error) error {
 	for hop := 0; hop < maxPlacementHops; hop++ {
 		conn, apiErr := rt.owner(id)
 		if apiErr != nil {
 			return apiErr
 		}
-		ctx, cancel := rt.callCtx()
+		ctx, cancel := rt.callCtx(parent)
+		start := time.Now()
 		err := fn(ctx, conn.c)
 		cancel()
+		conn.mx.proxied.Inc()
+		conn.mx.dur.Observe(time.Since(start))
 		if err == nil {
 			return nil
 		}
@@ -464,12 +493,14 @@ func (rt *Router) proxyOp(id string, readOnly bool, fn func(ctx context.Context,
 		if errors.As(err, &ae) {
 			switch {
 			case ae.Code == api.CodeMoved && ae.Addr != "":
+				mxMovedFollows.Inc()
 				rt.follow(id, ae.Addr)
 				continue
 			case (ae.Code == api.CodeNotOwner || ae.Code == api.CodeReplicaLagging) && ae.Addr != "":
 				// The placement map lags a promotion: the shard we
 				// believed owned the interface is (or became) a follower,
 				// and names the owner it knows.
+				mxMovedFollows.Inc()
 				rt.follow(id, ae.Addr)
 				continue
 			case ae.Code == api.CodeNotFound:
@@ -483,6 +514,7 @@ func (rt *Router) proxyOp(id string, readOnly bool, fn func(ctx context.Context,
 		// Transport failure: the owner is gone. Back its probe off, and
 		// when failover is on, try to promote the most-caught-up in-sync
 		// follower in its place.
+		conn.mx.errs.Inc()
 		rt.noteShardDown(conn.addr)
 		if rt.opts.Failover {
 			if newAddr, ok := rt.failover(id, conn.addr); ok {
@@ -559,16 +591,58 @@ func (rt *Router) Page(id string) (string, error) {
 // everywhere in it, and after a migration or promotion the bumped
 // epoch expires it.
 func (rt *Router) Query(id string, req api.QueryRequest) (*api.QueryResponse, error) {
-	var out *api.QueryResponse
-	err := rt.proxyRead(id, func(ctx context.Context, c *client.Client) error {
-		resp, err := c.Query(ctx, id, req)
-		out = resp
-		return err
-	})
-	if err != nil {
+	var out api.QueryResponse
+	if err := rt.QueryIntoCtx(context.Background(), id, req, &out); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &out, nil
+}
+
+var _ api.CtxQuerier = (*Router)(nil)
+
+// QueryIntoCtx is the context-carrying query path the HTTP transport
+// prefers: the caller's context carries the edge-minted trace id, so
+// the proxied hop forwards it to the shard (pi/client sets the
+// Pi-Trace-Id header from the context) and the router's own slow-query
+// ring records it. The whole routed call is attributed to ProxyMS —
+// the router does no binding or execution of its own; the shard-side
+// ring carries the stage split.
+func (rt *Router) QueryIntoCtx(ctx context.Context, id string, req api.QueryRequest, resp *api.QueryResponse) error {
+	var start time.Time
+	if rt.slow.Armed() {
+		start = time.Now()
+	}
+	err := rt.proxyReadCtx(ctx, id, func(cctx context.Context, c *client.Client) error {
+		r, err := c.Query(cctx, id, req)
+		if err != nil {
+			return err
+		}
+		*resp = *r
+		return nil
+	})
+	if !start.IsZero() {
+		total := time.Since(start)
+		if rt.slow.Should(total) {
+			e := obs.SlowEntry{
+				TraceID:   obs.TraceID(ctx),
+				Interface: id,
+				Source:    "router",
+				Time:      time.Now(),
+				TotalMS:   float64(total) / 1e6,
+				ProxyMS:   float64(total) / 1e6,
+			}
+			if err != nil {
+				e.Error = err.Error()
+			} else {
+				e.SQL = resp.SQL
+				e.Epoch = resp.Epoch
+				e.Plan = resp.Plan
+				e.Cache = resp.Cache
+			}
+			rt.slow.Record(e)
+		}
+	}
+	return err
 }
 
 // IngestReady pre-checks without a network round trip: placement must
@@ -656,6 +730,7 @@ func (rt *Router) DeleteInterface(id string) (*api.DeleteAck, error) {
 // fanOut runs fn once per shard concurrently and returns the results
 // in shard order.
 func fanOut[T any](rt *Router, fn func(ctx context.Context, conn *shardConn) (T, error)) []fanResult[T] {
+	mxFanouts.Inc()
 	rt.mu.RLock()
 	conns := make([]*shardConn, 0, len(rt.order))
 	for _, addr := range rt.order {
@@ -668,7 +743,7 @@ func fanOut[T any](rt *Router, fn func(ctx context.Context, conn *shardConn) (T,
 		wg.Add(1)
 		go func(i int, conn *shardConn) {
 			defer wg.Done()
-			ctx, cancel := rt.callCtx()
+			ctx, cancel := rt.callCtx(nil)
 			defer cancel()
 			v, err := fn(ctx, conn)
 			out[i] = fanResult[T]{addr: conn.addr, v: v, err: err}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"math/rand/v2"
 	"net/http"
 	"sort"
@@ -79,7 +80,7 @@ func (rt *Router) demoteStale(d demotion) {
 	if conn == nil {
 		return
 	}
-	ctx, cancel := rt.callCtx()
+	ctx, cancel := rt.callCtx(nil)
 	defer cancel()
 	_ = conn.rep.Demote(ctx, d.id, d.to, d.term)
 }
@@ -216,16 +217,29 @@ func (rt *Router) ensureReplication(ctx context.Context, claims map[string]owner
 // follower failure — fan-out spreads load, it never trades away an
 // answer the owner could have given.
 func (rt *Router) proxyRead(id string, fn func(ctx context.Context, c *client.Client) error) error {
+	return rt.proxyReadCtx(context.Background(), id, fn)
+}
+
+func (rt *Router) proxyReadCtx(parent context.Context, id string, fn func(ctx context.Context, c *client.Client) error) error {
 	if conn := rt.readTarget(id); conn != nil {
-		ctx, cancel := rt.callCtx()
+		ctx, cancel := rt.callCtx(parent)
+		start := time.Now()
 		err := fn(ctx, conn.c)
 		cancel()
+		conn.mx.proxied.Inc()
+		conn.mx.dur.Observe(time.Since(start))
 		if err == nil {
 			return nil
 		}
+		// Only transport failures count as proxy errors: a structured
+		// api.Error means the follower answered (lagging, moved, ...).
+		var ae *api.Error
+		if !errors.As(err, &ae) {
+			conn.mx.errs.Inc()
+		}
 		rt.markFollowerFailed(id, conn.addr)
 	}
-	return rt.proxyOp(id, true, fn)
+	return rt.proxyOp(parent, id, true, fn)
 }
 
 // readTarget picks the next read target for the interface, or nil when
@@ -335,7 +349,7 @@ func (rt *Router) failover(id, deadAddr string) (string, bool) {
 		wg.Add(1)
 		go func(i int, conn *shardConn) {
 			defer wg.Done()
-			ctx, cancel := rt.callCtx()
+			ctx, cancel := rt.callCtx(nil)
 			defer cancel()
 			if st, err := conn.rep.Status(ctx, id); err == nil {
 				stats[i] = st
@@ -392,7 +406,7 @@ func (rt *Router) failover(id, deadAddr string) (string, bool) {
 				targets = append(targets, replica.PromoteTarget{Addr: o.conn.addr, Seq: o.st.Info.Seq})
 			}
 		}
-		ctx, cancel := rt.callCtx()
+		ctx, cancel := rt.callCtx(nil)
 		st, err := c.conn.rep.Promote(ctx, id, newTerm, targets)
 		cancel()
 		if err != nil {
@@ -402,6 +416,7 @@ func (rt *Router) failover(id, deadAddr string) (string, bool) {
 		rt.place[id] = c.conn.addr
 		rt.reps[id] = newReplicaSet(&st.Info, rt.reps[id])
 		rt.mu.Unlock()
+		mxFailovers.Inc()
 		return c.conn.addr, true
 	}
 	return "", false
@@ -441,6 +456,8 @@ const (
 // next probe with jittered exponential backoff. Caller holds rt.mu.
 func (rt *Router) bumpBackoffLocked(conn *shardConn) {
 	conn.down = true
+	conn.mx.probeFail.Inc()
+	conn.mx.down.Set(1)
 	if conn.failures < 30 {
 		conn.failures++
 	}

@@ -471,6 +471,7 @@ func (l *Log) Append(r Record) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -506,12 +507,14 @@ func (l *Log) Append(r Record) error {
 	l.activeSeg.lastSeq = r.Seq
 	l.lastSeq = r.Seq
 	l.appends++
+	mxAppends.Inc()
 
 	if l.opts.SyncInterval > 0 {
 		// Interval mode: the ack means "written to the OS"; the flusher
 		// (or a SyncBatch overflow) makes it durable shortly.
 		pending := l.lastSeq - l.syncedSeq
 		l.mu.Unlock()
+		mxAppendDur.Observe(time.Since(start))
 		if pending >= uint64(l.opts.SyncBatch) {
 			select {
 			case l.kick <- struct{}{}:
@@ -522,6 +525,7 @@ func (l *Log) Append(r Record) error {
 	}
 	err = l.waitSyncedLocked(r.Seq)
 	l.mu.Unlock()
+	mxAppendDur.Observe(time.Since(start))
 	return err
 }
 
@@ -541,9 +545,12 @@ func (l *Log) waitSyncedLocked(seq uint64) error {
 		}
 		l.syncing = true
 		covered := l.lastSeq // everything written so far rides this fsync
+		batch := covered - l.syncedSeq
 		f := l.active
 		l.mu.Unlock()
+		fstart := time.Now()
 		err := f.Sync()
+		mxFsyncDur.Observe(time.Since(fstart))
 		l.mu.Lock()
 		l.syncing = false
 		if err != nil {
@@ -551,6 +558,8 @@ func (l *Log) waitSyncedLocked(seq uint64) error {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.syncs++
+		mxSyncs.Inc()
+		mxBatch.ObserveN(int64(batch))
 		if covered > l.syncedSeq {
 			l.syncedSeq = covered
 		}
@@ -584,6 +593,7 @@ func (l *Log) rotateLocked(nextSeq uint64) error {
 		l.cond.Broadcast()
 	}
 	l.syncs++
+	mxSyncs.Inc()
 	l.sealed = append(l.sealed, l.activeSeg)
 	return l.startSegmentLocked(nextSeq)
 }
@@ -608,13 +618,18 @@ func (l *Log) flushLoop() {
 		}
 		l.syncing = true
 		covered := l.lastSeq
+		batch := covered - l.syncedSeq
 		f := l.active
 		l.mu.Unlock()
+		fstart := time.Now()
 		err := f.Sync()
+		mxFsyncDur.Observe(time.Since(fstart))
 		l.mu.Lock()
 		l.syncing = false
 		if err == nil {
 			l.syncs++
+			mxSyncs.Inc()
+			mxBatch.ObserveN(int64(batch))
 			if covered > l.syncedSeq {
 				l.syncedSeq = covered
 			}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 )
 
 // Client speaks the v1 API. It is safe for concurrent use.
@@ -374,6 +375,13 @@ func (c *Client) once(ctx context.Context, method, fullURL string, body []byte, 
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	// Cross-hop tracing: a context that carries a trace id (a proxied
+	// router hop, a replication push inside a traced request) forwards
+	// it, so the downstream server adopts the edge's id instead of
+	// minting its own.
+	if tid := obs.TraceID(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -4,8 +4,9 @@
 # replication layer's ack coupling (replicated vs unreplicated append
 # ack, fan-out read) as BENCH_replica.json, WAL/snapshot costs as
 # BENCH_wal.json, and cached-plan query latency percentiles + allocs
-# as BENCH_query.json, so the perf trajectory of the serving layer is
-# tracked in-repo run over run.
+# as BENCH_query.json, and instrumentation overhead (metrics on vs
+# off on the cached-plan path) as BENCH_obs.json, so the perf
+# trajectory of the serving layer is tracked in-repo run over run.
 # Exits non-zero if any benchmark fails to produce a number.
 set -eu
 
@@ -159,3 +160,32 @@ awk -v m="$mean" -v p50="$p50" -v p99="$p99" -v by="$bytes" -v al="$allocs" \
 
 echo "== $QUERY_OUT"
 cat "$QUERY_OUT"
+
+OBS_OUT="${OBS_OUT:-BENCH_obs.json}"
+
+echo "== go test -bench QueryPlanCached(NoMetrics)? -benchtime $BENCHTIME -benchmem ./internal/api"
+raw=$(go test -run '^$' -bench 'BenchmarkQueryPlanCached$|BenchmarkQueryPlanCachedNoMetrics$' \
+    -benchtime "$BENCHTIME" -benchmem ./internal/api)
+printf '%s\n' "$raw"
+
+on=$(printf '%s\n' "$raw" | awk '/^BenchmarkQueryPlanCached[^N]/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") { print $i; exit } }')
+off=$(printf '%s\n' "$raw" | awk '/^BenchmarkQueryPlanCachedNoMetrics/ { for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") { print $i; exit } }')
+on_allocs=$(printf '%s\n' "$raw" | awk '/^BenchmarkQueryPlanCached[^N]/ { for (i = 2; i <= NF; i++) if ($i == "allocs/op") { print $(i-1); exit } }')
+if [ -z "$on" ] || [ -z "$off" ] || [ -z "$on_allocs" ]; then
+    echo "FAIL: observability benchmarks produced no numbers" >&2
+    exit 1
+fi
+
+awk -v on="$on" -v off="$off" -v al="$on_allocs" -v go_ver="$(go env GOVERSION)" 'BEGIN {
+    printf "{\n"
+    printf "  \"benchmark\": \"instrumentation overhead on the cached-plan query path (metrics live vs disabled)\",\n"
+    printf "  \"go\": \"%s\",\n", go_ver
+    printf "  \"metrics_on_ns_op\": %.1f,\n", on
+    printf "  \"metrics_off_ns_op\": %.1f,\n", off
+    printf "  \"overhead_x\": %.3f,\n", on / off
+    printf "  \"metrics_on_allocs_op\": %d\n", al
+    printf "}\n"
+}' >"$OBS_OUT"
+
+echo "== $OBS_OUT"
+cat "$OBS_OUT"
